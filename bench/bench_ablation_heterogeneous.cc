@@ -1,0 +1,54 @@
+// Ablation (Appendix A: BMI [44], LeBeane et al. [29]): heterogeneous
+// clusters. Half the workers are 3x faster; capacity-aware placement
+// (load proportional to speed) is compared against capacity-oblivious
+// placement on simulated PageRank time.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Ablation: heterogeneous cluster",
+                     "Capacity-oblivious vs capacity-aware placement, "
+                     "PageRank on 8 workers (4 slow + 4 fast at 3x)",
+                     scale);
+  Graph g = MakeDataset("twitter", scale);
+  const PartitionId k = 8;
+  EngineCostModel cost;
+  cost.worker_speeds = {1, 1, 1, 1, 3, 3, 3, 3};
+
+  TablePrinter table({"Algorithm", "Oblivious(ms)", "Aware(ms)", "Speedup",
+                      "Aware max/mean load"});
+  for (const std::string algo :
+       {"ECR", "LDG", "FNL", "VCR", "HDRF", "HG", "MTS"}) {
+    PartitionConfig oblivious;
+    oblivious.k = k;
+    PartitionConfig aware = oblivious;
+    aware.capacity_weights = {1, 1, 1, 1, 3, 3, 3, 3};
+    auto partitioner = CreatePartitioner(algo);
+
+    EngineStats so = AnalyticsEngine(g, partitioner->Run(g, oblivious), cost)
+                         .Run(PageRankProgram(20));
+    EngineStats sa = AnalyticsEngine(g, partitioner->Run(g, aware), cost)
+                         .Run(PageRankProgram(20));
+    DistributionSummary load = Summarize(sa.compute_seconds_per_worker);
+    table.AddRow({algo, FormatDouble(so.simulated_seconds * 1e3, 1),
+                  FormatDouble(sa.simulated_seconds * 1e3, 1),
+                  FormatDouble(so.simulated_seconds / sa.simulated_seconds,
+                               2),
+                  FormatDouble(load.ImbalanceFactor(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape ([29], [44]): matching data placement to machine\n"
+         "capability speeds up every algorithm (speedup > 1), because the\n"
+         "slow machines stop being stragglers; the aware max/mean column\n"
+         "shows the residual *time* imbalance after weighting.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation (Table 1 "Parallelization" column, Section 4.1.1): greedy
+// streaming partitioners parallelize only by sharing their assignment
+// history; this sweep shows the quality/coordination trade-off of
+// parallel LDG ingest vs stale shared state — and why hash partitioning
+// (zero coordination) is attractive for parallel loaders.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "partition/edgecut/parallel_streaming.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Ablation: parallel ingest",
+                     "Parallel LDG: cut quality vs synchronization "
+                     "interval (ldbc, k=16)",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  PartitionConfig cfg;
+  cfg.k = 16;
+
+  TablePrinter table({"Ingest workers", "Sync interval", "EdgeCutRatio",
+                      "Sync rounds", "Sync messages"});
+  // Sequential and hash baselines.
+  PartitionMetrics ldg =
+      ComputeMetrics(g, CreatePartitioner("LDG")->Run(g, cfg));
+  table.AddRow({"1 (sequential LDG)", "-", FormatDouble(ldg.edge_cut_ratio, 3),
+                "-", "-"});
+  PartitionMetrics ecr =
+      ComputeMetrics(g, CreatePartitioner("ECR")->Run(g, cfg));
+  table.AddRow({"any (hash ECR)", "none needed",
+                FormatDouble(ecr.edge_cut_ratio, 3), "0", "0"});
+
+  for (uint32_t streams : {4u, 16u}) {
+    for (uint32_t interval : {1u, 16u, 256u, 1u << 20}) {
+      ParallelStreamOptions opts;
+      opts.num_streams = streams;
+      opts.sync_interval = interval;
+      ParallelStreamResult r = ParallelStreamingLdg(g, cfg, opts);
+      PartitionMetrics m = ComputeMetrics(g, r.partitioning);
+      table.AddRow({std::to_string(streams),
+                    interval == 1u << 20 ? "once at end"
+                                         : std::to_string(interval),
+                    FormatDouble(m.edge_cut_ratio, 3),
+                    FormatCount(r.sync_rounds),
+                    FormatCount(r.sync_messages)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: frequent synchronization matches sequential LDG\n"
+         "quality; as the interval grows the stale state erodes the cut\n"
+         "toward (but not to) hash quality, while barrier count drops —\n"
+         "the coordination/quality trade-off that Section 4.1.1 contrasts\n"
+         "with hash partitioning's zero-communication parallelism.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablations of system-model choices the paper discusses:
+//   - sender-side message aggregation (Figure 10, Bourse et al. [10]):
+//     with aggregation off, edge-cut and vertex-cut random partitionings
+//     incur near-identical traffic; aggregation is what separates them;
+//   - the partitioning-aware query router of Appendix C vs an oblivious
+//     front end.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Ablation: system model",
+                     "Message aggregation (engine) and query routing (db)",
+                     scale);
+
+  {
+    Graph g = MakeDataset("twitter", scale);
+    std::cout << "--- Sender-side aggregation, PageRank, k=16 ---\n";
+    TablePrinter table({"Algorithm", "Aggregated msgs/iter",
+                        "Unaggregated msgs/iter", "Ratio"});
+    for (const std::string algo : {"ECR", "LDG", "VCR", "HDRF"}) {
+      PartitionConfig cfg;
+      cfg.k = 16;
+      Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+      EngineCostModel with;
+      EngineCostModel without = with;
+      without.sender_side_aggregation = false;
+      EngineStats sa = AnalyticsEngine(g, p, with).Run(PageRankProgram(5));
+      EngineStats sn =
+          AnalyticsEngine(g, p, without).Run(PageRankProgram(5));
+      const double ma = static_cast<double>(sa.gather_messages +
+                                            sa.sync_messages) /
+                        5.0;
+      const double mn = static_cast<double>(sn.gather_messages +
+                                            sn.sync_messages) /
+                        5.0;
+      table.AddRow({algo, FormatDouble(ma, 0), FormatDouble(mn, 0),
+                    FormatDouble(mn / ma, 2)});
+    }
+    table.Print(std::cout);
+    std::cout
+        << "Expected ([10], Section 4.2.2): without aggregation the hash\n"
+           "rows (ECR vs VCR) converge — expected communication of edge-\n"
+           "and vertex-cut is identical under uniform random placement;\n"
+           "aggregation compresses edge-cut traffic the most (highest\n"
+           "ratio), which is why vertex-cut only wins *with* aggregation.\n\n";
+  }
+
+  {
+    Graph g = MakeDataset("ldbc", scale);
+    std::cout << "--- Query router, 1-hop, 16 workers, medium load ---\n";
+    TablePrinter table({"Algorithm", "Aware q/s", "Oblivious q/s",
+                        "Aware mean ms", "Oblivious mean ms"});
+    Workload workload(g, {});
+    SimConfig sim;
+    sim.clients = 12 * 16;
+    sim.num_queries = 15000;
+    for (const std::string algo : {"ECR", "FNL", "MTS"}) {
+      PartitionConfig cfg;
+      cfg.k = 16;
+      Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+      GraphDatabase aware(g, p, {}, RouterMode::kPartitionAware);
+      GraphDatabase oblivious(g, p, {}, RouterMode::kRandom);
+      SimResult ra = SimulateClosedLoop(aware, workload, sim);
+      SimResult ro = SimulateClosedLoop(oblivious, workload, sim);
+      table.AddRow({algo, FormatDouble(ra.throughput_qps, 0),
+                    FormatDouble(ro.throughput_qps, 0),
+                    FormatDouble(ra.latency.mean * 1e3, 2),
+                    FormatDouble(ro.latency.mean * 1e3, 2)});
+    }
+    table.Print(std::cout);
+    std::cout
+        << "Expected (Appendix C): routing each query to the worker owning\n"
+           "its start vertex saves one remote round trip per query, so the\n"
+           "aware router wins throughput and latency for every algorithm —\n"
+           "and the win grows with the partitioning's locality.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation (Section 5.1.3): per-iteration dynamics of the three analytics
+// workloads — why PageRank "closely matches the structural metrics" while
+// WCC and SSSP violate the uniform-workload assumption behind the SGP
+// objective functions.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv(12);
+  bench::PrintBanner("Ablation: workload dynamics",
+                     "Active vertices and messages per iteration "
+                     "(HDRF, k=8)",
+                     scale);
+  struct Run {
+    const char* name;
+    const char* dataset;
+  };
+  for (const Run& run : {Run{"PageRank", "twitter"}, Run{"WCC", "ldbc"},
+                         Run{"SSSP", "usaroad"}}) {
+    Graph g = MakeDataset(run.dataset, scale);
+    PartitionConfig cfg;
+    cfg.k = 8;
+    AnalyticsEngine engine(g, CreatePartitioner("HDRF")->Run(g, cfg));
+    EngineStats stats;
+    if (std::string(run.name) == "PageRank") {
+      stats = engine.Run(PageRankProgram(10));
+    } else if (std::string(run.name) == "WCC") {
+      stats = engine.Run(WccProgram());
+    } else {
+      VertexId source = 0;
+      while (g.Degree(source) == 0) ++source;
+      stats = engine.Run(SsspProgram(source));
+    }
+    std::cout << "--- " << run.name << " on " << run.dataset << " ("
+              << stats.iterations << " iterations) ---\n";
+    TablePrinter table({"Iteration", "Active vertices", "Messages"});
+    // Print up to 12 evenly spaced iterations.
+    const size_t n = stats.active_per_iteration.size();
+    const size_t step = std::max<size_t>(1, n / 12);
+    for (size_t i = 0; i < n; i += step) {
+      table.AddRow({std::to_string(i),
+                    FormatCount(stats.active_per_iteration[i]),
+                    FormatCount(stats.messages_per_iteration[i])});
+    }
+    if ((n - 1) % step != 0) {
+      table.AddRow({std::to_string(n - 1),
+                    FormatCount(stats.active_per_iteration[n - 1]),
+                    FormatCount(stats.messages_per_iteration[n - 1])});
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Expected shape (Section 5.1.3): PageRank rows are identical\n"
+         "(all-active, stable); WCC starts all-active and decays; SSSP\n"
+         "starts from one vertex, peaks mid-run in BFS order and decays —\n"
+         "the \"ordered activation\" that defeats uniform-load objectives.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (Section 6.3.3): impact of the workload skew on online
+// performance. As the Zipf exponent of binding popularity grows, the
+// advantage of cut-minimizing partitioners (LDG/FNL/MTS) over plain hash
+// erodes and eventually inverts — the paper's core online finding.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Ablation: workload skew",
+                     "1-hop throughput and p99 latency vs Zipf skew of the "
+                     "request stream (16 workers, high load)",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  const PartitionId k = 16;
+
+  TablePrinter table({"Skew", "Algorithm", "Throughput(q/s)", "p99(ms)",
+                      "Read RSD"});
+  for (double skew : {0.0, 0.8, 1.1, 1.4}) {
+    WorkloadConfig wcfg;
+    wcfg.skew = skew;
+    Workload workload(g, wcfg);
+    for (const std::string& algo : bench::OnlineAlgos()) {
+      PartitionConfig cfg;
+      cfg.k = k;
+      GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+      SimConfig sim;
+      sim.clients = 24 * k;
+      sim.num_queries = 15000;
+      SimResult r = SimulateClosedLoop(db, workload, sim);
+      table.AddRow({FormatDouble(skew, 1), algo,
+                    FormatDouble(r.throughput_qps, 0),
+                    FormatDouble(r.latency.p99 * 1e3, 1),
+                    FormatDouble(Summarize(r.reads_per_worker)
+                                     .RelativeStdDev(),
+                                 2)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: at skew 0 the cut-minimizing algorithms hold\n"
+         "their full throughput advantage over ECR; as skew grows their\n"
+         "read distribution (RSD column) degrades and the advantage\n"
+         "shrinks — MTS falls to or below hash at skew 1.4 — while ECR's\n"
+         "RSD stays flat. Structural cut metrics cannot see any of this\n"
+         "(Section 6.3.3).\n";
+  return 0;
+}

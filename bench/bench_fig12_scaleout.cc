@@ -1,0 +1,50 @@
+// Figure 12: aggregate throughput of 192 concurrent clients running 1-hop
+// traversals on LDBC SNB over 4 to 32 workers — beyond ~16 workers the
+// added communication outweighs the added capacity.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 12",
+                     "Throughput of 192 fixed clients vs cluster size, "
+                     "1-hop on LDBC SNB",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  WorkloadConfig wcfg;
+  Workload workload(g, wcfg);
+
+  TablePrinter table({"Algorithm", "Metric", "k=4", "k=8", "k=16", "k=32"});
+  for (const std::string& algo : bench::OnlineAlgos()) {
+    std::vector<std::string> tput{algo, "q/s"};
+    std::vector<std::string> per_worker{algo, "q/s/worker"};
+    for (PartitionId k : {4u, 8u, 16u, 32u}) {
+      PartitionConfig cfg;
+      cfg.k = k;
+      GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+      SimConfig sim;
+      sim.clients = 192;
+      sim.num_queries = 15000;
+      SimResult r = SimulateClosedLoop(db, workload, sim);
+      tput.push_back(FormatDouble(r.throughput_qps, 0));
+      per_worker.push_back(FormatDouble(r.throughput_qps / k, 0));
+    }
+    table.AddRow(std::move(tput));
+    table.AddRow(std::move(per_worker));
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape (paper Fig. 12): scaling out stops paying off —\n"
+         "the paper sees absolute degradation beyond 16 workers on the\n"
+         "SF-1000 graph (avg degree 124, so every query touches every\n"
+         "worker); at this synthetic scale (avg degree ~20) the effect\n"
+         "appears as collapsing per-worker efficiency (q/s/worker falls\n"
+         "steeply from k=4 to k=32) as the growing cut ratio turns extra\n"
+         "workers into extra round trips per query.\n";
+  return 0;
+}

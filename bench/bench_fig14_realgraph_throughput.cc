@@ -1,0 +1,47 @@
+// Figure 14: aggregate 1-hop throughput on the real-world graph analogues
+// (USA-Road, Twitter, UK2007-05) on 16 workers under medium and high load.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 14",
+                     "1-hop throughput (queries/s) on real-world graphs, "
+                     "16 workers",
+                     scale);
+  const PartitionId k = 16;
+  for (const std::string dataset : {"usaroad", "twitter", "uk2007"}) {
+    Graph g = MakeDataset(dataset, scale);
+    WorkloadConfig wcfg;
+    Workload workload(g, wcfg);
+    std::cout << "--- " << dataset << " ---\n";
+    TablePrinter table({"Algorithm", "Medium load", "High load"});
+    for (const std::string& algo : bench::OnlineAlgos()) {
+      PartitionConfig cfg;
+      cfg.k = k;
+      GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+      std::vector<std::string> row{algo};
+      for (uint32_t clients_per_worker : {12u, 24u}) {
+        SimConfig sim;
+        sim.clients = clients_per_worker * k;
+        sim.num_queries = 15000;
+        SimResult r = SimulateClosedLoop(db, workload, sim);
+        row.push_back(FormatDouble(r.throughput_qps, 0));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Expected shape (paper Fig. 14): cut-minimizing algorithms gain\n"
+         "under medium load but lose their edge (or invert) under high\n"
+         "load on every dataset, because workload-skew hotspots — not the\n"
+         "cut ratio — dominate saturated-cluster behaviour.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 1: replication factor vs total network I/O during PageRank, WCC
+// and SSSP on the Twitter graph, separated by cut model. Each point is one
+// (algorithm, cluster size) configuration.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 1",
+                     "Replication factor vs total network I/O (PageRank, "
+                     "WCC, SSSP) on Twitter, per cut model",
+                     scale);
+  Graph g = MakeDataset("twitter", scale);
+  VertexId source = 0;
+  while (g.Degree(source) == 0) ++source;
+
+  struct Workload {
+    const char* name;
+    int which;  // 0 = PR, 1 = WCC, 2 = SSSP
+  };
+  const Workload workloads[] = {{"PageRank", 0}, {"WCC", 1}, {"SSSP", 2}};
+
+  for (const auto& wl : workloads) {
+    std::cout << "--- " << wl.name << " ---\n";
+    TablePrinter table({"CutModel", "Algorithm", "k", "ReplFactor",
+                        "NetworkMB", "MB/RF"});
+    for (const std::string& algo : bench::OfflineAlgos()) {
+      auto partitioner = CreatePartitioner(algo);
+      for (PartitionId k : {8u, 32u, 128u}) {
+        PartitionConfig cfg;
+        cfg.k = k;
+        Partitioning p = partitioner->Run(g, cfg);
+        AnalyticsEngine engine(g, p);
+        EngineStats stats;
+        switch (wl.which) {
+          case 0:
+            stats = engine.Run(PageRankProgram(20));
+            break;
+          case 1:
+            stats = engine.Run(WccProgram());
+            break;
+          default:
+            stats = engine.Run(SsspProgram(source));
+        }
+        const double rf = engine.distributed_graph().replication_factor();
+        const double mb =
+            static_cast<double>(stats.total_network_bytes) / 1e6;
+        table.AddRow({std::string(CutModelName(partitioner->model())), algo,
+                      std::to_string(k), FormatDouble(rf, 2),
+                      FormatDouble(mb, 2),
+                      FormatDouble(rf > 1.0 ? mb / (rf - 1.0) : 0.0, 2)});
+      }
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Expected shape (paper Fig. 1): network I/O grows linearly with\n"
+         "the replication factor; for PageRank (uni-directional) the\n"
+         "edge-cut rows have a visibly smaller MB/RF slope than vertex-cut\n"
+         "rows (no master->mirror sync, Appendix B), while for WCC the\n"
+         "models coincide; PageRank moves the most data overall.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6: aggregate throughput of the 1-hop and 2-hop workloads on the
+// LDBC SNB graph under medium load (12 clients/worker) and high load
+// (24 clients/worker), over 4 to 32 workers.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 6",
+                     "Aggregate throughput (queries/s) on LDBC SNB, medium "
+                     "vs high load",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  for (QueryKind kind : {QueryKind::kOneHop, QueryKind::kTwoHop}) {
+    WorkloadConfig wcfg;
+    wcfg.kind = kind;
+    Workload workload(g, wcfg);
+    for (uint32_t clients_per_worker : {12u, 24u}) {
+      std::cout << "--- " << QueryKindName(kind) << " / "
+                << (clients_per_worker == 12 ? "medium" : "high")
+                << " load ---\n";
+      TablePrinter table({"Algorithm", "k=4", "k=8", "k=16", "k=32"});
+      for (const std::string& algo : bench::OnlineAlgos()) {
+        std::vector<std::string> row{algo};
+        for (PartitionId k : {4u, 8u, 16u, 32u}) {
+          PartitionConfig cfg;
+          cfg.k = k;
+          GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+          SimConfig sim;
+          sim.clients = clients_per_worker * k;
+          sim.num_queries = 15000;
+          SimResult r = SimulateClosedLoop(db, workload, sim);
+          row.push_back(FormatDouble(r.throughput_qps, 0));
+        }
+        table.AddRow(std::move(row));
+      }
+      table.Print(std::cout);
+      std::cout << '\n';
+    }
+  }
+  std::cout
+      << "Expected shape (paper Fig. 6): the choice of algorithm matters\n"
+         "far less than offline (within ~25-50%, vs up to 5x offline). On\n"
+         "1-hop, MTS leads and FNL/LDG beat ECR thanks to fewer remote\n"
+         "rounds per query. On 2-hop the ordering inverts toward hash:\n"
+         "the huge fan-out touches every worker regardless of the cut, so\n"
+         "only the load balance is left to differentiate — the same\n"
+         "skew-sensitivity that Table 5 shows in the tail latencies.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figures 7 and 15: distribution of the number of vertices read from each
+// worker on a 16-machine cluster during the 1-hop workload — LDBC SNB
+// (Figure 7) plus the three real-world graph analogues (Figure 15).
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figures 7 and 15",
+                     "Per-worker vertex reads, 1-hop workload, 16 workers",
+                     scale);
+  for (const std::string dataset : {"ldbc", "usaroad", "twitter", "uk2007"}) {
+    Graph g = MakeDataset(dataset, scale);
+    WorkloadConfig wcfg;
+    Workload workload(g, wcfg);
+    std::cout << "--- " << dataset << " ---\n";
+    TablePrinter table({"Algorithm", "min", "p25", "median", "p75", "max",
+                        "RSD"});
+    for (const std::string& algo : bench::OnlineAlgos()) {
+      PartitionConfig cfg;
+      cfg.k = 16;
+      GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+      SimConfig sim;
+      sim.clients = 12 * 16;
+      sim.num_queries = 15000;
+      SimResult r = SimulateClosedLoop(db, workload, sim);
+      DistributionSummary d = Summarize(r.reads_per_worker);
+      table.AddRow({algo, FormatCount(static_cast<uint64_t>(d.min)),
+                    FormatCount(static_cast<uint64_t>(d.p25)),
+                    FormatCount(static_cast<uint64_t>(d.median)),
+                    FormatCount(static_cast<uint64_t>(d.p75)),
+                    FormatCount(static_cast<uint64_t>(d.max)),
+                    FormatDouble(d.RelativeStdDev(), 2)});
+    }
+    table.Print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout
+      << "Expected shape (paper Figs. 7/15): unlike the analytics case,\n"
+         "LDG and FNL show a wide read-count spread on every dataset —\n"
+         "workload skew concentrates reads on the workers owning hot\n"
+         "neighborhoods, which the structural objectives cannot see; hash\n"
+         "(ECR) spreads hot vertices and stays the tightest.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 8: throughput and load-distribution RSD of the 1-hop workload on
+// LDBC SNB for ECR / LDG / FNL / MTS and the workload-aware weighted
+// multilevel partitioning (MTS-W), on a 16-worker cluster.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "graphdb/workload_aware.h"
+#include "partition/edgecut/query_aware.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 8",
+                     "Workload-aware partitioning: throughput and load RSD, "
+                     "1-hop workload, 16 workers",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  const PartitionId k = 16;
+  WorkloadConfig wcfg;
+  wcfg.skew = 1.2;  // pronounced request skew, the Figure 8 scenario
+  Workload workload(g, wcfg);
+  SimConfig sim;
+  sim.clients = 12 * k;
+  sim.num_queries = 20000;
+
+  TablePrinter table({"Algorithm", "Throughput(q/s)", "Load RSD"});
+  GraphDatabase* observed_db = nullptr;
+  std::vector<std::pair<std::string, Partitioning>> configs;
+  for (const std::string& algo : bench::OnlineAlgos()) {
+    PartitionConfig cfg;
+    cfg.k = k;
+    configs.emplace_back(algo, CreatePartitioner(algo)->Run(g, cfg));
+  }
+  // MTS-W: observe accesses through the deployed MTS partitioning, then
+  // re-partition the access-weighted graph (Section 6.3.3).
+  GraphDatabase mts_db(g, configs.back().second);
+  observed_db = &mts_db;
+  configs.emplace_back(
+      "MTS-W", WorkloadAwarePartition(g, *observed_db, workload, k,
+                                      /*total_queries=*/100000, /*seed=*/7));
+  // TAPER-S: the streaming counterpart — same access weights, single pass.
+  QueryAwareOptions qa;
+  qa.k = k;
+  configs.emplace_back(
+      "TAPER-S", QueryAwareStreamingPartition(
+                     g, workload.AccessWeights(*observed_db, 100000), qa));
+
+  for (const auto& [name, partitioning] : configs) {
+    GraphDatabase db(g, partitioning);
+    SimResult r = SimulateClosedLoop(db, workload, sim);
+    table.AddRow({name, FormatDouble(r.throughput_qps, 0),
+                  FormatDouble(Summarize(r.reads_per_worker).RelativeStdDev(),
+                               3)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape (paper Fig. 8): MTS-W has by far the lowest load\n"
+         "RSD and improves throughput over every workload-oblivious\n"
+         "configuration (the paper reports 13%-35% over the others),\n"
+         "showing that workload information — not better structural cuts —\n"
+         "is what unlocks online performance. TAPER-S (the Appendix A\n"
+         "streaming variant) recovers much of MTS-W's gain in one pass.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 9: the decision tree, validated empirically — for every branch,
+// run the candidate algorithms on the branch's scenario and check that
+// the recommended one is on the Pareto frontier the paper puts it on.
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "bench/bench_util.h"
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Figure 9",
+                     "Decision-tree branches, validated against measured "
+                     "outcomes",
+                     scale);
+
+  // --- Analytics branches: simulated PageRank time on 32 workers ---
+  std::cout << "--- Analytics: simulated PageRank time (ms), 32 workers ---\n";
+  TablePrinter analytics({"Dataset (branch)", "Recommended", "Rec. time",
+                          "Hash time", "Best other", "Best other time"});
+  struct Branch {
+    const char* dataset;
+    DegreeDistribution degree;
+  };
+  for (const Branch& branch :
+       {Branch{"usaroad", DegreeDistribution::kLowDegree},
+        Branch{"twitter", DegreeDistribution::kHeavyTailed},
+        Branch{"uk2007", DegreeDistribution::kPowerLaw}}) {
+    Graph g = MakeDataset(branch.dataset, scale);
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOfflineAnalytics;
+    q.degree = branch.degree;
+    Recommendation rec = Recommend(q);
+    double rec_time = 0;
+    double hash_time = 0;
+    std::string best_other;
+    double best_other_time = 0;
+    for (const std::string& algo : bench::OfflineAlgos()) {
+      PartitionConfig cfg;
+      cfg.k = 32;
+      AnalyticsEngine engine(g, CreatePartitioner(algo)->Run(g, cfg));
+      double t = engine.Run(PageRankProgram(20)).simulated_seconds * 1e3;
+      if (algo == rec.partitioner) rec_time = t;
+      if (algo == "ECR" || algo == "VCR") {
+        if (hash_time == 0 || t < hash_time) hash_time = t;
+      }
+      if (algo != rec.partitioner &&
+          (best_other.empty() || t < best_other_time)) {
+        best_other = algo;
+        best_other_time = t;
+      }
+    }
+    analytics.AddRow({std::string(branch.dataset) + " (" +
+                          std::string(DegreeDistributionName(branch.degree)) +
+                          ")",
+                      rec.partitioner, FormatDouble(rec_time, 1),
+                      FormatDouble(hash_time, 1), best_other,
+                      FormatDouble(best_other_time, 1)});
+  }
+  analytics.Print(std::cout);
+
+  // --- Online branches: 1-hop on ldbc, 16 workers ---
+  std::cout << "\n--- Online: 1-hop on ldbc, 16 workers, high load ---\n";
+  Graph g = MakeDataset("ldbc", scale);
+  Workload workload(g, {});
+  TablePrinter online({"Branch", "Recommended", "Throughput", "p99(ms)"});
+  for (bool latency_critical : {true, false}) {
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOnlineQueries;
+    q.latency_critical = latency_critical;
+    q.high_load = latency_critical;
+    Recommendation rec = Recommend(q);
+    PartitionConfig cfg;
+    cfg.k = 16;
+    GraphDatabase db(g, CreatePartitioner(rec.partitioner)->Run(g, cfg));
+    SimConfig sim;
+    sim.clients = (latency_critical ? 24 : 12) * 16;
+    sim.num_queries = 15000;
+    SimResult r = SimulateClosedLoop(db, workload, sim);
+    online.AddRow({latency_critical ? "tail-latency SLO / high load"
+                                    : "throughput / medium load",
+                   rec.partitioner, FormatDouble(r.throughput_qps, 0),
+                   FormatDouble(r.latency.p99 * 1e3, 1)});
+  }
+  online.Print(std::cout);
+  std::cout
+      << "\nExpected shape (Section 6.4): each branch's recommendation is\n"
+         "at or near the measured optimum for its scenario, and no\n"
+         "algorithm wins every branch (the reason a decision tree exists).\n"
+         "Known deviation: on the heavy-tailed branch our HDRF beats the\n"
+         "recommended hybrid — Ginger's vertex-dominant balance (Eq. 8\n"
+         "weighs an edge at |V|/|E| of a vertex) admits edge-load skew\n"
+         "that the paper's cluster absorbs via hybrid's lower sync cost;\n"
+         "at simulator scale that advantage is smaller than the skew.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Section 4.1 claim: streaming partitioners (LDG/FENNEL) are roughly an
+// order of magnitude faster than offline METIS and use a fraction of the
+// memory (they keep only a synopsis). google-benchmark microbenchmark of
+// partitioning wall time, plus a synopsis-size counter.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+using namespace sgp;
+
+const Graph& BenchGraph() {
+  static const Graph* graph =
+      new Graph(MakeDataset("twitter", bench::ScaleFromEnv()));
+  return *graph;
+}
+
+void RunPartitioner(benchmark::State& state, const char* algo) {
+  const Graph& g = BenchGraph();
+  auto partitioner = CreatePartitioner(algo);
+  PartitionConfig cfg;
+  cfg.k = 32;
+  uint64_t state_bytes = 0;
+  for (auto _ : state) {
+    Partitioning p = partitioner->Run(g, cfg);
+    benchmark::DoNotOptimize(p.vertex_to_partition.data());
+    state_bytes = p.state_bytes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_edges()));
+  // Streaming state is an O(n + k) synopsis; the offline multilevel
+  // baseline holds the whole coarsening hierarchy (Section 4.1.1's
+  // "fraction of the memory" claim).
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["state_KB"] = static_cast<double>(state_bytes) / 1024.0;
+}
+
+void BM_Hash(benchmark::State& s) { RunPartitioner(s, "ECR"); }
+void BM_Ldg(benchmark::State& s) { RunPartitioner(s, "LDG"); }
+void BM_Fennel(benchmark::State& s) { RunPartitioner(s, "FNL"); }
+void BM_Hdrf(benchmark::State& s) { RunPartitioner(s, "HDRF"); }
+void BM_Dbh(benchmark::State& s) { RunPartitioner(s, "DBH"); }
+void BM_Ginger(benchmark::State& s) { RunPartitioner(s, "HG"); }
+void BM_Metis(benchmark::State& s) { RunPartitioner(s, "MTS"); }
+
+BENCHMARK(BM_Hash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ldg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fennel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hdrf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Dbh)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Ginger)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

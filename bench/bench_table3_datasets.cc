@@ -1,0 +1,32 @@
+// Table 3: graph datasets used in the experiments. Prints the structural
+// statistics of the synthetic analogues (see DESIGN.md §2 for the
+// substitution rationale).
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Table 3", "Graph datasets used in experiments",
+                     scale);
+  TablePrinter table({"Dataset", "Edges", "Vertices", "Avg.Degree",
+                      "Max.Degree", "Type", "Directed"});
+  for (const std::string& name : DatasetNames()) {
+    Graph g = MakeDataset(name, scale);
+    GraphStats s = ComputeStats(g);
+    table.AddRow({name, FormatCount(s.num_edges),
+                  FormatCount(s.num_vertices), FormatDouble(s.avg_degree, 1),
+                  FormatCount(s.max_degree),
+                  std::string(DegreeDistributionName(ClassifyGraph(g))),
+                  s.directed ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPaper (Table 3): Twitter 1.46B/41M heavy-tailed, "
+               "UK2007-05 3.73B/105M power-law,\nUS-Road 58.3M/23M "
+               "low-degree, LDBC-SNB heavy-tailed. The synthetic analogues\n"
+               "preserve the type contrasts at laptop scale.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 4: edge-cut ratio of ECR / LDG / FNL / MTS on the LDBC SNB graph
+// for 4 to 32 partitions.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Table 4", "Edge-cut ratio on the LDBC SNB graph",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  TablePrinter table({"Partitions", "ECR", "LDG", "FNL", "MTS"});
+  for (PartitionId k : {4u, 8u, 16u, 32u}) {
+    std::vector<std::string> row{std::to_string(k)};
+    for (const std::string& algo : bench::OnlineAlgos()) {
+      PartitionConfig cfg;
+      cfg.k = k;
+      PartitionMetrics m =
+          ComputeMetrics(g, CreatePartitioner(algo)->Run(g, cfg));
+      row.push_back(FormatDouble(m.edge_cut_ratio, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper (Table 4): ECR 0.75→0.97, LDG 0.74→0.84, FNL 0.47→0.66,\n"
+         "MTS 0.31→0.51 as k grows 4→32. Expected shape: every column\n"
+         "grows with k and MTS < FNL < LDG < ECR throughout (FNL\n"
+         "approaches offline METIS quality, confirming [40]).\n";
+  return 0;
+}

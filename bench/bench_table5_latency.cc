@@ -1,0 +1,47 @@
+// Table 5: mean and tail (p99) latencies of the 1-hop workload on a
+// 16-worker cluster under medium and high load.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner("Table 5",
+                     "Mean and p99 latency (ms), 1-hop workload, 16 workers",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  WorkloadConfig wcfg;
+  Workload workload(g, wcfg);
+  const PartitionId k = 16;
+
+  TablePrinter table({"Algorithm", "Medium Mean", "Medium p99", "High Mean",
+                      "High p99"});
+  for (const std::string& algo : bench::OnlineAlgos()) {
+    PartitionConfig cfg;
+    cfg.k = k;
+    GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+    std::vector<std::string> row{algo};
+    for (uint32_t clients_per_worker : {12u, 24u}) {
+      SimConfig sim;
+      sim.clients = clients_per_worker * k;
+      sim.num_queries = 20000;
+      SimResult r = SimulateClosedLoop(db, workload, sim);
+      row.push_back(FormatDouble(r.latency.mean * 1e3, 2));
+      row.push_back(FormatDouble(r.latency.p99 * 1e3, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nPaper (Table 5): ECR 30/64 → 46/95 ms, LDG 30/65 → 47/155,\n"
+         "FNL 29/81 → 56/323, MTS 25/60 → 42/96. Expected shape: under\n"
+         "high load the cut-minimizing streaming algorithms (FNL, LDG) pay\n"
+         "a much larger p99 inflation than hash (up to ~3.5x for FNL),\n"
+         "because their load imbalance creates queueing hotspots; hash\n"
+         "remains the best latency/throughput trade-off.\n";
+  return 0;
+}

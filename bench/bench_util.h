@@ -1,0 +1,47 @@
+#ifndef SGP_BENCH_BENCH_UTIL_H_
+#define SGP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+
+namespace sgp::bench {
+
+/// Graph scale (log2 vertices) used by the harnesses. Default 13 (8K
+/// vertices) keeps every binary in the seconds range; export SGP_SCALE to
+/// rerun at larger sizes (e.g. SGP_SCALE=16).
+inline uint32_t ScaleFromEnv(uint32_t default_scale = 13) {
+  const char* env = std::getenv("SGP_SCALE");
+  if (env == nullptr) return default_scale;
+  int v = std::atoi(env);
+  if (v < 6 || v > 24) return default_scale;
+  return static_cast<uint32_t>(v);
+}
+
+/// The paper's Table 2 algorithm roster for offline analytics.
+inline std::vector<std::string> OfflineAlgos() {
+  return {"VCR", "GRID", "DBH", "HDRF", "HCR",
+          "HG",  "ECR",  "LDG", "FNL",  "MTS"};
+}
+
+/// The paper's Table 2 algorithm roster for online queries (JanusGraph
+/// supports only the edge-cut model).
+inline std::vector<std::string> OnlineAlgos() {
+  return {"ECR", "LDG", "FNL", "MTS"};
+}
+
+/// Prints the standard experiment banner.
+inline void PrintBanner(const char* experiment, const char* description,
+                        uint32_t scale) {
+  std::printf("=== %s ===\n%s\n(synthetic datasets at scale %u; export "
+              "SGP_SCALE to change)\n\n",
+              experiment, description, scale);
+}
+
+}  // namespace sgp::bench
+
+#endif  // SGP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// The paper's decision tree (Figure 9) as a tool: describe your workload
+// on the command line — or point it at an edge list — and get the
+// recommended partitioning algorithm with the paper's reasoning.
+//
+// Usage:
+//   advisor analytics <low-degree|heavy-tailed|power-law>
+//   advisor online <latency|throughput> [high-load]
+//   advisor classify <edge-list-file> [directed]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "graph/io.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage:\n"
+         "  advisor analytics <low-degree|heavy-tailed|power-law>\n"
+         "  advisor online <latency|throughput> [high-load]\n"
+         "  advisor classify <edge-list-file> [directed]\n";
+  return 1;
+}
+
+void Print(const sgp::Recommendation& r) {
+  std::cout << "recommended algorithm: " << r.partitioner << " ("
+            << sgp::CutModelName(r.model) << ")\n\nwhy: " << r.rationale
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sgp;
+  if (argc < 3) return Usage();
+  const std::string mode = argv[1];
+
+  if (mode == "analytics") {
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOfflineAnalytics;
+    const std::string degree = argv[2];
+    if (degree == "low-degree") {
+      q.degree = DegreeDistribution::kLowDegree;
+    } else if (degree == "heavy-tailed") {
+      q.degree = DegreeDistribution::kHeavyTailed;
+    } else if (degree == "power-law") {
+      q.degree = DegreeDistribution::kPowerLaw;
+    } else {
+      return Usage();
+    }
+    Print(Recommend(q));
+    return 0;
+  }
+  if (mode == "online") {
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOnlineQueries;
+    const std::string objective = argv[2];
+    if (objective == "latency") {
+      q.latency_critical = true;
+    } else if (objective == "throughput") {
+      q.latency_critical = false;
+    } else {
+      return Usage();
+    }
+    q.high_load = argc > 3 && std::strcmp(argv[3], "high-load") == 0;
+    Print(Recommend(q));
+    return 0;
+  }
+  if (mode == "classify") {
+    const bool directed = argc > 3 && std::strcmp(argv[3], "directed") == 0;
+    Graph g = ReadEdgeListFile(argv[2], directed);
+    GraphStats stats = ComputeStats(g);
+    DegreeDistribution d = ClassifyGraph(g);
+    std::cout << "graph: " << stats.num_vertices << " vertices, "
+              << stats.num_edges << " edges, avg degree "
+              << stats.avg_degree << ", max degree " << stats.max_degree
+              << "\nclassified as: " << DegreeDistributionName(d) << "\n\n";
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOfflineAnalytics;
+    q.degree = d;
+    Print(Recommend(q));
+    return 0;
+  }
+  return Usage();
+}

@@ -1,0 +1,50 @@
+// Offline-analytics scenario (the paper's PowerLyra pipeline): partition a
+// skewed social graph with several algorithms and compare what actually
+// matters — network traffic, per-worker load balance and simulated
+// end-to-end PageRank time on a 32-worker cluster.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+
+  Graph graph = MakeDataset("twitter", /*scale=*/13);
+  std::cout << "PageRank (20 iterations) on a heavy-tailed graph, 32 "
+               "simulated workers\n\n";
+
+  TablePrinter table({"Algorithm", "CutModel", "ReplFactor", "NetworkMB",
+                      "LoadImbalance", "SimTime(ms)"});
+  for (const char* algo : {"VCR", "DBH", "HDRF", "HCR", "HG", "ECR", "LDG",
+                           "FNL", "MTS"}) {
+    auto partitioner = CreatePartitioner(algo);
+    PartitionConfig config;
+    config.k = 32;
+    Partitioning partitioning = partitioner->Run(graph, config);
+
+    AnalyticsEngine engine(graph, partitioning);
+    EngineStats stats = engine.Run(PageRankProgram(20));
+
+    DistributionSummary load =
+        Summarize(stats.compute_seconds_per_worker);
+    table.AddRow({algo, std::string(CutModelName(partitioner->model())),
+                  FormatDouble(
+                      engine.distributed_graph().replication_factor(), 2),
+                  FormatDouble(stats.total_network_bytes / 1e6, 2),
+                  FormatDouble(load.ImbalanceFactor(), 2),
+                  FormatDouble(stats.simulated_seconds * 1e3, 1)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nReading the table the way Section 6.2 does: the replication\n"
+         "factor predicts network traffic, but simulated time only follows\n"
+         "it when the load-imbalance column stays near 1 — on skewed\n"
+         "graphs the vertex-cut rows (HDRF in particular) win even when an\n"
+         "edge-cut row has a similar cut size.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Evolving-graph scenario (the re-partitioning family of the paper's
+// Section 2): bootstrap a cluster from a partial social network, then
+// stream the remaining half of the friendship edges while the dynamic
+// partitioner keeps the placement good, and compare against re-running a
+// static partitioner from scratch.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "graph/generators.h"
+#include "partition/dynamic/dynamic_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const PartitionId k = 8;
+
+  // The "final" graph, and a prefix graph holding its first half.
+  SocialNetworkParams params;
+  params.num_vertices = 1 << 13;
+  Graph full = SocialNetwork(params, /*seed=*/77);
+  const size_t half = full.edges().size() / 2;
+  GraphBuilder prefix_builder(full.num_vertices(), /*directed=*/false);
+  for (size_t i = 0; i < half; ++i) {
+    prefix_builder.AddEdge(full.edges()[i].src, full.edges()[i].dst);
+  }
+  Graph prefix = std::move(prefix_builder).Finalize();
+
+  std::cout << "day 0: " << prefix.num_edges() << " edges; day 30: "
+            << full.num_edges() << " edges, same " << full.num_vertices()
+            << " users\n\n";
+
+  // Deploy: partition the day-0 graph with LDG.
+  PartitionConfig cfg;
+  cfg.k = k;
+  Partitioning initial = CreatePartitioner("LDG")->Run(prefix, cfg);
+  std::cout << "day-0 LDG cut: "
+            << ComputeMetrics(prefix, initial).edge_cut_ratio << "\n\n";
+
+  TablePrinter table({"Strategy", "Final cut", "Vertex imbalance",
+                      "Vertices migrated"});
+
+  // Strategy 1: keep the day-0 placement, hash newcomers (no maintenance).
+  {
+    Partitioning frozen = initial;
+    frozen.vertex_to_partition.resize(full.num_vertices());
+    DeriveEdgePlacement(full, &frozen);
+    PartitionMetrics m = ComputeMetrics(full, frozen);
+    table.AddRow({"freeze day-0 placement",
+                  FormatDouble(m.edge_cut_ratio, 3),
+                  FormatDouble(m.vertex_imbalance, 2), "0"});
+  }
+
+  // Strategy 2: Hermes/Leopard-style incremental maintenance.
+  {
+    DynamicOptions opts;
+    opts.k = k;
+    opts.migration_gain = 1.3;
+    DynamicPartitioner dp(opts);
+    dp.Bootstrap(prefix, initial);
+    for (size_t i = half; i < full.edges().size(); ++i) {
+      dp.AddEdge(full.edges()[i].src, full.edges()[i].dst);
+    }
+    PartitionMetrics m = ComputeMetrics(full, dp.Snapshot(full));
+    table.AddRow({"dynamic refinement", FormatDouble(m.edge_cut_ratio, 3),
+                  FormatDouble(m.vertex_imbalance, 2),
+                  FormatCount(dp.total_migrations())});
+  }
+
+  // Strategy 3: re-partition everything from scratch (the expensive gold
+  // standard a production system avoids).
+  {
+    Partitioning fresh = CreatePartitioner("LDG")->Run(full, cfg);
+    PartitionMetrics m = ComputeMetrics(full, fresh);
+    table.AddRow({"re-run LDG from scratch",
+                  FormatDouble(m.edge_cut_ratio, 3),
+                  FormatDouble(m.vertex_imbalance, 2), "all"});
+  }
+
+  table.Print(std::cout);
+  std::cout
+      << "\nThe dynamic refiner matches or beats a from-scratch streaming\n"
+         "re-run (its migrations act like re-streaming: later moves see\n"
+         "the accumulated neighborhood) while only touching the vertices\n"
+         "it migrated — the point of the Hermes/Leopard line of work the\n"
+         "paper surveys in Section 2.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Online graph-database scenario (the paper's JanusGraph pipeline): serve
+// a skewed 1-hop friendship-query workload from a 16-worker cluster and
+// compare hash partitioning, FENNEL, offline METIS, and workload-aware
+// re-partitioning.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "common/table_printer.h"
+#include "graph/generators.h"
+#include "graphdb/event_sim.h"
+#include "graphdb/workload_aware.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+
+  SocialNetworkParams params;
+  params.num_vertices = 1 << 13;
+  params.avg_degree = 24;
+  Graph graph = SocialNetwork(params, /*seed=*/0x50c1a1);
+
+  const PartitionId k = 16;
+  WorkloadConfig wcfg;
+  wcfg.kind = QueryKind::kOneHop;
+  wcfg.skew = 1.0;  // a skewed request stream, as real services see
+  Workload workload(graph, wcfg);
+
+  SimConfig sim;
+  sim.clients = 12 * k;
+  sim.num_queries = 20000;
+
+  std::cout << "1-hop neighborhood queries, " << sim.clients
+            << " concurrent clients, " << k << " workers\n\n";
+  TablePrinter table({"Partitioning", "Throughput(q/s)", "Mean(ms)",
+                      "p99(ms)", "Read RSD"});
+
+  auto evaluate = [&](const std::string& name, const Partitioning& p) {
+    GraphDatabase db(graph, p);
+    SimResult r = SimulateClosedLoop(db, workload, sim);
+    table.AddRow({name, FormatDouble(r.throughput_qps, 0),
+                  FormatDouble(r.latency.mean * 1e3, 2),
+                  FormatDouble(r.latency.p99 * 1e3, 2),
+                  FormatDouble(
+                      Summarize(r.reads_per_worker).RelativeStdDev(), 3)});
+  };
+
+  PartitionConfig cfg;
+  cfg.k = k;
+  for (const char* algo : {"ECR", "FNL", "MTS"}) {
+    evaluate(algo, CreatePartitioner(algo)->Run(graph, cfg));
+  }
+
+  // Workload-aware loop: observe access counts through the deployed hash
+  // partitioning, then re-partition the access-weighted graph.
+  GraphDatabase deployed(graph, CreatePartitioner("ECR")->Run(graph, cfg));
+  evaluate("MTS-W", WorkloadAwarePartition(graph, deployed, workload, k,
+                                           /*total_queries=*/100000,
+                                           /*seed=*/9));
+
+  table.Print(std::cout);
+  std::cout
+      << "\nTakeaways (Section 6.3): structural cut minimization helps\n"
+         "throughput but inflates tail latency under skew; hash stays\n"
+         "resilient; only workload-aware partitioning improves both sides\n"
+         "at once.\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, every table/figure bench.
+# Usage: scripts/repro.sh [scale]   (default SGP_SCALE=13)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-13}"
+export SGP_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "=== tests ==="
+ctest --test-dir build --output-on-failure
+
+echo "=== benchmarks (SGP_SCALE=$SCALE) ==="
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo
+  "$b"
+done

@@ -1,0 +1,35 @@
+#ifndef SGP_COMMON_CHECK_H_
+#define SGP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sgp::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "SGP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace sgp::internal_check
+
+/// Always-on invariant check. Used for programming errors that must never
+/// occur regardless of build mode; aborts with a diagnostic when violated.
+#define SGP_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::sgp::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                \
+  } while (0)
+
+/// Debug-only invariant check for hot paths.
+#ifdef NDEBUG
+#define SGP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define SGP_DCHECK(expr) SGP_CHECK(expr)
+#endif
+
+#endif  // SGP_COMMON_CHECK_H_

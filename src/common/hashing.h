@@ -1,0 +1,33 @@
+#ifndef SGP_COMMON_HASHING_H_
+#define SGP_COMMON_HASHING_H_
+
+#include <cstdint>
+
+namespace sgp {
+
+/// Strong 64-bit integer mixer (the splitmix64/Murmur3 finalizer). Used by
+/// every hash-based partitioner so that "hash partitioning" in this library
+/// is well distributed even on consecutive vertex ids.
+inline uint64_t HashU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of a 64-bit value with an additional seed (e.g., per-experiment).
+inline uint64_t HashU64Seeded(uint64_t x, uint64_t seed) {
+  return HashU64(x ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Combines two hashes (order-sensitive), e.g., for hashing an edge by the
+/// concatenation of its endpoint ids.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return HashU64(a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL);
+}
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_HASHING_H_

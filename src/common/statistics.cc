@@ -1,0 +1,47 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sgp {
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  SGP_CHECK(q >= 0.0 && q <= 1.0);
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, q);
+}
+
+DistributionSummary Summarize(std::vector<double> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  s.p25 = QuantileSorted(values, 0.25);
+  s.median = QuantileSorted(values, 0.50);
+  s.p75 = QuantileSorted(values, 0.75);
+  s.p99 = QuantileSorted(values, 0.99);
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  var /= static_cast<double>(values.size());
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+}  // namespace sgp

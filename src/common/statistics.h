@@ -1,0 +1,44 @@
+#ifndef SGP_COMMON_STATISTICS_H_
+#define SGP_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sgp {
+
+/// Five-number summary plus moments of a sample, as used by the paper's
+/// box-plot style figures (Figures 4, 7 and 15 report min / p25 / median /
+/// p75 / max of per-worker load distributions).
+struct DistributionSummary {
+  size_t count = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p99 = 0;
+  double max = 0;
+  double mean = 0;
+  double stddev = 0;
+
+  /// Relative standard deviation (stddev / mean), the load-imbalance measure
+  /// of Figure 8. Zero when the mean is zero.
+  double RelativeStdDev() const { return mean == 0 ? 0 : stddev / mean; }
+
+  /// max / mean, the classical load-imbalance factor of Section 4.1.
+  double ImbalanceFactor() const { return mean == 0 ? 0 : max / mean; }
+};
+
+/// Linear-interpolated quantile of `values` (q in [0, 1]). The input does
+/// not need to be sorted; a sorted copy is made internally.
+double Quantile(std::vector<double> values, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+/// Computes the full summary of `values`. Returns a default (zero) summary
+/// for an empty input.
+DistributionSummary Summarize(std::vector<double> values);
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_STATISTICS_H_

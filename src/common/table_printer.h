@@ -1,0 +1,35 @@
+#ifndef SGP_COMMON_TABLE_PRINTER_H_
+#define SGP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sgp {
+
+/// Aligned console table, used by the benchmark harnesses to print the
+/// paper's tables and figure series in a readable fixed-width format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with a header rule and right-padded columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Formats a count with thousands separators (e.g., 1,234,567).
+std::string FormatCount(uint64_t value);
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,32 @@
+#ifndef SGP_COMMON_TIMER_H_
+#define SGP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sgp {
+
+/// Simple wall-clock stopwatch used to time partitioning runs (the paper's
+/// "partitioning time" metric, Section 4.1).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_TIMER_H_

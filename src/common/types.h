@@ -1,0 +1,39 @@
+#ifndef SGP_COMMON_TYPES_H_
+#define SGP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace sgp {
+
+/// Identifier of a vertex. Vertices are dense integers in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Identifier of an edge. Edges are dense integers in [0, num_edges) in the
+/// order they were added to the graph.
+using EdgeId = uint64_t;
+
+/// Identifier of a partition (worker machine). Partitions are dense integers
+/// in [0, k).
+using PartitionId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "not yet assigned to a partition".
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+/// A directed edge (source, target). Undirected graphs store each edge once
+/// in a canonical direction; adjacency is materialized in both directions.
+struct Edge {
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_TYPES_H_

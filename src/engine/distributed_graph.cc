@@ -1,0 +1,78 @@
+#include "engine/distributed_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sgp {
+
+DistributedGraph::DistributedGraph(const Graph& graph,
+                                   const Partitioning& partitioning)
+    : graph_(&graph), k_(partitioning.k) {
+  SGP_CHECK(partitioning.vertex_to_partition.size() == graph.num_vertices());
+  SGP_CHECK(partitioning.edge_to_partition.size() == graph.num_edges());
+  const VertexId n = graph.num_vertices();
+  master_ = partitioning.vertex_to_partition;
+  edges_per_partition_.assign(k_, 0);
+
+  // Accumulate per-vertex (partition → in/out edge counts) sparsely.
+  std::vector<std::vector<Replica>> acc(n);
+  auto bump = [&](VertexId v, PartitionId p, bool incoming) {
+    auto& vec = acc[v];
+    auto it = std::find_if(vec.begin(), vec.end(), [p](const Replica& r) {
+      return r.partition == p;
+    });
+    if (it == vec.end()) {
+      vec.push_back({p, 0, 0});
+      it = vec.end() - 1;
+    }
+    if (incoming) {
+      ++it->in_edges;
+    } else {
+      ++it->out_edges;
+    }
+  };
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edges()[e];
+    const PartitionId p = partitioning.edge_to_partition[e];
+    ++edges_per_partition_[p];
+    bump(edge.src, p, /*incoming=*/false);
+    bump(edge.dst, p, /*incoming=*/true);
+    if (!graph.directed()) {
+      // Undirected: the edge is both an in- and out-edge of each endpoint.
+      bump(edge.src, p, /*incoming=*/true);
+      bump(edge.dst, p, /*incoming=*/false);
+    }
+  }
+
+  offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    // Ensure the master is present even if it holds no incident edge.
+    auto& vec = acc[v];
+    auto it = std::find_if(vec.begin(), vec.end(), [&](const Replica& r) {
+      return r.partition == master_[v];
+    });
+    if (it == vec.end()) {
+      vec.push_back({master_[v], 0, 0});
+    } else {
+      // Master first, for cheap Master-vs-mirror iteration.
+      std::iter_swap(vec.begin(), it);
+    }
+    if (vec.front().partition != master_[v]) {
+      auto mit = std::find_if(vec.begin(), vec.end(), [&](const Replica& r) {
+        return r.partition == master_[v];
+      });
+      std::iter_swap(vec.begin(), mit);
+    }
+    offsets_[v + 1] = offsets_[v] + vec.size();
+  }
+  replicas_.reserve(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    replicas_.insert(replicas_.end(), acc[v].begin(), acc[v].end());
+  }
+  replication_factor_ =
+      n == 0 ? 0
+             : static_cast<double>(replicas_.size()) / static_cast<double>(n);
+}
+
+}  // namespace sgp

@@ -1,0 +1,228 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sgp {
+
+namespace {
+
+// Local gather-direction edge count of one replica. For undirected graphs
+// each incident edge was recorded in both directions, so in_edges already
+// equals the incident count and any direction resolves to it.
+uint32_t DirectedEdgeCount(const DistributedGraph::Replica& r,
+                           EdgeDirection dir, bool graph_directed) {
+  if (!graph_directed) return r.in_edges;
+  switch (dir) {
+    case EdgeDirection::kIn:
+      return r.in_edges;
+    case EdgeDirection::kOut:
+      return r.out_edges;
+    case EdgeDirection::kBoth:
+      return r.in_edges + r.out_edges;
+  }
+  return 0;
+}
+
+}  // namespace
+
+AnalyticsEngine::AnalyticsEngine(const Graph& graph,
+                                 const Partitioning& partitioning,
+                                 EngineCostModel cost_model)
+    : graph_(&graph), dgraph_(graph, partitioning), cost_(cost_model) {}
+
+EngineStats AnalyticsEngine::Run(const VertexProgram& program) const {
+  const Graph& g = *graph_;
+  const VertexId n = g.num_vertices();
+  const PartitionId k = dgraph_.k();
+  const EdgeDirection gather_dir = program.gather_direction();
+  const EdgeDirection scatter_dir = program.scatter_direction();
+  const bool all_active = program.all_active();
+
+  std::vector<double> speeds = cost_.worker_speeds;
+  if (speeds.empty()) {
+    speeds.assign(k, 1.0);
+  }
+  SGP_CHECK(speeds.size() == k);
+  for (double s : speeds) SGP_CHECK(s > 0);
+
+  EngineStats stats;
+  stats.compute_seconds_per_worker.assign(k, 0.0);
+  stats.bytes_per_worker.assign(k, 0);
+  stats.values.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    stats.values[v] = program.InitialValue(v, g);
+  }
+
+  // Gather set for the current iteration.
+  std::vector<char> in_gather_set(n, 0);
+  std::vector<VertexId> gather_list;
+  if (all_active) {
+    gather_list.resize(n);
+    for (VertexId v = 0; v < n; ++v) gather_list[v] = v;
+  } else {
+    for (VertexId v : program.InitialFrontier(g)) {
+      if (!in_gather_set[v]) {
+        in_gather_set[v] = 1;
+        gather_list.push_back(v);
+      }
+    }
+  }
+
+  std::vector<double> iter_compute(k);
+  std::vector<uint64_t> iter_bytes(k);
+  std::vector<double> new_values;
+  std::vector<VertexId> changed;
+
+  auto gather_neighbors = [&](VertexId v, auto&& body) {
+    switch (gather_dir) {
+      case EdgeDirection::kIn:
+        for (VertexId u : g.InNeighbors(v)) body(u);
+        break;
+      case EdgeDirection::kOut:
+        for (VertexId u : g.OutNeighbors(v)) body(u);
+        break;
+      case EdgeDirection::kBoth:
+        if (g.directed()) {
+          for (VertexId u : g.InNeighbors(v)) body(u);
+          for (VertexId u : g.OutNeighbors(v)) body(u);
+        } else {
+          for (VertexId u : g.Neighbors(v)) body(u);
+        }
+        break;
+    }
+  };
+
+  for (uint32_t iter = 0; iter < program.max_iterations(); ++iter) {
+    if (gather_list.empty()) break;
+    std::fill(iter_compute.begin(), iter_compute.end(), 0.0);
+    std::fill(iter_bytes.begin(), iter_bytes.end(), 0);
+    changed.clear();
+    const uint64_t messages_before =
+        stats.gather_messages + stats.sync_messages;
+    stats.active_per_iteration.push_back(gather_list.size());
+
+    // --- Gather + Apply ---
+    new_values.assign(gather_list.size(), 0.0);
+    for (size_t idx = 0; idx < gather_list.size(); ++idx) {
+      const VertexId v = gather_list[idx];
+      double acc = program.GatherNeutral();
+      uint64_t contributions = 0;
+      gather_neighbors(v, [&](VertexId u) {
+        acc = program.Combine(
+            acc, program.GatherContribution(u, v, stats.values[u], g));
+        ++contributions;
+      });
+      const PartitionId master = dgraph_.Master(v);
+      // Mirrors with gather edges compute partial aggregates locally and
+      // send one message to the master (Appendix B). Without sender-side
+      // aggregation, every cut gather edge is its own message (Figure
+      // 10(a)).
+      for (const auto& r : dgraph_.Replicas(v)) {
+        const uint32_t local =
+            DirectedEdgeCount(r, gather_dir, g.directed());
+        if (local == 0) continue;
+        iter_compute[r.partition] +=
+            static_cast<double>(local) * cost_.seconds_per_edge_op /
+            speeds[r.partition];
+        if (r.partition != master) {
+          const uint64_t messages =
+              cost_.sender_side_aggregation ? 1 : local;
+          stats.gather_messages += messages;
+          iter_bytes[r.partition] +=
+              messages * cost_.bytes_per_message;  // send
+          iter_bytes[master] += messages * cost_.bytes_per_message;
+        }
+      }
+      iter_compute[master] +=
+          cost_.seconds_per_vertex_op / speeds[master];  // apply
+      new_values[idx] =
+          program.Apply(v, stats.values[v], acc, contributions, g);
+    }
+
+    // --- Commit + Scatter synchronization ---
+    for (size_t idx = 0; idx < gather_list.size(); ++idx) {
+      const VertexId v = gather_list[idx];
+      // Initially-activated vertices scatter in their first superstep even
+      // if Apply left their value unchanged (the SSSP source must announce
+      // its distance 0 to its neighbors).
+      const bool did_change =
+          program.Changed(stats.values[v], new_values[idx]) || iter == 0;
+      stats.values[v] = new_values[idx];
+      if (!did_change && !all_active) continue;
+      changed.push_back(v);
+      const PartitionId master = dgraph_.Master(v);
+      for (const auto& r : dgraph_.Replicas(v)) {
+        const uint32_t local =
+            DirectedEdgeCount(r, scatter_dir, g.directed());
+        if (local == 0) continue;
+        // Scatter work happens wherever the vertex's scatter edges live.
+        iter_compute[r.partition] +=
+            static_cast<double>(local) * cost_.seconds_per_edge_op /
+            speeds[r.partition];
+        if (r.partition != master) {
+          // The mirror needs the updated vertex value before scattering.
+          ++stats.sync_messages;
+          iter_bytes[master] += cost_.bytes_per_message;       // send
+          iter_bytes[r.partition] += cost_.bytes_per_message;  // receive
+        }
+      }
+    }
+
+    // --- Superstep bookkeeping ---
+    double max_compute = 0;
+    uint64_t max_bytes = 0;
+    for (PartitionId p = 0; p < k; ++p) {
+      stats.compute_seconds_per_worker[p] += iter_compute[p];
+      stats.bytes_per_worker[p] += iter_bytes[p];
+      stats.total_network_bytes += iter_bytes[p];
+      max_compute = std::max(max_compute, iter_compute[p]);
+      max_bytes = std::max(max_bytes, iter_bytes[p]);
+    }
+    stats.simulated_seconds +=
+        max_compute +
+        static_cast<double>(max_bytes) / cost_.network_bytes_per_second +
+        cost_.superstep_latency_seconds;
+    stats.messages_per_iteration.push_back(
+        stats.gather_messages + stats.sync_messages - messages_before);
+    ++stats.iterations;
+
+    // --- Next frontier ---
+    if (!all_active) {
+      std::fill(in_gather_set.begin(), in_gather_set.end(), 0);
+      gather_list.clear();
+      for (VertexId v : changed) {
+        auto activate = [&](VertexId w) {
+          if (!in_gather_set[w]) {
+            in_gather_set[w] = 1;
+            gather_list.push_back(w);
+          }
+        };
+        switch (scatter_dir) {
+          case EdgeDirection::kIn:
+            for (VertexId w : g.InNeighbors(v)) activate(w);
+            break;
+          case EdgeDirection::kOut:
+            for (VertexId w : g.OutNeighbors(v)) activate(w);
+            break;
+          case EdgeDirection::kBoth:
+            if (g.directed()) {
+              for (VertexId w : g.InNeighbors(v)) activate(w);
+              for (VertexId w : g.OutNeighbors(v)) activate(w);
+            } else {
+              for (VertexId w : g.Neighbors(v)) activate(w);
+            }
+            break;
+        }
+      }
+    }
+  }
+
+  // Bytes were added to both sender and receiver above, so halve the total
+  // to report wire traffic once.
+  stats.total_network_bytes /= 2;
+  return stats;
+}
+
+}  // namespace sgp

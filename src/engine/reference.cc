@@ -1,0 +1,70 @@
+#include "engine/reference.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/check.h"
+
+namespace sgp {
+
+std::vector<double> ReferencePageRank(const Graph& graph,
+                                      uint32_t iterations, double damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> values(n, 1.0);
+  std::vector<double> next(n);
+  for (uint32_t iter = 0; iter < iterations; ++iter) {
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0;
+      for (VertexId u : graph.InNeighbors(v)) {
+        sum += values[u] / static_cast<double>(graph.OutDegree(u));
+      }
+      next[v] = (1.0 - damping) + damping * sum;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+std::vector<double> ReferenceWcc(const Graph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> label(n, -1.0);
+  std::deque<VertexId> queue;
+  for (VertexId root = 0; root < n; ++root) {
+    if (label[root] >= 0) continue;
+    // `root` is the smallest unvisited id, hence the component minimum.
+    label[root] = static_cast<double>(root);
+    queue.push_back(root);
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : graph.Neighbors(u)) {
+        if (label[v] < 0) {
+          label[v] = static_cast<double>(root);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source) {
+  SGP_CHECK(source < graph.num_vertices());
+  const VertexId n = graph.num_vertices();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : graph.OutNeighbors(u)) {
+      if (dist[v] == std::numeric_limits<double>::infinity()) {
+        dist[v] = dist[u] + 1.0;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace sgp

@@ -1,0 +1,30 @@
+#ifndef SGP_ENGINE_REFERENCE_H_
+#define SGP_ENGINE_REFERENCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgp {
+
+/// Single-machine reference implementations of the three workloads, used
+/// by tests to validate the invariant that engine results are independent
+/// of partitioning.
+
+/// Synchronous (Jacobi) PageRank; matches the engine's update rule
+/// value = (1 − d) + d · Σ value(u)/outdeg(u) exactly.
+std::vector<double> ReferencePageRank(const Graph& graph,
+                                      uint32_t iterations = 20,
+                                      double damping = 0.85);
+
+/// Weakly connected component label of each vertex: the minimum vertex id
+/// reachable when ignoring edge direction.
+std::vector<double> ReferenceWcc(const Graph& graph);
+
+/// Unweighted shortest-path distance from `source` along out-edges;
+/// +infinity for unreachable vertices.
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source);
+
+}  // namespace sgp
+
+#endif  // SGP_ENGINE_REFERENCE_H_

@@ -1,0 +1,77 @@
+#ifndef SGP_ENGINE_VERTEX_PROGRAM_H_
+#define SGP_ENGINE_VERTEX_PROGRAM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgp {
+
+/// Which incident edges a phase traverses.
+enum class EdgeDirection {
+  kIn,    // edges (u, v) when processing v
+  kOut,   // edges (v, w) when processing v
+  kBoth,  // undirected semantics
+};
+
+/// Synchronous Gather-Apply-Scatter vertex program (the PowerGraph /
+/// PowerLyra computation model, Section 2). Vertex state is a double; the
+/// gather aggregate must be commutative and associative so mirrors can
+/// compute partial aggregates (sender-side aggregation, Appendix B).
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// Workload name as used in the paper ("PageRank", "WCC", "SSSP").
+  virtual std::string_view name() const = 0;
+
+  /// Initial vertex value.
+  virtual double InitialValue(VertexId v, const Graph& graph) const = 0;
+
+  /// Identity element of Combine().
+  virtual double GatherNeutral() const = 0;
+
+  /// Contribution of neighbor `u` (with current value `value_u`) to the
+  /// gather of `v` along one edge.
+  virtual double GatherContribution(VertexId u, VertexId v, double value_u,
+                                    const Graph& graph) const = 0;
+
+  /// Commutative-associative combiner (sum for PageRank, min for WCC/SSSP).
+  virtual double Combine(double a, double b) const = 0;
+
+  /// New value of `v` from its old value and the combined gather result.
+  /// `num_contributions` is the number of gathered edges (0 if none).
+  virtual double Apply(VertexId v, double old_value, double gathered,
+                       uint64_t num_contributions,
+                       const Graph& graph) const = 0;
+
+  /// Edges traversed by the gather phase.
+  virtual EdgeDirection gather_direction() const = 0;
+
+  /// Edges traversed by the scatter phase (activation of neighbors).
+  virtual EdgeDirection scatter_direction() const = 0;
+
+  /// True for fixed-iteration, all-active algorithms (PageRank): every
+  /// vertex gathers and synchronizes its value every iteration.
+  virtual bool all_active() const = 0;
+
+  /// Iteration cap (PageRank runs exactly this many; data-driven programs
+  /// stop earlier when no value changes).
+  virtual uint32_t max_iterations() const = 0;
+
+  /// Vertices active in the first iteration (ignored when all_active()).
+  virtual std::vector<VertexId> InitialFrontier(const Graph&) const {
+    return {};
+  }
+
+  /// Whether a value change is significant enough to activate neighbors.
+  virtual bool Changed(double old_value, double new_value) const {
+    return old_value != new_value;
+  }
+};
+
+}  // namespace sgp
+
+#endif  // SGP_ENGINE_VERTEX_PROGRAM_H_

@@ -1,0 +1,197 @@
+#include "experiments/grid.h"
+
+#include <map>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "graphdb/workload.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+namespace {
+
+// Graph cache keyed by (dataset, scale); grids revisit datasets often.
+const Graph& CachedGraph(const std::string& dataset, uint32_t scale) {
+  static auto* cache = new std::map<std::pair<std::string, uint32_t>, Graph>();
+  auto key = std::make_pair(dataset, scale);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, MakeDataset(dataset, scale)).first;
+  }
+  return it->second;
+}
+
+EngineStats RunWorkload(const AnalyticsEngine& engine,
+                        const std::string& workload, const Graph& graph,
+                        uint32_t pagerank_iterations) {
+  if (workload == "pagerank") {
+    return engine.Run(PageRankProgram(pagerank_iterations));
+  }
+  if (workload == "wcc") {
+    return engine.Run(WccProgram());
+  }
+  SGP_CHECK(workload == "sssp");
+  VertexId source = 0;
+  while (source < graph.num_vertices() && graph.Degree(source) == 0) {
+    ++source;
+  }
+  return engine.Run(SsspProgram(source));
+}
+
+std::string CsvEscape(const std::string& value) { return value; }
+
+}  // namespace
+
+std::vector<OfflineRunRecord> RunOfflineGrid(const OfflineGridSpec& spec) {
+  std::vector<OfflineRunRecord> records;
+  std::vector<std::string> algorithms =
+      spec.algorithms.empty() ? PartitionerNames() : spec.algorithms;
+  for (const std::string& dataset : spec.datasets) {
+    const Graph& graph = CachedGraph(dataset, spec.scale);
+    for (const std::string& algorithm : algorithms) {
+      auto partitioner = CreatePartitioner(algorithm);
+      for (PartitionId k : spec.cluster_sizes) {
+        // One record per workload, averaged across seeds.
+        const uint32_t seeds = std::max(1u, spec.num_seeds);
+        std::map<std::string, std::vector<double>> times;
+        std::vector<double> rfs;
+        std::map<std::string, OfflineRunRecord> cell;
+        for (uint32_t s = 0; s < seeds; ++s) {
+          PartitionConfig config;
+          config.k = k;
+          config.seed = spec.seed + s;
+          Partitioning partitioning = partitioner->Run(graph, config);
+          ValidatePartitioning(graph, partitioning);
+          PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
+          rfs.push_back(metrics.replication_factor);
+          AnalyticsEngine engine(graph, partitioning, spec.cost_model);
+          for (const std::string& workload : spec.workloads) {
+            EngineStats stats = RunWorkload(engine, workload, graph,
+                                            spec.pagerank_iterations);
+            times[workload].push_back(stats.simulated_seconds);
+            OfflineRunRecord& r = cell[workload];
+            const double w = 1.0 / seeds;
+            if (s == 0) {
+              r.dataset = dataset;
+              r.algorithm = algorithm;
+              r.workload = workload;
+              r.k = k;
+              r.iterations = stats.iterations;
+            }
+            r.replication_factor += metrics.replication_factor * w;
+            r.edge_cut_ratio += metrics.edge_cut_ratio * w;
+            r.vertex_imbalance += metrics.vertex_imbalance * w;
+            r.edge_imbalance += metrics.edge_imbalance * w;
+            r.network_bytes += static_cast<uint64_t>(
+                static_cast<double>(stats.total_network_bytes) * w);
+            r.compute_imbalance +=
+                Summarize(stats.compute_seconds_per_worker)
+                    .ImbalanceFactor() *
+                w;
+            r.simulated_seconds += stats.simulated_seconds * w;
+            r.partitioning_seconds +=
+                partitioning.partitioning_seconds * w;
+            r.partitioner_state_bytes += static_cast<uint64_t>(
+                static_cast<double>(partitioning.state_bytes) * w);
+          }
+        }
+        for (const std::string& workload : spec.workloads) {
+          OfflineRunRecord r = cell[workload];
+          if (seeds > 1) {
+            r.simulated_seconds_stddev = Summarize(times[workload]).stddev;
+            r.replication_factor_stddev = Summarize(rfs).stddev;
+          }
+          records.push_back(std::move(r));
+        }
+      }
+    }
+  }
+  return records;
+}
+
+void WriteOfflineCsv(const std::vector<OfflineRunRecord>& records,
+                     std::ostream& out) {
+  out << "dataset,algorithm,workload,k,replication_factor,edge_cut_ratio,"
+         "vertex_imbalance,edge_imbalance,iterations,network_bytes,"
+         "compute_imbalance,simulated_seconds,partitioning_seconds,"
+         "partitioner_state_bytes,simulated_seconds_stddev,"
+         "replication_factor_stddev\n";
+  for (const OfflineRunRecord& r : records) {
+    out << CsvEscape(r.dataset) << ',' << CsvEscape(r.algorithm) << ','
+        << CsvEscape(r.workload) << ',' << r.k << ','
+        << r.replication_factor << ',' << r.edge_cut_ratio << ','
+        << r.vertex_imbalance << ',' << r.edge_imbalance << ','
+        << r.iterations << ',' << r.network_bytes << ','
+        << r.compute_imbalance << ',' << r.simulated_seconds << ','
+        << r.partitioning_seconds << ',' << r.partitioner_state_bytes
+        << ',' << r.simulated_seconds_stddev << ','
+        << r.replication_factor_stddev << '\n';
+  }
+}
+
+std::vector<OnlineRunRecord> RunOnlineGrid(const OnlineGridSpec& spec) {
+  std::vector<OnlineRunRecord> records;
+  for (const std::string& dataset : spec.datasets) {
+    const Graph& graph = CachedGraph(dataset, spec.scale);
+    for (QueryKind kind : spec.workloads) {
+      WorkloadConfig wcfg;
+      wcfg.kind = kind;
+      wcfg.skew = spec.workload_skew;
+      wcfg.seed = spec.seed;
+      Workload workload(graph, wcfg);
+      for (const std::string& algorithm : spec.algorithms) {
+        auto partitioner = CreatePartitioner(algorithm);
+        for (PartitionId k : spec.cluster_sizes) {
+          PartitionConfig config;
+          config.k = k;
+          config.seed = spec.seed;
+          Partitioning partitioning = partitioner->Run(graph, config);
+          PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
+          GraphDatabase db(graph, partitioning, spec.cost_model);
+          for (uint32_t cpw : spec.clients_per_worker) {
+            SimConfig sim;
+            sim.clients = cpw * k;
+            sim.num_queries = spec.queries_per_run;
+            sim.seed = spec.seed;
+            SimResult result = SimulateClosedLoop(db, workload, sim);
+            OnlineRunRecord r;
+            r.dataset = dataset;
+            r.algorithm = algorithm;
+            r.workload = std::string(QueryKindName(kind));
+            r.k = k;
+            r.clients = sim.clients;
+            r.edge_cut_ratio = metrics.edge_cut_ratio;
+            r.throughput_qps = result.throughput_qps;
+            r.mean_latency_seconds = result.latency.mean;
+            r.p99_latency_seconds = result.latency.p99;
+            r.read_rsd = Summarize(result.reads_per_worker).RelativeStdDev();
+            r.network_bytes = result.total_network_bytes;
+            records.push_back(std::move(r));
+          }
+        }
+      }
+    }
+  }
+  return records;
+}
+
+void WriteOnlineCsv(const std::vector<OnlineRunRecord>& records,
+                    std::ostream& out) {
+  out << "dataset,algorithm,workload,k,clients,edge_cut_ratio,"
+         "throughput_qps,mean_latency_seconds,p99_latency_seconds,"
+         "read_rsd,network_bytes\n";
+  for (const OnlineRunRecord& r : records) {
+    out << CsvEscape(r.dataset) << ',' << CsvEscape(r.algorithm) << ','
+        << CsvEscape(r.workload) << ',' << r.k << ',' << r.clients << ','
+        << r.edge_cut_ratio << ',' << r.throughput_qps << ','
+        << r.mean_latency_seconds << ',' << r.p99_latency_seconds << ','
+        << r.read_rsd << ',' << r.network_bytes << '\n';
+  }
+}
+
+}  // namespace sgp

@@ -1,0 +1,47 @@
+#include "graph/datasets.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/generators.h"
+
+namespace sgp {
+
+Graph MakeDataset(std::string_view name, uint32_t scale) {
+  SGP_CHECK(scale >= 6 && scale <= 24);
+  if (name == "twitter") {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = 16;
+    return Rmat(p, /*seed=*/0x7717);
+  }
+  if (name == "uk2007") {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = 18;
+    p.a = 0.65;
+    p.b = 0.15;
+    p.c = 0.15;
+    return Rmat(p, /*seed=*/0x0702);
+  }
+  if (name == "usaroad") {
+    uint32_t side = static_cast<uint32_t>(
+        std::lround(std::pow(2.0, static_cast<double>(scale) / 2.0)));
+    return RoadNetwork(side, side, /*target_avg_degree=*/2.5,
+                       /*seed=*/0x20ad);
+  }
+  if (name == "ldbc") {
+    SocialNetworkParams p;
+    p.num_vertices = static_cast<VertexId>(1u) << scale;
+    p.avg_degree = 24;
+    return SocialNetwork(p, /*seed=*/0x1dbc);
+  }
+  SGP_CHECK(false && "unknown dataset name");
+  return {};
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"twitter", "uk2007", "usaroad", "ldbc"};
+}
+
+}  // namespace sgp

@@ -1,0 +1,28 @@
+#ifndef SGP_GRAPH_DATASETS_H_
+#define SGP_GRAPH_DATASETS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgp {
+
+/// Named synthetic analogues of the paper's datasets (Table 3). `scale` is
+/// log2 of the vertex count; the default (15, i.e. 32K vertices) keeps every
+/// benchmark in the seconds range while preserving the structural contrasts
+/// the paper's findings depend on:
+///   - "twitter"  : directed, heavy-tailed degrees (R-MAT, graph500 params)
+///   - "uk2007"   : directed, strongly skewed power-law web graph (R-MAT
+///                  with a = 0.65)
+///   - "usaroad"  : undirected, low-degree, grid-like, long diameter
+///   - "ldbc"     : undirected, community-structured social network
+Graph MakeDataset(std::string_view name, uint32_t scale = 15);
+
+/// Names accepted by MakeDataset, in the paper's order.
+std::vector<std::string> DatasetNames();
+
+}  // namespace sgp
+
+#endif  // SGP_GRAPH_DATASETS_H_

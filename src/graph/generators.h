@@ -1,0 +1,72 @@
+#ifndef SGP_GRAPH_GENERATORS_H_
+#define SGP_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace sgp {
+
+/// Synthetic graph generators. Each generator is deterministic for a given
+/// seed; they stand in for the paper's datasets (Twitter, UK2007-05,
+/// USA-Road, LDBC-SNB), which are multi-billion-edge downloads. See
+/// DESIGN.md §2 for why structure-matched synthetic graphs preserve the
+/// paper's findings.
+
+/// G(n, m) Erdős–Rényi graph: `num_edges` distinct undirected edges chosen
+/// uniformly at random.
+Graph ErdosRenyi(VertexId num_vertices, EdgeId num_edges, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices with probability proportional to
+/// their current degree. Produces an undirected heavy-tailed graph.
+Graph BarabasiAlbert(VertexId num_vertices, uint32_t edges_per_vertex,
+                     uint64_t seed);
+
+/// Parameters of the recursive-matrix (R-MAT) generator.
+struct RmatParams {
+  uint32_t scale = 16;        // 2^scale vertices
+  uint32_t edge_factor = 16;  // edges = edge_factor * 2^scale
+  double a = 0.57;            // graph500 defaults
+  double b = 0.19;
+  double c = 0.19;
+  bool directed = true;
+  bool scramble_ids = true;  // permute ids to break degree/id correlation
+};
+
+/// R-MAT power-law generator (Chakrabarti et al.); with graph500 defaults it
+/// matches the skewed in-degree distribution of web/social graphs.
+Graph Rmat(const RmatParams& params, uint64_t seed);
+
+/// Road-network-like graph: a rows×cols 2-D lattice thinned to the target
+/// average degree while staying connected (a random spanning tree of the
+/// lattice is always kept). Undirected, low degree (≤ 4), long diameter.
+Graph RoadNetwork(uint32_t rows, uint32_t cols, double target_avg_degree,
+                  uint64_t seed);
+
+/// Parameters of the social-network generator (LDBC-SNB friendship-graph
+/// analogue): community-structured with a heavy-tailed but bounded degree
+/// distribution.
+struct SocialNetworkParams {
+  VertexId num_vertices = 1 << 15;
+  double avg_degree = 20;
+  double intra_community_fraction = 0.9;  // edges staying inside a community
+  uint32_t avg_community_size = 64;
+  double degree_skew = 2.0;  // Zipf exponent of the target-degree draw
+  uint32_t max_degree = 512;
+};
+
+/// Community-structured social graph. Undirected.
+Graph SocialNetwork(const SocialNetworkParams& params, uint64_t seed);
+
+/// Watts–Strogatz small-world graph: a ring lattice where every vertex
+/// connects to its `neighbors_each_side` nearest neighbors per side, with
+/// each edge rewired to a uniform random endpoint with probability
+/// `rewire_probability`. Undirected; covers the high-locality /
+/// low-diameter regime between the road network and the random graphs.
+Graph WattsStrogatz(VertexId num_vertices, uint32_t neighbors_each_side,
+                    double rewire_probability, uint64_t seed);
+
+}  // namespace sgp
+
+#endif  // SGP_GRAPH_GENERATORS_H_

@@ -1,0 +1,141 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sgp {
+
+std::span<const VertexId> Graph::OutNeighbors(VertexId u) const {
+  SGP_DCHECK(u < num_vertices_);
+  return directed_ ? out_.Row(u) : und_.Row(u);
+}
+
+std::span<const VertexId> Graph::InNeighbors(VertexId u) const {
+  SGP_DCHECK(u < num_vertices_);
+  return directed_ ? in_.Row(u) : und_.Row(u);
+}
+
+std::span<const VertexId> Graph::Neighbors(VertexId u) const {
+  SGP_DCHECK(u < num_vertices_);
+  return und_.Row(u);
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, bool directed)
+    : num_vertices_(num_vertices), directed_(directed) {}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  SGP_CHECK(src < num_vertices_ && dst < num_vertices_);
+  if (src == dst) return;  // self-loops carry no partitioning signal
+  edges_.push_back({src, dst});
+}
+
+namespace {
+
+// Builds a CSR from (source, target) pairs produced by `emit`, which calls
+// its callback once per directed arc.
+template <typename EmitFn>
+Graph::Csr BuildCsr(VertexId n, size_t arc_count_hint, EmitFn&& emit) {
+  Graph::Csr csr;
+  csr.offsets.assign(static_cast<size_t>(n) + 1, 0);
+  emit([&](VertexId src, VertexId) { ++csr.offsets[src + 1]; });
+  for (size_t i = 1; i <= n; ++i) csr.offsets[i] += csr.offsets[i - 1];
+  csr.targets.resize(csr.offsets[n]);
+  std::vector<uint64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  emit([&](VertexId src, VertexId dst) { csr.targets[cursor[src]++] = dst; });
+  (void)arc_count_hint;
+  return csr;
+}
+
+// Sorts each CSR row and removes duplicate targets within a row.
+void SortAndDedupeRows(VertexId n, Graph::Csr& csr) {
+  std::vector<VertexId> compact;
+  compact.reserve(csr.targets.size());
+  std::vector<uint64_t> new_offsets(static_cast<size_t>(n) + 1, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    auto begin = csr.targets.begin() + static_cast<int64_t>(csr.offsets[u]);
+    auto end = csr.targets.begin() + static_cast<int64_t>(csr.offsets[u + 1]);
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    compact.insert(compact.end(), begin, last);
+    new_offsets[u + 1] = compact.size();
+  }
+  csr.offsets = std::move(new_offsets);
+  csr.targets = std::move(compact);
+}
+
+}  // namespace
+
+Graph GraphBuilder::Finalize() && {
+  // De-duplicate while preserving first-occurrence order. For undirected
+  // graphs an edge is identified by its unordered endpoint pair.
+  auto canonical = [this](const Edge& e) -> Edge {
+    if (directed_ || e.src <= e.dst) return e;
+    return {e.dst, e.src};
+  };
+  std::vector<uint32_t> order(edges_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    Edge ea = canonical(edges_[a]);
+    Edge eb = canonical(edges_[b]);
+    if (ea.src != eb.src) return ea.src < eb.src;
+    if (ea.dst != eb.dst) return ea.dst < eb.dst;
+    return a < b;
+  });
+  std::vector<bool> keep(edges_.size(), true);
+  for (size_t i = 1; i < order.size(); ++i) {
+    if (canonical(edges_[order[i]]) == canonical(edges_[order[i - 1]])) {
+      keep[order[i]] = false;
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.directed_ = directed_;
+  g.edges_.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (keep[i]) g.edges_.push_back(edges_[i]);
+  }
+  edges_.clear();
+
+  const VertexId n = num_vertices_;
+  // Undirected adjacency: both directions of every edge, then de-duplicated.
+  g.und_ = BuildCsr(n, g.edges_.size() * 2, [&](auto&& cb) {
+    for (const Edge& e : g.edges_) {
+      cb(e.src, e.dst);
+      cb(e.dst, e.src);
+    }
+  });
+  SortAndDedupeRows(n, g.und_);
+
+  if (directed_) {
+    g.out_ = BuildCsr(n, g.edges_.size(), [&](auto&& cb) {
+      for (const Edge& e : g.edges_) cb(e.src, e.dst);
+    });
+    g.in_ = BuildCsr(n, g.edges_.size(), [&](auto&& cb) {
+      for (const Edge& e : g.edges_) cb(e.dst, e.src);
+    });
+  }
+  return g;
+}
+
+GraphStats ComputeStats(const Graph& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  s.directed = graph.directed();
+  uint64_t total = 0;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    uint32_t d = graph.Degree(u);
+    total += d;
+    s.max_degree = std::max(s.max_degree, d);
+  }
+  s.avg_degree = graph.num_vertices() == 0
+                     ? 0
+                     : static_cast<double>(total) /
+                           static_cast<double>(graph.num_vertices());
+  return s;
+}
+
+}  // namespace sgp

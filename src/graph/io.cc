@@ -1,0 +1,55 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sgp {
+
+Graph ReadEdgeList(std::istream& in, bool directed, VertexId num_vertices) {
+  std::vector<Edge> edges;
+  VertexId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    if (!(ls >> src >> dst)) continue;
+    SGP_CHECK(src <= kInvalidVertex - 1 && dst <= kInvalidVertex - 1);
+    edges.push_back(
+        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
+    max_id = std::max({max_id, static_cast<VertexId>(src),
+                       static_cast<VertexId>(dst)});
+  }
+  VertexId n = num_vertices != 0 ? num_vertices
+               : edges.empty()   ? 0
+                                 : max_id + 1;
+  GraphBuilder builder(n, directed);
+  for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
+  return std::move(builder).Finalize();
+}
+
+Graph ReadEdgeListFile(const std::string& path, bool directed,
+                       VertexId num_vertices) {
+  std::ifstream in(path);
+  SGP_CHECK(in.good() && "cannot open edge list file");
+  return ReadEdgeList(in, directed, num_vertices);
+}
+
+void WriteEdgeList(const Graph& graph, std::ostream& out) {
+  for (const Edge& e : graph.edges()) out << e.src << ' ' << e.dst << '\n';
+}
+
+void WriteEdgeListFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  SGP_CHECK(out.good() && "cannot open output file");
+  WriteEdgeList(graph, out);
+}
+
+}  // namespace sgp

@@ -1,0 +1,29 @@
+#ifndef SGP_GRAPH_IO_H_
+#define SGP_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sgp {
+
+/// Reads a whitespace-separated edge list ("src dst" per line; lines
+/// starting with '#' or '%' are comments). The vertex count is
+/// max id + 1 unless `num_vertices` is nonzero.
+Graph ReadEdgeList(std::istream& in, bool directed,
+                   VertexId num_vertices = 0);
+
+/// Reads an edge list from a file. Aborts if the file cannot be opened.
+Graph ReadEdgeListFile(const std::string& path, bool directed,
+                       VertexId num_vertices = 0);
+
+/// Writes the canonical edge list, one "src dst" pair per line.
+void WriteEdgeList(const Graph& graph, std::ostream& out);
+
+/// Writes the canonical edge list to a file.
+void WriteEdgeListFile(const Graph& graph, const std::string& path);
+
+}  // namespace sgp
+
+#endif  // SGP_GRAPH_IO_H_

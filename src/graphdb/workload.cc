@@ -1,0 +1,90 @@
+#include "graphdb/workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sgp {
+
+Workload::Workload(const Graph& graph, const WorkloadConfig& config)
+    : config_(config), zipf_(config.num_bindings, config.skew) {
+  SGP_CHECK(config.num_bindings > 0);
+  SGP_CHECK(graph.num_vertices() > 0);
+  Rng rng(config.seed);
+  bindings_.reserve(config.num_bindings);
+  const VertexId n = graph.num_vertices();
+  double mix_total = 0;
+  for (const WorkloadMixEntry& entry : config.mix) {
+    SGP_CHECK(entry.weight > 0);
+    mix_total += entry.weight;
+  }
+  auto draw_kind = [&]() {
+    if (config_.mix.empty()) return config_.kind;
+    double pick = rng.UniformReal() * mix_total;
+    for (const WorkloadMixEntry& entry : config_.mix) {
+      pick -= entry.weight;
+      if (pick <= 0) return entry.kind;
+    }
+    return config_.mix.back().kind;
+  };
+  while (bindings_.size() < config.num_bindings) {
+    VertexId start = static_cast<VertexId>(rng.UniformInt(n));
+    // Queries against isolated vertices answer trivially; the paper's
+    // bindings come from real traversals, so require a non-empty
+    // neighborhood (give up after a bounded number of retries for
+    // pathological graphs).
+    for (int attempt = 0; attempt < 64 && graph.Degree(start) == 0;
+         ++attempt) {
+      start = static_cast<VertexId>(rng.UniformInt(n));
+    }
+    Query q;
+    q.kind = draw_kind();
+    q.start = start;
+    if (q.kind == QueryKind::kShortestPath) {
+      q.target = static_cast<VertexId>(rng.UniformInt(n));
+    }
+    bindings_.push_back(q);
+  }
+}
+
+uint32_t Workload::SampleBindingIndex(Rng& rng) const {
+  return static_cast<uint32_t>(zipf_.Sample(rng));
+}
+
+std::vector<double> Workload::ExpectedFrequencies(
+    uint64_t total_queries) const {
+  const uint32_t b = config_.num_bindings;
+  std::vector<double> pmf(b);
+  double norm = 0;
+  for (uint32_t i = 0; i < b; ++i) {
+    pmf[i] = std::pow(static_cast<double>(i) + 1.0, -config_.skew);
+    norm += pmf[i];
+  }
+  for (uint32_t i = 0; i < b; ++i) {
+    pmf[i] = pmf[i] / norm * static_cast<double>(total_queries);
+  }
+  return pmf;
+}
+
+std::vector<uint64_t> Workload::AccessWeights(const GraphDatabase& db,
+                                              uint64_t total_queries) const {
+  std::vector<double> freq = ExpectedFrequencies(total_queries);
+  std::vector<uint64_t> per_query(db.graph().num_vertices());
+  std::vector<double> weights(db.graph().num_vertices(), 0.0);
+  for (uint32_t i = 0; i < bindings_.size(); ++i) {
+    std::fill(per_query.begin(), per_query.end(), 0);
+    db.AccumulateAccessCounts(bindings_[i], per_query);
+    for (VertexId v = 0; v < per_query.size(); ++v) {
+      if (per_query[v] > 0) {
+        weights[v] += freq[i] * static_cast<double>(per_query[v]);
+      }
+    }
+  }
+  std::vector<uint64_t> out(weights.size());
+  for (size_t v = 0; v < weights.size(); ++v) {
+    out[v] = static_cast<uint64_t>(std::llround(weights[v]));
+  }
+  return out;
+}
+
+}  // namespace sgp

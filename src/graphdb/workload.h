@@ -1,0 +1,71 @@
+#ifndef SGP_GRAPHDB_WORKLOAD_H_
+#define SGP_GRAPHDB_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+#include "graphdb/graphdb.h"
+
+namespace sgp {
+
+/// One component of a mixed workload.
+struct WorkloadMixEntry {
+  QueryKind kind = QueryKind::kOneHop;
+  double weight = 1.0;
+};
+
+/// Online-workload configuration (Section 5.2.3): a fixed set of query
+/// bindings (the paper generates 1000 per query type), drawn by clients
+/// with a Zipf-skewed popularity — real request streams are skewed, which
+/// is what creates the hotspots of Section 6.3.3.
+struct WorkloadConfig {
+  /// Query kind of every binding when `mix` is empty.
+  QueryKind kind = QueryKind::kOneHop;
+
+  /// Optional LinkBench-style kind mix (e.g. 70% 1-hop / 30% 2-hop —
+  /// LinkBench is >50% one-hop, Section 5.2.3); when non-empty, each
+  /// binding draws its kind with probability proportional to weight.
+  std::vector<WorkloadMixEntry> mix;
+
+  uint32_t num_bindings = 1000;
+
+  /// Zipf exponent of binding popularity; 0 = uniform (no workload skew).
+  double skew = 0.8;
+
+  uint64_t seed = 7;
+};
+
+/// A reusable set of query bindings plus the popularity distribution over
+/// them.
+class Workload {
+ public:
+  Workload(const Graph& graph, const WorkloadConfig& config);
+
+  const WorkloadConfig& config() const { return config_; }
+  const std::vector<Query>& bindings() const { return bindings_; }
+
+  /// Index of the next binding to execute, Zipf-distributed. Bindings are
+  /// ordered hottest-first.
+  uint32_t SampleBindingIndex(Rng& rng) const;
+
+  /// Expected number of executions of each binding over `total_queries`
+  /// draws (deterministic, from the Zipf pmf).
+  std::vector<double> ExpectedFrequencies(uint64_t total_queries) const;
+
+  /// Expected per-vertex access counts of this workload over
+  /// `total_queries` draws — the weighted graph input of the
+  /// workload-aware partitioning experiment (Figure 8).
+  std::vector<uint64_t> AccessWeights(const GraphDatabase& db,
+                                      uint64_t total_queries) const;
+
+ private:
+  WorkloadConfig config_;
+  std::vector<Query> bindings_;
+  mutable ZipfSampler zipf_;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_GRAPHDB_WORKLOAD_H_

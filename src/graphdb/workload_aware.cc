@@ -1,0 +1,18 @@
+#include "graphdb/workload_aware.h"
+
+#include "partition/offline/multilevel.h"
+
+namespace sgp {
+
+Partitioning WorkloadAwarePartition(const Graph& graph,
+                                    const GraphDatabase& db,
+                                    const Workload& workload, PartitionId k,
+                                    uint64_t total_queries, uint64_t seed) {
+  MultilevelOptions options;
+  options.k = k;
+  options.seed = seed;
+  options.vertex_weights = workload.AccessWeights(db, total_queries);
+  return MultilevelPartition(graph, options);
+}
+
+}  // namespace sgp

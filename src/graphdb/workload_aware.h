@@ -1,0 +1,23 @@
+#ifndef SGP_GRAPHDB_WORKLOAD_AWARE_H_
+#define SGP_GRAPHDB_WORKLOAD_AWARE_H_
+
+#include "graphdb/graphdb.h"
+#include "graphdb/workload.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Workload-aware re-partitioning (Section 6.3.3): records the expected
+/// per-vertex access counts of `workload` (observed through `db`, the
+/// currently deployed partitioning), uses them as vertex weights of the
+/// offline multilevel partitioner, and returns a partitioning whose
+/// *access load* — not vertex count — is balanced across workers. This is
+/// the paper's "MTS-W" configuration of Figure 8.
+Partitioning WorkloadAwarePartition(const Graph& graph,
+                                    const GraphDatabase& db,
+                                    const Workload& workload, PartitionId k,
+                                    uint64_t total_queries, uint64_t seed);
+
+}  // namespace sgp
+
+#endif  // SGP_GRAPHDB_WORKLOAD_AWARE_H_

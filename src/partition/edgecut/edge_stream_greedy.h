@@ -1,0 +1,29 @@
+#ifndef SGP_PARTITION_EDGECUT_EDGE_STREAM_GREEDY_H_
+#define SGP_PARTITION_EDGECUT_EDGE_STREAM_GREEDY_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Edge-cut partitioning over an *edge* stream (the CST [18] / IOGP [15]
+/// family of Section 4.1.2). A vertex is placed when its first edge
+/// arrives, with only the partial neighborhood seen so far as signal:
+/// each arriving edge (u,v) pulls an unplaced endpoint to the placed
+/// endpoint's partition (capacity permitting), and a placed vertex may be
+/// migrated once its observed degree doubles and most of its seen
+/// neighbors live elsewhere (the IOGP-style revisit).
+///
+/// The paper's point about this class — it cannot match vertex-stream
+/// quality because complete adjacency is never available at decision time
+/// — is reproduced by `bench_ablation_input_stream`.
+class EdgeStreamGreedyPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "ESG"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_EDGE_STREAM_GREEDY_H_

@@ -1,0 +1,13 @@
+#include "partition/edgecut/fennel.h"
+
+#include "partition/edgecut/greedy_core.h"
+
+namespace sgp {
+
+Partitioning FennelPartitioner::Run(const Graph& graph,
+                                    const PartitionConfig& config) const {
+  return internal_edgecut::RunStreamingGreedy(
+      graph, config, internal_edgecut::Objective::kFennel, /*passes=*/1);
+}
+
+}  // namespace sgp

@@ -1,0 +1,21 @@
+#ifndef SGP_PARTITION_EDGECUT_FENNEL_H_
+#define SGP_PARTITION_EDGECUT_FENNEL_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// FENNEL (Tsourakakis et al., WSDM'14). Streaming modularity-style
+/// objective: neighbors gained minus an additive load penalty
+/// α·γ·|P|^{γ−1} (Equation 5). γ and α come from PartitionConfig.
+class FennelPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "FNL"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_FENNEL_H_

@@ -1,0 +1,25 @@
+#ifndef SGP_PARTITION_EDGECUT_GREEDY_CORE_H_
+#define SGP_PARTITION_EDGECUT_GREEDY_CORE_H_
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp::internal_edgecut {
+
+/// Objective function of the streaming greedy vertex placement.
+enum class Objective {
+  kLdg,     // Equation (4): |P ∩ N(u)| · (1 − |P|/C)
+  kFennel,  // Equation (5): |P ∩ N(u)| − α·γ·|P|^{γ−1}
+};
+
+/// Shared driver for LDG, FENNEL and their re-streaming variants [34].
+/// Runs `passes` passes over the vertex stream; passes after the first see
+/// the previous pass's assignment (the re-streaming model). Both objectives
+/// enforce the hard capacity C = β·n/k of Equation (1).
+Partitioning RunStreamingGreedy(const Graph& graph,
+                                const PartitionConfig& config,
+                                Objective objective, uint32_t passes);
+
+}  // namespace sgp::internal_edgecut
+
+#endif  // SGP_PARTITION_EDGECUT_GREEDY_CORE_H_

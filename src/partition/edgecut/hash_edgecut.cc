@@ -1,0 +1,27 @@
+#include "partition/edgecut/hash_edgecut.h"
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/timer.h"
+
+namespace sgp {
+
+Partitioning HashEdgeCutPartitioner::Run(const Graph& graph,
+                                         const PartitionConfig& config) const {
+  SGP_CHECK(config.k > 0);
+  Timer timer;
+  Partitioning result;
+  result.model = CutModel::kEdgeCut;
+  result.k = config.k;
+  result.vertex_to_partition.resize(graph.num_vertices());
+  const CapacityAwareHasher hasher(config);
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    result.vertex_to_partition[u] = hasher.Pick(HashU64Seeded(u, config.seed));
+  }
+  result.state_bytes = config.k * sizeof(double);  // hash table of cumulative capacities only
+  DeriveEdgePlacement(graph, &result);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

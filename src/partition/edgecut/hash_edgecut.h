@@ -1,0 +1,22 @@
+#ifndef SGP_PARTITION_EDGECUT_HASH_EDGECUT_H_
+#define SGP_PARTITION_EDGECUT_HASH_EDGECUT_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Hash-based random edge-cut partitioning (ECR): vertex u goes to
+/// hash(u) mod k. Perfectly balanced in expectation, embarrassingly
+/// parallel, topology-oblivious; its expected edge-cut ratio is 1 − 1/k
+/// (Section 4.1.1).
+class HashEdgeCutPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "ECR"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_HASH_EDGECUT_H_

@@ -1,0 +1,13 @@
+#include "partition/edgecut/ldg.h"
+
+#include "partition/edgecut/greedy_core.h"
+
+namespace sgp {
+
+Partitioning LdgPartitioner::Run(const Graph& graph,
+                                 const PartitionConfig& config) const {
+  return internal_edgecut::RunStreamingGreedy(
+      graph, config, internal_edgecut::Objective::kLdg, /*passes=*/1);
+}
+
+}  // namespace sgp

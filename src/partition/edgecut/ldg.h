@@ -1,0 +1,22 @@
+#ifndef SGP_PARTITION_EDGECUT_LDG_H_
+#define SGP_PARTITION_EDGECUT_LDG_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Linear Deterministic Greedy (Stanton & Kliot, KDD'12). Assigns each
+/// streamed vertex to the partition holding most of its neighbors, scaled
+/// by a multiplicative penalty that strictly enforces balance
+/// (Equation 4).
+class LdgPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "LDG"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_LDG_H_

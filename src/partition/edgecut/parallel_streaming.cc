@@ -1,0 +1,125 @@
+#include "partition/edgecut/parallel_streaming.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "stream/stream.h"
+
+namespace sgp {
+
+ParallelStreamResult ParallelStreamingLdg(
+    const Graph& graph, const PartitionConfig& config,
+    const ParallelStreamOptions& options) {
+  SGP_CHECK(config.k > 0);
+  SGP_CHECK(options.num_streams >= 1);
+  SGP_CHECK(options.sync_interval >= 1);
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const PartitionId k = config.k;
+  const uint32_t s = options.num_streams;
+  const std::vector<double> weights = NormalizedCapacities(config);
+  std::vector<double> capacity(k);
+  for (PartitionId i = 0; i < k; ++i) {
+    capacity[i] = std::max(
+        1.0, config.balance_slack * static_cast<double>(n) /
+                 static_cast<double>(k) * weights[i]);
+  }
+
+  std::vector<VertexId> stream =
+      MakeVertexStream(graph, config.order, config.seed);
+  // Round-robin split across ingest workers.
+  std::vector<std::vector<VertexId>> substreams(s);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    substreams[i % s].push_back(stream[i]);
+  }
+
+  // Published (synchronized) state, plus per-worker unpublished deltas.
+  std::vector<PartitionId> published(n, kInvalidPartition);
+  std::vector<uint64_t> published_sizes(k, 0);
+  std::vector<std::vector<std::pair<VertexId, PartitionId>>> deltas(s);
+  std::vector<std::vector<uint64_t>> delta_sizes(
+      s, std::vector<uint64_t>(k, 0));
+  // Worker-local view lookup: own delta shadows the published state.
+  std::vector<PartitionId> scratch_view(n, kInvalidPartition);
+
+  ParallelStreamResult result;
+  std::vector<uint32_t> neighbor_counts(k, 0);
+  std::vector<PartitionId> touched;
+  std::vector<size_t> cursor(s, 0);
+
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (uint32_t w = 0; w < s; ++w) {
+      // Build this worker's view: published + own delta.
+      for (const auto& [v, p] : deltas[w]) scratch_view[v] = p;
+      auto view = [&](VertexId v) {
+        return scratch_view[v] != kInvalidPartition ? scratch_view[v]
+                                                    : published[v];
+      };
+      const size_t end = std::min(cursor[w] + options.sync_interval,
+                                  substreams[w].size());
+      for (size_t i = cursor[w]; i < end; ++i) {
+        const VertexId u = substreams[w][i];
+        for (VertexId v : graph.Neighbors(u)) {
+          PartitionId p = view(v);
+          if (p == kInvalidPartition) continue;
+          if (neighbor_counts[p]++ == 0) touched.push_back(p);
+        }
+        PartitionId best = kInvalidPartition;
+        double best_score = -std::numeric_limits<double>::infinity();
+        double best_size = 0;
+        for (PartitionId part = 0; part < k; ++part) {
+          const double size = static_cast<double>(
+              published_sizes[part] + delta_sizes[w][part]);
+          if (size + 1.0 > capacity[part]) continue;
+          double score = static_cast<double>(neighbor_counts[part]) *
+                         (1.0 - size / capacity[part]);
+          // Ties toward the least-loaded partition, as in sequential LDG.
+          if (score > best_score ||
+              (score == best_score && size < best_size)) {
+            best_score = score;
+            best = part;
+            best_size = size;
+          }
+        }
+        if (best == kInvalidPartition) best = u % k;  // all full (stale)
+        deltas[w].emplace_back(u, best);
+        scratch_view[u] = best;
+        ++delta_sizes[w][best];
+        for (PartitionId p : touched) neighbor_counts[p] = 0;
+        touched.clear();
+      }
+      cursor[w] = end;
+      work_left |= cursor[w] < substreams[w].size();
+      // Reset the scratch view entries this worker shadowed.
+      for (const auto& [v, p] : deltas[w]) scratch_view[v] = kInvalidPartition;
+    }
+    // Barrier: publish all deltas; every record reaches the other workers.
+    ++result.sync_rounds;
+    for (uint32_t w = 0; w < s; ++w) {
+      result.sync_messages += deltas[w].size() * (s - 1);
+      for (const auto& [v, p] : deltas[w]) {
+        published[v] = p;
+        ++published_sizes[p];
+      }
+      deltas[w].clear();
+      std::fill(delta_sizes[w].begin(), delta_sizes[w].end(), 0);
+    }
+  }
+
+  result.partitioning.model = CutModel::kEdgeCut;
+  result.partitioning.k = k;
+  result.partitioning.vertex_to_partition = std::move(published);
+  DeriveEdgePlacement(graph, &result.partitioning);
+  result.partitioning.state_bytes =
+      static_cast<uint64_t>(n) * sizeof(PartitionId) +
+      static_cast<uint64_t>(s) * k * sizeof(uint64_t);
+  result.partitioning.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

@@ -1,0 +1,52 @@
+#ifndef SGP_PARTITION_EDGECUT_PARALLEL_STREAMING_H_
+#define SGP_PARTITION_EDGECUT_PARALLEL_STREAMING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Options of the parallel-ingest simulation.
+struct ParallelStreamOptions {
+  /// Number of concurrent ingest workers, each consuming its share of the
+  /// vertex stream.
+  uint32_t num_streams = 4;
+
+  /// Vertices each worker places between global state synchronizations.
+  /// 1 = fully synchronous (equivalent to the sequential algorithm up to
+  /// interleaving); larger intervals mean staler neighbor/size views and
+  /// cheaper coordination.
+  uint32_t sync_interval = 64;
+};
+
+/// Result of a parallel-ingest run: the partitioning plus the
+/// coordination cost that Table 1's "Parallelization" column is about.
+struct ParallelStreamResult {
+  Partitioning partitioning;
+
+  /// Global synchronization barriers executed.
+  uint64_t sync_rounds = 0;
+
+  /// Assignment records exchanged between workers (each delta entry is
+  /// broadcast to the other workers). Hash partitioning needs zero —
+  /// Section 4.1.1: greedy methods "require each worker to continuously
+  /// communicate and synchronize the history of previous assignments".
+  uint64_t sync_messages = 0;
+};
+
+/// Deterministic simulation of parallel streaming LDG: `num_streams`
+/// ingest workers consume the vertex stream round-robin; each worker sees
+/// the globally *published* assignments (last barrier) plus its own
+/// un-published placements, so between barriers it works with stale
+/// neighbor history and stale partition sizes. Shows how partitioning
+/// quality decays as synchronization gets cheaper — the trade-off that
+/// makes hash partitioning attractive for parallel loaders.
+ParallelStreamResult ParallelStreamingLdg(
+    const Graph& graph, const PartitionConfig& config,
+    const ParallelStreamOptions& options);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_PARALLEL_STREAMING_H_

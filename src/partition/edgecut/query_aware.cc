@@ -1,0 +1,82 @@
+#include "partition/edgecut/query_aware.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "stream/stream.h"
+
+namespace sgp {
+
+Partitioning QueryAwareStreamingPartition(
+    const Graph& graph, const std::vector<uint64_t>& access_weights,
+    const QueryAwareOptions& options) {
+  SGP_CHECK(options.k > 0);
+  SGP_CHECK(access_weights.size() == graph.num_vertices());
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const PartitionId k = options.k;
+
+  // Vertices cost at least 1 so balance stays meaningful for cold regions.
+  std::vector<double> cost(n);
+  double total_cost = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    cost[v] = std::max<double>(1.0, static_cast<double>(access_weights[v]));
+    total_cost += cost[v];
+  }
+  const double capacity = std::max(
+      1.0, options.balance_slack * total_cost / static_cast<double>(k));
+
+  std::vector<VertexId> stream =
+      MakeVertexStream(graph, options.order, options.seed);
+
+  std::vector<PartitionId> assignment(n, kInvalidPartition);
+  std::vector<double> load(k, 0.0);
+  std::vector<double> traversal_gain(k, 0.0);
+  std::vector<PartitionId> touched;
+
+  for (VertexId u : stream) {
+    for (VertexId v : graph.Neighbors(u)) {
+      PartitionId p = assignment[v];
+      if (p == kInvalidPartition) continue;
+      if (traversal_gain[p] == 0.0) touched.push_back(p);
+      // Expected traversals over edge (u,v): a 1-hop query at either
+      // endpoint crosses it.
+      traversal_gain[p] += cost[u] + cost[v];
+    }
+    PartitionId best = kInvalidPartition;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartitionId i = 0; i < k; ++i) {
+      if (load[i] + cost[u] > capacity) continue;
+      double score = traversal_gain[i] * (1.0 - load[i] / capacity);
+      if (score > best_score ||
+          (score == best_score &&
+           (best == kInvalidPartition || load[i] < load[best]))) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best == kInvalidPartition) {
+      best = static_cast<PartitionId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    assignment[u] = best;
+    load[best] += cost[u];
+    for (PartitionId p : touched) traversal_gain[p] = 0.0;
+    touched.clear();
+  }
+
+  Partitioning result;
+  result.model = CutModel::kEdgeCut;
+  result.k = k;
+  result.state_bytes =
+      static_cast<uint64_t>(n) * (sizeof(PartitionId) + sizeof(double)) +
+      static_cast<uint64_t>(k) * 2 * sizeof(double);
+  result.vertex_to_partition = std::move(assignment);
+  DeriveEdgePlacement(graph, &result);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

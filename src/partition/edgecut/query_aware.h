@@ -1,0 +1,42 @@
+#ifndef SGP_PARTITION_EDGECUT_QUERY_AWARE_H_
+#define SGP_PARTITION_EDGECUT_QUERY_AWARE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Options of the query-aware streaming partitioner.
+struct QueryAwareOptions {
+  PartitionId k = 4;
+
+  /// Balance slack β over total *access weight* (not vertex count):
+  /// heavily queried regions spread even when vertex counts stay even.
+  double balance_slack = 1.05;
+
+  uint64_t seed = 42;
+  StreamOrder order = StreamOrder::kRandom;
+};
+
+/// Query-aware streaming edge-cut partitioning — the TAPER [19] family of
+/// Appendix A, in streaming form. Like LDG it places each streamed vertex
+/// greedily, but the objective minimizes *expected inter-partition
+/// traversals*: each neighbor contributes its traversal frequency
+/// (access(u) + access(v), the rate at which a 1-hop query crosses the
+/// edge) instead of 1, and the balance constraint caps per-partition
+/// access weight instead of vertex count. This is the streaming
+/// counterpart of the offline workload-aware repartitioning of Figure 8
+/// (WorkloadAwarePartition): one pass, O(n + k) state, no METIS run.
+///
+/// `access_weights` (size num_vertices) are expected per-vertex read
+/// counts, e.g. Workload::AccessWeights().
+Partitioning QueryAwareStreamingPartition(
+    const Graph& graph, const std::vector<uint64_t>& access_weights,
+    const QueryAwareOptions& options);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_QUERY_AWARE_H_

@@ -1,0 +1,24 @@
+#include "partition/edgecut/restreaming.h"
+
+#include "common/check.h"
+#include "partition/edgecut/greedy_core.h"
+
+namespace sgp {
+
+Partitioning RestreamingLdgPartitioner::Run(
+    const Graph& graph, const PartitionConfig& config) const {
+  SGP_CHECK(config.restream_passes >= 1);
+  return internal_edgecut::RunStreamingGreedy(
+      graph, config, internal_edgecut::Objective::kLdg,
+      config.restream_passes);
+}
+
+Partitioning RestreamingFennelPartitioner::Run(
+    const Graph& graph, const PartitionConfig& config) const {
+  SGP_CHECK(config.restream_passes >= 1);
+  return internal_edgecut::RunStreamingGreedy(
+      graph, config, internal_edgecut::Objective::kFennel,
+      config.restream_passes);
+}
+
+}  // namespace sgp

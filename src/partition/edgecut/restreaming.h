@@ -1,0 +1,30 @@
+#ifndef SGP_PARTITION_EDGECUT_RESTREAMING_H_
+#define SGP_PARTITION_EDGECUT_RESTREAMING_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Re-streaming LDG (Nishimura & Ugander, KDD'13): repeats the LDG pass
+/// `config.restream_passes` times; later passes see the previous
+/// assignment, converging toward offline-quality cuts on static graphs.
+class RestreamingLdgPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "RLDG"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+/// Re-streaming FENNEL (Nishimura & Ugander, KDD'13).
+class RestreamingFennelPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "RFNL"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_EDGECUT_RESTREAMING_H_

@@ -1,0 +1,23 @@
+#ifndef SGP_PARTITION_HYBRID_GINGER_H_
+#define SGP_PARTITION_HYBRID_GINGER_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Ginger (Chen et al., EuroSys'15), PowerLyra's heuristic hybrid-cut.
+/// Low-degree vertices are placed with a FENNEL-like objective that
+/// accounts for both vertex and edge load (Equation 8), and their in-edges
+/// follow them; the in-edges of high-degree vertices are re-assigned by
+/// hashing the source vertex (Section 4.3).
+class GingerPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "HG"; }
+  CutModel model() const override { return CutModel::kHybrid; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_HYBRID_GINGER_H_

@@ -1,0 +1,44 @@
+#include "partition/hybrid/hybrid_random.h"
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/timer.h"
+
+namespace sgp {
+
+Partitioning HybridRandomPartitioner::Run(
+    const Graph& graph, const PartitionConfig& config) const {
+  SGP_CHECK(config.k > 0);
+  Timer timer;
+  const PartitionId k = config.k;
+  Partitioning result;
+  result.model = CutModel::kHybrid;
+  result.k = k;
+  result.vertex_to_partition.resize(graph.num_vertices());
+  result.edge_to_partition.resize(graph.num_edges());
+
+  const CapacityAwareHasher hasher(config);
+  auto hash_part = [&](VertexId u) {
+    return hasher.Pick(HashU64Seeded(u, config.seed));
+  };
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    result.vertex_to_partition[u] = hash_part(u);
+  }
+  // Low-degree target: keep the edge with the target's master (locality).
+  // High-degree target: scatter by source (load spreading). For undirected
+  // graphs the stored dst endpoint plays the target role.
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edges()[e];
+    const uint32_t target_in_degree = graph.directed()
+                                          ? graph.InDegree(edge.dst)
+                                          : graph.Degree(edge.dst);
+    result.edge_to_partition[e] = target_in_degree <= config.hybrid_threshold
+                                      ? hash_part(edge.dst)
+                                      : hash_part(edge.src);
+  }
+  result.state_bytes = k * sizeof(double);  // capacity table only
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

@@ -1,0 +1,24 @@
+#ifndef SGP_PARTITION_HYBRID_HYBRID_RANDOM_H_
+#define SGP_PARTITION_HYBRID_HYBRID_RANDOM_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// PowerLyra's hybrid random partitioning (HCR, Chen et al., EuroSys'15).
+/// Differentiates by degree: the in-edges of a low-degree vertex are
+/// grouped on the vertex's hash partition (edge-cut style locality), while
+/// the in-edges of a high-degree vertex are scattered by hashing their
+/// source (vertex-cut style load spreading). The degree threshold comes
+/// from PartitionConfig::hybrid_threshold.
+class HybridRandomPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "HCR"; }
+  CutModel model() const override { return CutModel::kHybrid; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_HYBRID_HYBRID_RANDOM_H_

@@ -1,0 +1,58 @@
+#ifndef SGP_PARTITION_METRICS_H_
+#define SGP_PARTITION_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Structural quality metrics of a partitioning (Sections 4.1 and 4.2).
+struct PartitionMetrics {
+  /// Fraction of edges whose endpoints' masters differ (edge-cut objective,
+  /// Equation 3).
+  double edge_cut_ratio = 0;
+
+  /// Average number of partitions each vertex spans, |A(u)| averaged over
+  /// vertices (vertex-cut objective, Equation 6). Always ≥ 1.
+  double replication_factor = 0;
+
+  /// max/avg of master-vertex counts per partition (edge-cut balance).
+  double vertex_imbalance = 0;
+
+  /// max/avg of edge counts per partition (vertex-cut balance).
+  double edge_imbalance = 0;
+
+  /// Master vertices per partition.
+  std::vector<uint64_t> vertices_per_partition;
+
+  /// Edges per partition.
+  std::vector<uint64_t> edges_per_partition;
+};
+
+/// Computes all structural metrics for `p` on `graph`.
+PartitionMetrics ComputeMetrics(const Graph& graph, const Partitioning& p);
+
+/// Validates structural invariants (every vertex/edge assigned, partition
+/// ids < k, sizes consistent); aborts on violation. Used by tests and by
+/// the bench harnesses before trusting a result.
+void ValidatePartitioning(const Graph& graph, const Partitioning& p);
+
+/// ψ(d, k) of Appendix B: the moment generating function of the degree
+/// sequence evaluated at log(1 − 1/k), i.e. (1/n)·Σ_v (1 − 1/k)^{d(v)}.
+double DegreePsi(const Graph& graph, PartitionId k);
+
+/// Closed-form expected replication factor of *uniform random* vertex-cut
+/// placement (VCR), following the Appendix B derivation (Bourse et al.
+/// [10]): with q = 1 − 1/k, a vertex of degree d is hit by d independent
+/// uniform edge placements, covering k(1 − q^d) distinct partitions in
+/// expectation, so E[RF] = k·(1 − ψ(d,k)) up to the ≥1 clamp for isolated
+/// vertices (masters are derived from the replicas, adding no partition).
+/// Tests verify the measured VCR replication factor converges to this.
+double ExpectedRandomReplicationFactor(const Graph& graph, PartitionId k);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_METRICS_H_

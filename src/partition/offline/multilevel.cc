@@ -1,0 +1,442 @@
+#include "partition/offline/multilevel.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/timer.h"
+
+namespace sgp {
+
+namespace {
+
+// Weighted graph of one level of the multilevel hierarchy.
+struct LevelGraph {
+  VertexId n = 0;
+  uint64_t total_vweight = 0;
+  std::vector<uint64_t> offsets;  // size n+1
+  std::vector<VertexId> nbr;
+  std::vector<uint64_t> ewgt;  // parallel to nbr
+  std::vector<uint64_t> vwgt;  // size n
+};
+
+LevelGraph BuildBaseLevel(const Graph& graph,
+                          const std::vector<uint64_t>& vertex_weights) {
+  LevelGraph g;
+  g.n = graph.num_vertices();
+  g.offsets.assign(static_cast<size_t>(g.n) + 1, 0);
+  for (VertexId u = 0; u < g.n; ++u) {
+    g.offsets[u + 1] = g.offsets[u] + graph.Neighbors(u).size();
+  }
+  g.nbr.resize(g.offsets[g.n]);
+  g.ewgt.assign(g.offsets[g.n], 1);
+  for (VertexId u = 0; u < g.n; ++u) {
+    auto nb = graph.Neighbors(u);
+    std::copy(nb.begin(), nb.end(), g.nbr.begin() + g.offsets[u]);
+  }
+  if (vertex_weights.empty()) {
+    g.vwgt.assign(g.n, 1);
+  } else {
+    SGP_CHECK(vertex_weights.size() == g.n);
+    g.vwgt = vertex_weights;
+    // A zero-weight vertex would let balance constraints place everything
+    // anywhere; clamp to 1 so every vertex costs something.
+    for (auto& w : g.vwgt) w = std::max<uint64_t>(w, 1);
+  }
+  g.total_vweight = std::accumulate(g.vwgt.begin(), g.vwgt.end(),
+                                    static_cast<uint64_t>(0));
+  return g;
+}
+
+// Heavy-edge matching: each vertex pairs with its heaviest unmatched
+// neighbor. Returns the number of coarse vertices and fills `coarse_of`.
+VertexId HeavyEdgeMatch(const LevelGraph& g, Rng& rng,
+                        std::vector<VertexId>& coarse_of) {
+  std::vector<VertexId> order(g.n);
+  std::iota(order.begin(), order.end(), 0u);
+  rng.Shuffle(order);
+  std::vector<VertexId> match(g.n, kInvalidVertex);
+  for (VertexId u : order) {
+    if (match[u] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    uint64_t best_w = 0;
+    for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      VertexId v = g.nbr[i];
+      if (v == u || match[v] != kInvalidVertex) continue;
+      if (g.ewgt[i] > best_w) {
+        best_w = g.ewgt[i];
+        best = v;
+      }
+    }
+    if (best == kInvalidVertex) {
+      match[u] = u;  // stays single
+    } else {
+      match[u] = best;
+      match[best] = u;
+    }
+  }
+  coarse_of.assign(g.n, kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId u = 0; u < g.n; ++u) {
+    if (coarse_of[u] != kInvalidVertex) continue;
+    coarse_of[u] = next;
+    if (match[u] != u) coarse_of[match[u]] = next;
+    ++next;
+  }
+  return next;
+}
+
+LevelGraph Contract(const LevelGraph& g, const std::vector<VertexId>& coarse_of,
+                    VertexId coarse_n) {
+  LevelGraph c;
+  c.n = coarse_n;
+  c.vwgt.assign(coarse_n, 0);
+  for (VertexId u = 0; u < g.n; ++u) c.vwgt[coarse_of[u]] += g.vwgt[u];
+  c.total_vweight = g.total_vweight;
+
+  // Aggregate adjacency with a scratch accumulator per coarse vertex.
+  std::vector<std::vector<VertexId>> members(coarse_n);
+  for (VertexId u = 0; u < g.n; ++u) members[coarse_of[u]].push_back(u);
+  std::vector<uint64_t> acc(coarse_n, 0);
+  std::vector<VertexId> touched;
+  c.offsets.assign(static_cast<size_t>(coarse_n) + 1, 0);
+  std::vector<VertexId> nbr;
+  std::vector<uint64_t> ewgt;
+  for (VertexId cu = 0; cu < coarse_n; ++cu) {
+    for (VertexId u : members[cu]) {
+      for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        VertexId cv = coarse_of[g.nbr[i]];
+        if (cv == cu) continue;  // contracted edge disappears
+        if (acc[cv] == 0) touched.push_back(cv);
+        acc[cv] += g.ewgt[i];
+      }
+    }
+    for (VertexId cv : touched) {
+      nbr.push_back(cv);
+      ewgt.push_back(acc[cv]);
+      acc[cv] = 0;
+    }
+    touched.clear();
+    c.offsets[cu + 1] = nbr.size();
+  }
+  c.nbr = std::move(nbr);
+  c.ewgt = std::move(ewgt);
+  return c;
+}
+
+// Cut weight of `part` on `g` (each undirected edge counted twice, which
+// is fine for comparisons).
+uint64_t CutWeight(const LevelGraph& g, const std::vector<PartitionId>& part) {
+  uint64_t cut = 0;
+  for (VertexId u = 0; u < g.n; ++u) {
+    for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      if (part[u] != part[g.nbr[i]]) cut += g.ewgt[i];
+    }
+  }
+  return cut;
+}
+
+// One greedy-graph-growing attempt: BFS-grow k contiguous regions from
+// random seeds up to the average weight, then place leftovers next to
+// their neighbors.
+std::vector<PartitionId> GrowOnce(const LevelGraph& g, PartitionId k,
+                                  const std::vector<double>& capacity,
+                                  const std::vector<double>& weights,
+                                  Rng& rng) {
+  std::vector<PartitionId> part(g.n, kInvalidPartition);
+  std::vector<uint64_t> load(k, 0);
+  std::vector<VertexId> seeds(g.n);
+  std::iota(seeds.begin(), seeds.end(), 0u);
+  rng.Shuffle(seeds);
+  const double mean_target = static_cast<double>(g.total_vweight) /
+                             static_cast<double>(k);
+  size_t seed_cursor = 0;
+  std::vector<VertexId> frontier;
+  for (PartitionId p = 0; p < k; ++p) {
+    const double target = mean_target * weights[p];
+    frontier.clear();
+    size_t head = 0;
+    while (static_cast<double>(load[p]) < target) {
+      if (head == frontier.size()) {
+        // Find a fresh seed (new component or region exhausted).
+        while (seed_cursor < seeds.size() &&
+               part[seeds[seed_cursor]] != kInvalidPartition) {
+          ++seed_cursor;
+        }
+        if (seed_cursor == seeds.size()) break;
+        frontier.push_back(seeds[seed_cursor]);
+      }
+      VertexId u = frontier[head++];
+      if (part[u] != kInvalidPartition) continue;
+      part[u] = p;
+      load[p] += g.vwgt[u];
+      for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        if (part[g.nbr[i]] == kInvalidPartition) {
+          frontier.push_back(g.nbr[i]);
+        }
+      }
+    }
+  }
+  // Leftovers: place next to the most-connected partition with room.
+  std::vector<uint64_t> conn(k, 0);
+  std::vector<PartitionId> touched;
+  for (VertexId u = 0; u < g.n; ++u) {
+    if (part[u] != kInvalidPartition) continue;
+    for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+      PartitionId p = part[g.nbr[i]];
+      if (p == kInvalidPartition) continue;
+      if (conn[p] == 0) touched.push_back(p);
+      conn[p] += g.ewgt[i];
+    }
+    PartitionId best = kInvalidPartition;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (PartitionId p = 0; p < k; ++p) {
+      if (static_cast<double>(load[p] + g.vwgt[u]) > capacity[p]) continue;
+      double score = static_cast<double>(conn[p]) -
+                     static_cast<double>(load[p]) / capacity[p];
+      if (score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best == kInvalidPartition) {
+      best = static_cast<PartitionId>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    part[u] = best;
+    load[best] += g.vwgt[u];
+    for (PartitionId p : touched) conn[p] = 0;
+    touched.clear();
+  }
+  return part;
+}
+
+// Greedy graph growing with random restarts, keeping the best cut (the
+// standard METIS-family initial partitioning).
+std::vector<PartitionId> InitialPartition(const LevelGraph& g, PartitionId k,
+                                          const std::vector<double>& capacity,
+                                          const std::vector<double>& weights,
+                                          Rng& rng) {
+  constexpr int kRestarts = 4;
+  std::vector<PartitionId> best;
+  uint64_t best_cut = 0;
+  for (int attempt = 0; attempt < kRestarts; ++attempt) {
+    std::vector<PartitionId> part = GrowOnce(g, k, capacity, weights, rng);
+    uint64_t cut = CutWeight(g, part);
+    if (best.empty() || cut < best_cut) {
+      best_cut = cut;
+      best = std::move(part);
+    }
+  }
+  return best;
+}
+
+// Moves vertices out of over-capacity partitions (into the most-connected
+// partition with room) until the balance constraint holds or passes are
+// exhausted.
+void RebalancePass(const LevelGraph& g, PartitionId k,
+                   const std::vector<double>& capacity, Rng& rng,
+                   std::vector<PartitionId>& part) {
+  std::vector<uint64_t> load(k, 0);
+  for (VertexId u = 0; u < g.n; ++u) load[part[u]] += g.vwgt[u];
+  std::vector<VertexId> order(g.n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<uint64_t> conn(k, 0);
+  std::vector<PartitionId> touched;
+  for (int pass = 0; pass < 4; ++pass) {
+    bool any_over = false;
+    for (PartitionId p = 0; p < k; ++p) {
+      any_over |= static_cast<double>(load[p]) > capacity[p];
+    }
+    if (!any_over) return;
+    rng.Shuffle(order);
+    for (VertexId u : order) {
+      const PartitionId cur = part[u];
+      if (static_cast<double>(load[cur]) <= capacity[cur]) continue;
+      for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        PartitionId p = part[g.nbr[i]];
+        if (conn[p] == 0) touched.push_back(p);
+        conn[p] += g.ewgt[i];
+      }
+      PartitionId best = kInvalidPartition;
+      double best_score = -std::numeric_limits<double>::infinity();
+      for (PartitionId p = 0; p < k; ++p) {
+        if (p == cur) continue;
+        if (static_cast<double>(load[p] + g.vwgt[u]) > capacity[p]) continue;
+        double score = static_cast<double>(conn[p]) -
+                       static_cast<double>(load[p]) / capacity[p];
+        if (score > best_score) {
+          best_score = score;
+          best = p;
+        }
+      }
+      for (PartitionId p : touched) conn[p] = 0;
+      touched.clear();
+      if (best != kInvalidPartition) {
+        load[cur] -= g.vwgt[u];
+        load[best] += g.vwgt[u];
+        part[u] = best;
+      }
+    }
+  }
+}
+
+// Greedy boundary refinement: move vertices to the neighboring partition
+// with the highest positive cut gain, respecting capacity; zero-gain moves
+// are allowed when they reduce the load of an over-loaded partition.
+void Refine(const LevelGraph& g, PartitionId k,
+            const std::vector<double>& capacity, uint32_t passes, Rng& rng,
+            std::vector<PartitionId>& part) {
+  std::vector<uint64_t> load(k, 0);
+  for (VertexId u = 0; u < g.n; ++u) load[part[u]] += g.vwgt[u];
+  std::vector<VertexId> order(g.n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<uint64_t> conn(k, 0);
+  std::vector<PartitionId> touched;
+  for (uint32_t pass = 0; pass < passes; ++pass) {
+    rng.Shuffle(order);
+    uint64_t moves = 0;
+    for (VertexId u : order) {
+      const PartitionId cur = part[u];
+      for (uint64_t i = g.offsets[u]; i < g.offsets[u + 1]; ++i) {
+        PartitionId p = part[g.nbr[i]];
+        if (conn[p] == 0) touched.push_back(p);
+        conn[p] += g.ewgt[i];
+      }
+      PartitionId best = cur;
+      int64_t best_gain = 0;
+      for (PartitionId p : touched) {
+        if (p == cur) continue;
+        if (static_cast<double>(load[p]) +
+                static_cast<double>(g.vwgt[u]) >
+            capacity[p]) {
+          continue;
+        }
+        int64_t gain = static_cast<int64_t>(conn[p]) -
+                       static_cast<int64_t>(conn[cur]);
+        bool better = gain > best_gain ||
+                      (gain == best_gain && gain >= 0 && best == cur &&
+                       load[cur] > load[p] + g.vwgt[u]);
+        if (better) {
+          best_gain = gain;
+          best = p;
+        }
+      }
+      for (PartitionId p : touched) conn[p] = 0;
+      touched.clear();
+      if (best != cur) {
+        load[cur] -= g.vwgt[u];
+        load[best] += g.vwgt[u];
+        part[u] = best;
+        ++moves;
+      }
+    }
+    if (moves == 0) break;
+  }
+}
+
+}  // namespace
+
+Partitioning MultilevelPartition(const Graph& graph,
+                                 const MultilevelOptions& options) {
+  SGP_CHECK(options.k > 0);
+  Timer timer;
+  Rng rng(options.seed);
+  const PartitionId k = options.k;
+
+  std::vector<LevelGraph> levels;
+  std::vector<std::vector<VertexId>> mappings;
+  levels.push_back(BuildBaseLevel(graph, options.vertex_weights));
+
+  const VertexId target = options.coarsen_target != 0
+                              ? options.coarsen_target
+                              : std::max<VertexId>(128, 20 * k);
+  while (levels.back().n > target) {
+    std::vector<VertexId> coarse_of;
+    VertexId coarse_n = HeavyEdgeMatch(levels.back(), rng, coarse_of);
+    if (coarse_n > levels.back().n * 95 / 100) break;  // matching stalled
+    levels.push_back(Contract(levels.back(), coarse_of, coarse_n));
+    mappings.push_back(std::move(coarse_of));
+  }
+
+  // Per-partition capacities: β·(total/k), scaled by relative capacity on
+  // heterogeneous clusters.
+  std::vector<double> weights(k, 1.0);
+  if (!options.capacity_weights.empty()) {
+    SGP_CHECK(options.capacity_weights.size() == k);
+    double sum = 0;
+    for (double w : options.capacity_weights) {
+      SGP_CHECK(w > 0);
+      sum += w;
+    }
+    for (PartitionId i = 0; i < k; ++i) {
+      weights[i] = options.capacity_weights[i] * static_cast<double>(k) / sum;
+    }
+  }
+  const double mean_capacity =
+      std::max(1.0, options.balance_slack *
+                        static_cast<double>(levels.front().total_vweight) /
+                        static_cast<double>(k));
+  std::vector<double> capacity(k);
+  std::vector<double> relaxed(k);
+  for (PartitionId i = 0; i < k; ++i) {
+    capacity[i] = mean_capacity * weights[i];
+    // Coarse levels refine against a slightly relaxed capacity — coarse
+    // vertices are heavy, and a tight cap freezes all moves; the final
+    // level is rebalanced back to the true constraint.
+    relaxed[i] = capacity[i] * 1.1;
+  }
+  std::vector<PartitionId> part =
+      InitialPartition(levels.back(), k, relaxed, weights, rng);
+  Refine(levels.back(), k, relaxed, options.refinement_passes, rng, part);
+
+  for (size_t level = levels.size() - 1; level-- > 0;) {
+    const std::vector<VertexId>& coarse_of = mappings[level];
+    std::vector<PartitionId> fine(levels[level].n);
+    for (VertexId u = 0; u < levels[level].n; ++u) {
+      fine[u] = part[coarse_of[u]];
+    }
+    part = std::move(fine);
+    const std::vector<double>& cap = level == 0 ? capacity : relaxed;
+    Refine(levels[level], k, cap, options.refinement_passes, rng, part);
+  }
+  RebalancePass(levels.front(), k, capacity, rng, part);
+  // Polish pass after rebalancing, under the strict constraint.
+  Refine(levels.front(), k, capacity, 2, rng, part);
+
+  Partitioning result;
+  result.model = CutModel::kEdgeCut;
+  result.k = k;
+  // The multilevel method holds the whole coarsening hierarchy in memory —
+  // the contrast to the O(n + k) streaming synopses (Section 4.1.1).
+  uint64_t hierarchy_bytes = 0;
+  for (const LevelGraph& level : levels) {
+    hierarchy_bytes += level.offsets.size() * sizeof(uint64_t) +
+                       level.nbr.size() * sizeof(VertexId) +
+                       level.ewgt.size() * sizeof(uint64_t) +
+                       level.vwgt.size() * sizeof(uint64_t);
+  }
+  for (const auto& mapping : mappings) {
+    hierarchy_bytes += mapping.size() * sizeof(VertexId);
+  }
+  result.state_bytes = hierarchy_bytes;
+  result.vertex_to_partition = std::move(part);
+  DeriveEdgePlacement(graph, &result);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Partitioning MetisLikePartitioner::Run(const Graph& graph,
+                                       const PartitionConfig& config) const {
+  MultilevelOptions options;
+  options.k = config.k;
+  options.balance_slack = config.balance_slack;
+  options.seed = config.seed;
+  options.capacity_weights = config.capacity_weights;
+  return MultilevelPartition(graph, options);
+}
+
+}  // namespace sgp

@@ -1,0 +1,58 @@
+#ifndef SGP_PARTITION_OFFLINE_MULTILEVEL_H_
+#define SGP_PARTITION_OFFLINE_MULTILEVEL_H_
+
+#include <vector>
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Options of the offline multilevel partitioner.
+struct MultilevelOptions {
+  /// Number of partitions.
+  PartitionId k = 4;
+
+  /// Balance slack β over total vertex weight.
+  double balance_slack = 1.05;
+
+  /// Seed for matching/refinement orders.
+  uint64_t seed = 42;
+
+  /// Optional per-vertex weights (size num_vertices). Empty means unit
+  /// weights. The workload-aware experiment (Figure 8) passes vertex
+  /// access counts here.
+  std::vector<uint64_t> vertex_weights;
+
+  /// Greedy boundary-refinement passes per level.
+  uint32_t refinement_passes = 8;
+
+  /// Stop coarsening at this many vertices (0 = max(128, 20·k)).
+  VertexId coarsen_target = 0;
+
+  /// Relative partition capacities for heterogeneous clusters (empty =
+  /// homogeneous). Region growing, refinement and rebalancing all target
+  /// capacity-proportional loads.
+  std::vector<double> capacity_weights;
+};
+
+/// Offline multilevel k-way partitioning in the METIS family (Karypis &
+/// Kumar): heavy-edge-matching coarsening, greedy initial partitioning on
+/// the coarsest graph, then per-level greedy boundary refinement during
+/// uncoarsening. Stands in for METIS (MTS) in all experiments; like METIS
+/// it sees the whole graph and therefore produces much better cuts than
+/// any single-pass streaming algorithm, at much higher cost.
+Partitioning MultilevelPartition(const Graph& graph,
+                                 const MultilevelOptions& options);
+
+/// Partitioner-interface adapter (unit vertex weights).
+class MetisLikePartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "MTS"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_OFFLINE_MULTILEVEL_H_

@@ -1,0 +1,35 @@
+#ifndef SGP_PARTITION_PARTITION_IO_H_
+#define SGP_PARTITION_PARTITION_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Serializes a partitioning in a self-describing text format:
+///   sgp-partitioning v1
+///   model <edge-cut|vertex-cut|hybrid-cut> k <k> vertices <n> edges <m>
+///   v <vertex> <partition>     (n lines)
+///   e <edge-id> <partition>    (m lines)
+/// The format is what partition_tool writes, and what a loader would ship
+/// to its workers.
+void WritePartitioning(const Partitioning& partitioning, std::ostream& out);
+
+/// Writes to a file; aborts if the file cannot be opened.
+void WritePartitioningFile(const Partitioning& partitioning,
+                           const std::string& path);
+
+/// Parses the format above and validates it against `graph` (sizes and
+/// ranges must match). Aborts on malformed input.
+Partitioning ReadPartitioning(const Graph& graph, std::istream& in);
+
+/// Reads from a file; aborts if the file cannot be opened.
+Partitioning ReadPartitioningFile(const Graph& graph,
+                                  const std::string& path);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_PARTITION_IO_H_

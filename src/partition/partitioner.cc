@@ -1,0 +1,67 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+#include "partition/edgecut/edge_stream_greedy.h"
+#include "partition/edgecut/fennel.h"
+#include "partition/edgecut/hash_edgecut.h"
+#include "partition/edgecut/ldg.h"
+#include "partition/edgecut/restreaming.h"
+#include "partition/hybrid/ginger.h"
+#include "partition/hybrid/hybrid_random.h"
+#include "partition/offline/multilevel.h"
+#include "partition/vertexcut/dbh.h"
+#include "partition/vertexcut/greedy.h"
+#include "partition/vertexcut/grid.h"
+#include "partition/vertexcut/hash_vertexcut.h"
+#include "partition/vertexcut/hdrf.h"
+
+namespace sgp {
+
+std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "ECR") return std::make_unique<HashEdgeCutPartitioner>();
+  if (upper == "LDG") return std::make_unique<LdgPartitioner>();
+  if (upper == "FNL" || upper == "FENNEL") {
+    return std::make_unique<FennelPartitioner>();
+  }
+  if (upper == "RLDG") return std::make_unique<RestreamingLdgPartitioner>();
+  if (upper == "ESG") return std::make_unique<EdgeStreamGreedyPartitioner>();
+  if (upper == "RFNL") {
+    return std::make_unique<RestreamingFennelPartitioner>();
+  }
+  if (upper == "VCR") return std::make_unique<HashVertexCutPartitioner>();
+  if (upper == "DBH") return std::make_unique<DbhPartitioner>();
+  if (upper == "GRID") return std::make_unique<GridPartitioner>();
+  if (upper == "HDRF") return std::make_unique<HdrfPartitioner>();
+  if (upper == "PGG") return std::make_unique<PowerGraphGreedyPartitioner>();
+  if (upper == "HCR") return std::make_unique<HybridRandomPartitioner>();
+  if (upper == "HG" || upper == "GINGER") {
+    return std::make_unique<GingerPartitioner>();
+  }
+  if (upper == "MTS" || upper == "METIS") {
+    return std::make_unique<MetisLikePartitioner>();
+  }
+  SGP_CHECK(false && "unknown partitioner name");
+  return nullptr;
+}
+
+std::vector<std::string> PartitionerNames() {
+  return {"VCR", "GRID", "DBH", "HDRF", "PGG", "HCR",
+          "HG",  "ECR",  "LDG", "FNL",  "MTS"};
+}
+
+std::vector<std::string> PartitionerNames(CutModel model) {
+  std::vector<std::string> out;
+  for (const std::string& name : PartitionerNames()) {
+    if (CreatePartitioner(name)->model() == model) out.push_back(name);
+  }
+  // The offline MTS baseline produces an edge-cut partitioning.
+  return out;
+}
+
+}  // namespace sgp

@@ -1,0 +1,51 @@
+#ifndef SGP_PARTITION_PARTITIONER_H_
+#define SGP_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Interface implemented by every partitioning algorithm. Implementations
+/// are stateless: all per-run state lives inside Run(), so a single
+/// instance can be reused across graphs and configurations.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Short code used throughout the paper's tables (e.g. "LDG", "HDRF").
+  virtual std::string_view name() const = 0;
+
+  /// Cut model this algorithm belongs to (Table 1).
+  virtual CutModel model() const = 0;
+
+  /// Partitions `graph` into `config.k` parts. The result always passes
+  /// ValidatePartitioning().
+  virtual Partitioning Run(const Graph& graph,
+                           const PartitionConfig& config) const = 0;
+};
+
+/// Creates a partitioner by its paper code. Accepted names (case
+/// insensitive):
+///   edge-cut   : ECR (hash), LDG, FNL (FENNEL), RLDG, RFNL (re-streaming),
+///                ESG (edge-stream greedy, the CST/IOGP family)
+///   vertex-cut : VCR (hash), DBH, GRID, HDRF, PGG (PowerGraph greedy)
+///   hybrid-cut : HCR (hybrid random), HG (Ginger)
+///   offline    : MTS (multilevel, METIS stand-in)
+/// Aborts on an unknown name.
+std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name);
+
+/// All partitioner codes, in the paper's Table 2 order.
+std::vector<std::string> PartitionerNames();
+
+/// Partitioner codes restricted to one cut model (MTS counts as edge-cut).
+std::vector<std::string> PartitionerNames(CutModel model);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_PARTITIONER_H_

@@ -1,0 +1,32 @@
+#include "partition/vertexcut/dbh.h"
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/timer.h"
+
+namespace sgp {
+
+Partitioning DbhPartitioner::Run(const Graph& graph,
+                                 const PartitionConfig& config) const {
+  SGP_CHECK(config.k > 0);
+  Timer timer;
+  Partitioning result;
+  result.model = CutModel::kVertexCut;
+  result.k = config.k;
+  result.edge_to_partition.resize(graph.num_edges());
+  const CapacityAwareHasher hasher(config);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edges()[e];
+    VertexId pivot = graph.Degree(edge.src) <= graph.Degree(edge.dst)
+                         ? edge.src
+                         : edge.dst;
+    result.edge_to_partition[e] =
+        hasher.Pick(HashU64Seeded(pivot, config.seed));
+  }
+  result.state_bytes = config.k * sizeof(double);  // hash table of cumulative capacities only
+  DeriveMasterPlacement(graph, &result);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

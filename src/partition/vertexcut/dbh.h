@@ -1,0 +1,23 @@
+#ifndef SGP_PARTITION_VERTEXCUT_DBH_H_
+#define SGP_PARTITION_VERTEXCUT_DBH_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Degree-Based Hashing (Xie et al., NIPS'14): edge (u,v) is placed by
+/// hashing the endpoint of smaller degree, so high-degree vertices are the
+/// ones replicated. Relies on a priori degree knowledge (Section 4.2.2);
+/// this implementation uses the exact undirected degrees, matching the
+/// paper's evaluation setting where graphs are loaded from storage.
+class DbhPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "DBH"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_VERTEXCUT_DBH_H_

@@ -1,0 +1,27 @@
+#ifndef SGP_PARTITION_VERTEXCUT_GREEDY_H_
+#define SGP_PARTITION_VERTEXCUT_GREEDY_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// PowerGraph's greedy vertex-cut heuristic (Gonzalez et al., OSDI'12):
+///   1. both endpoints share a replica partition → least-loaded common one;
+///   2. both have replicas but disjoint → least-loaded replica partition of
+///      the endpoint with more remaining (partial) degree;
+///   3. one endpoint has replicas → its least-loaded replica partition;
+///   4. neither has replicas → least-loaded partition overall.
+/// Known to be sensitive to stream order — a BFS stream can collapse it
+/// into one giant partition (Section 4.2.2), which the stream-order
+/// ablation benchmark demonstrates.
+class PowerGraphGreedyPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "PGG"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_VERTEXCUT_GREEDY_H_

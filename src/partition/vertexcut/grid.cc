@@ -1,0 +1,88 @@
+#include "partition/vertexcut/grid.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/timer.h"
+#include "stream/stream.h"
+
+namespace sgp {
+
+namespace {
+
+// Largest divisor of k that is ≤ √k, giving the most square grid.
+PartitionId GridRows(PartitionId k) {
+  PartitionId best = 1;
+  for (PartitionId r = 1;
+       static_cast<uint64_t>(r) * r <= static_cast<uint64_t>(k); ++r) {
+    if (k % r == 0) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+Partitioning GridPartitioner::Run(const Graph& graph,
+                                  const PartitionConfig& config) const {
+  SGP_CHECK(config.k > 0);
+  Timer timer;
+  const PartitionId k = config.k;
+  const PartitionId rows = GridRows(k);
+  const PartitionId cols = k / rows;
+
+  auto row_of = [cols](PartitionId p) { return p / cols; };
+  auto col_of = [cols](PartitionId p) { return p % cols; };
+  auto in_constrained_set = [&](PartitionId p, PartitionId home) {
+    return row_of(p) == row_of(home) || col_of(p) == col_of(home);
+  };
+
+  Partitioning result;
+  result.model = CutModel::kVertexCut;
+  result.k = k;
+  result.edge_to_partition.resize(graph.num_edges());
+  const std::vector<double> weights = NormalizedCapacities(config);
+  std::vector<uint64_t> loads(k, 0);
+  std::vector<PartitionId> candidates;
+  candidates.reserve(rows + cols);
+
+  for (EdgeId e : MakeEdgeStream(graph, config.order, config.seed)) {
+    const Edge& edge = graph.edges()[e];
+    PartitionId home_u = static_cast<PartitionId>(
+        HashU64Seeded(edge.src, config.seed) % k);
+    PartitionId home_v = static_cast<PartitionId>(
+        HashU64Seeded(edge.dst, config.seed) % k);
+    // Intersection of the two constrained sets; guaranteed non-empty since
+    // it always contains (row(u), col(v)) and (row(v), col(u)).
+    candidates.clear();
+    PartitionId ru = row_of(home_u);
+    PartitionId cu = col_of(home_u);
+    for (PartitionId c = 0; c < cols; ++c) {
+      PartitionId p = ru * cols + c;
+      if (in_constrained_set(p, home_v)) candidates.push_back(p);
+    }
+    for (PartitionId r = 0; r < rows; ++r) {
+      PartitionId p = r * cols + cu;
+      if (p != home_u && in_constrained_set(p, home_v)) {
+        candidates.push_back(p);
+      }
+    }
+    SGP_DCHECK(!candidates.empty());
+    PartitionId best = candidates[0];
+    for (PartitionId p : candidates) {
+      if (static_cast<double>(loads[p]) / weights[p] <
+          static_cast<double>(loads[best]) / weights[best]) {
+        best = p;
+      }
+    }
+    result.edge_to_partition[e] = best;
+    ++loads[best];
+  }
+  result.state_bytes = static_cast<uint64_t>(k) * sizeof(uint64_t);
+  DeriveMasterPlacement(graph, &result);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sgp

@@ -1,0 +1,23 @@
+#ifndef SGP_PARTITION_VERTEXCUT_GRID_H_
+#define SGP_PARTITION_VERTEXCUT_GRID_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// Grid partitioning (Jain et al., GRADES'13): partitions are arranged on a
+/// 2-D grid; each vertex hashes to a home cell, and an edge may only go to
+/// a cell in the intersection of its endpoints' constrained sets (the row
+/// and column of each home cell), choosing the least-loaded. This bounds
+/// each vertex's replication factor by 2√k − 1 (Section 4.2.2).
+class GridPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "GRID"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_VERTEXCUT_GRID_H_

@@ -1,0 +1,41 @@
+#ifndef SGP_PARTITION_VERTEXCUT_REPLICA_STATE_H_
+#define SGP_PARTITION_VERTEXCUT_REPLICA_STATE_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sgp {
+
+/// Incrementally maintained replica sets A(u) used by the greedy vertex-cut
+/// partitioners (PowerGraph greedy, HDRF). This is the "distributed table
+/// with the values of A(u)" the paper notes greedy methods must share
+/// among workers (Section 4.2.2). Sets are tiny (≤ k entries), so linear
+/// scans beat any hashed structure.
+class ReplicaState {
+ public:
+  explicit ReplicaState(VertexId num_vertices) : sets_(num_vertices) {}
+
+  /// True if partition `p` already holds a replica of `u`.
+  bool Contains(VertexId u, PartitionId p) const {
+    const auto& s = sets_[u];
+    return std::find(s.begin(), s.end(), p) != s.end();
+  }
+
+  /// Records that partition `p` now holds a replica of `u` (idempotent).
+  void Add(VertexId u, PartitionId p) {
+    if (!Contains(u, p)) sets_[u].push_back(p);
+  }
+
+  /// Partitions currently holding a replica of `u` (unsorted).
+  std::span<const PartitionId> Of(VertexId u) const { return sets_[u]; }
+
+ private:
+  std::vector<std::vector<PartitionId>> sets_;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_VERTEXCUT_REPLICA_STATE_H_

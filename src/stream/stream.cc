@@ -1,0 +1,136 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace sgp {
+
+namespace {
+
+// Traversal order over the undirected graph, covering every component.
+// `depth_first` selects DFS, otherwise BFS. Component roots are chosen in
+// random order so the traversal does not privilege low vertex ids.
+std::vector<VertexId> TraversalOrder(const Graph& graph, bool depth_first,
+                                     uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  Rng rng(seed);
+  std::vector<VertexId> roots(n);
+  std::iota(roots.begin(), roots.end(), 0u);
+  rng.Shuffle(roots);
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> frontier;
+  for (VertexId root : roots) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      VertexId u;
+      if (depth_first) {
+        u = frontier.back();
+        frontier.pop_back();
+      } else {
+        u = frontier.front();
+        frontier.pop_front();
+      }
+      order.push_back(u);
+      for (VertexId v : graph.Neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+StreamOrder ParseStreamOrder(std::string_view name) {
+  if (name == "natural") return StreamOrder::kNatural;
+  if (name == "random") return StreamOrder::kRandom;
+  if (name == "bfs") return StreamOrder::kBfs;
+  if (name == "dfs") return StreamOrder::kDfs;
+  SGP_CHECK(false && "unknown stream order");
+  return StreamOrder::kNatural;
+}
+
+std::string_view StreamOrderName(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kNatural:
+      return "natural";
+    case StreamOrder::kRandom:
+      return "random";
+    case StreamOrder::kBfs:
+      return "bfs";
+    case StreamOrder::kDfs:
+      return "dfs";
+  }
+  return "unknown";
+}
+
+std::vector<VertexId> MakeVertexStream(const Graph& graph, StreamOrder order,
+                                       uint64_t seed) {
+  const VertexId n = graph.num_vertices();
+  switch (order) {
+    case StreamOrder::kNatural: {
+      std::vector<VertexId> ids(n);
+      std::iota(ids.begin(), ids.end(), 0u);
+      return ids;
+    }
+    case StreamOrder::kRandom: {
+      std::vector<VertexId> ids(n);
+      std::iota(ids.begin(), ids.end(), 0u);
+      Rng rng(seed);
+      rng.Shuffle(ids);
+      return ids;
+    }
+    case StreamOrder::kBfs:
+      return TraversalOrder(graph, /*depth_first=*/false, seed);
+    case StreamOrder::kDfs:
+      return TraversalOrder(graph, /*depth_first=*/true, seed);
+  }
+  return {};
+}
+
+std::vector<EdgeId> MakeEdgeStream(const Graph& graph, StreamOrder order,
+                                   uint64_t seed) {
+  const EdgeId m = graph.num_edges();
+  std::vector<EdgeId> ids(m);
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  switch (order) {
+    case StreamOrder::kNatural:
+      return ids;
+    case StreamOrder::kRandom: {
+      Rng rng(seed);
+      rng.Shuffle(ids);
+      return ids;
+    }
+    case StreamOrder::kBfs:
+    case StreamOrder::kDfs: {
+      std::vector<VertexId> vertex_order = TraversalOrder(
+          graph, /*depth_first=*/order == StreamOrder::kDfs, seed);
+      std::vector<uint32_t> position(graph.num_vertices());
+      for (uint32_t i = 0; i < vertex_order.size(); ++i) {
+        position[vertex_order[i]] = i;
+      }
+      std::stable_sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+        const Edge& ea = graph.edges()[a];
+        const Edge& eb = graph.edges()[b];
+        return std::min(position[ea.src], position[ea.dst]) <
+               std::min(position[eb.src], position[eb.dst]);
+      });
+      return ids;
+    }
+  }
+  return ids;
+}
+
+}  // namespace sgp

@@ -1,0 +1,128 @@
+#include "advisor/advisor.h"
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+TEST(AdvisorTest, LatencyCriticalOnlineGetsHashing) {
+  AdvisorQuery q;
+  q.workload = WorkloadClass::kOnlineQueries;
+  q.latency_critical = true;
+  Recommendation r = Recommend(q);
+  EXPECT_EQ(r.partitioner, "ECR");
+}
+
+TEST(AdvisorTest, OverloadedOnlineGetsHashing) {
+  AdvisorQuery q;
+  q.workload = WorkloadClass::kOnlineQueries;
+  q.latency_critical = false;
+  q.high_load = true;
+  EXPECT_EQ(Recommend(q).partitioner, "ECR");
+}
+
+TEST(AdvisorTest, ThroughputOrientedOnlineGetsFennel) {
+  AdvisorQuery q;
+  q.workload = WorkloadClass::kOnlineQueries;
+  q.latency_critical = false;
+  q.high_load = false;
+  EXPECT_EQ(Recommend(q).partitioner, "FNL");
+}
+
+TEST(AdvisorTest, AnalyticsBranchMatchesFigure9) {
+  AdvisorQuery q;
+  q.workload = WorkloadClass::kOfflineAnalytics;
+  q.degree = DegreeDistribution::kLowDegree;
+  EXPECT_EQ(Recommend(q).partitioner, "FNL");
+  q.degree = DegreeDistribution::kHeavyTailed;
+  EXPECT_EQ(Recommend(q).partitioner, "HG");
+  q.degree = DegreeDistribution::kPowerLaw;
+  EXPECT_EQ(Recommend(q).partitioner, "HDRF");
+}
+
+TEST(AdvisorTest, RecommendationsAreCreatable) {
+  for (WorkloadClass wl :
+       {WorkloadClass::kOfflineAnalytics, WorkloadClass::kOnlineQueries}) {
+    for (DegreeDistribution d :
+         {DegreeDistribution::kLowDegree, DegreeDistribution::kHeavyTailed,
+          DegreeDistribution::kPowerLaw}) {
+      for (bool latency : {false, true}) {
+        AdvisorQuery q;
+        q.workload = wl;
+        q.degree = d;
+        q.latency_critical = latency;
+        Recommendation r = Recommend(q);
+        EXPECT_NE(CreatePartitioner(r.partitioner), nullptr);
+        EXPECT_FALSE(r.rationale.empty());
+      }
+    }
+  }
+}
+
+TEST(AdvisorOutcomeTest, AnalyticsRecommendationsBeatHashOnReplication) {
+  // The analytics branches rest on cut quality: on each branch's graph
+  // the recommended algorithm must beat random placement of the same cut
+  // model on replication factor.
+  struct Case {
+    const char* dataset;
+    DegreeDistribution degree;
+  };
+  for (const Case& c : {Case{"usaroad", DegreeDistribution::kLowDegree},
+                        Case{"twitter", DegreeDistribution::kHeavyTailed},
+                        Case{"uk2007", DegreeDistribution::kPowerLaw}}) {
+    Graph g = MakeDataset(c.dataset, 10);
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOfflineAnalytics;
+    q.degree = c.degree;
+    Recommendation rec = Recommend(q);
+    PartitionConfig cfg;
+    cfg.k = 16;
+    PartitionMetrics recommended =
+        ComputeMetrics(g, CreatePartitioner(rec.partitioner)->Run(g, cfg));
+    PartitionMetrics random =
+        ComputeMetrics(g, CreatePartitioner("VCR")->Run(g, cfg));
+    EXPECT_LT(recommended.replication_factor, random.replication_factor)
+        << c.dataset;
+  }
+}
+
+TEST(AdvisorOutcomeTest, ClassifierFeedsTreeConsistently) {
+  // classify → recommend must produce a creatable partitioner whose cut
+  // model matches the recommendation for every dataset.
+  for (const std::string& name : DatasetNames()) {
+    Graph g = MakeDataset(name, 10);
+    AdvisorQuery q;
+    q.workload = WorkloadClass::kOfflineAnalytics;
+    q.degree = ClassifyGraph(g);
+    Recommendation rec = Recommend(q);
+    auto partitioner = CreatePartitioner(rec.partitioner);
+    EXPECT_EQ(partitioner->model(), rec.model) << name;
+  }
+}
+
+TEST(ClassifyGraphTest, RoadNetworkIsLowDegree) {
+  EXPECT_EQ(ClassifyGraph(MakeDataset("usaroad", 10)),
+            DegreeDistribution::kLowDegree);
+}
+
+TEST(ClassifyGraphTest, WebGraphIsSkewed) {
+  DegreeDistribution d = ClassifyGraph(MakeDataset("uk2007", 11));
+  EXPECT_NE(d, DegreeDistribution::kLowDegree);
+}
+
+TEST(ClassifyGraphTest, SocialGraphIsSkewed) {
+  DegreeDistribution d = ClassifyGraph(MakeDataset("twitter", 11));
+  EXPECT_NE(d, DegreeDistribution::kLowDegree);
+}
+
+TEST(ClassifyGraphTest, EmptyGraphDefaultsLowDegree) {
+  GraphBuilder b(4, false);
+  Graph g = std::move(b).Finalize();
+  EXPECT_EQ(ClassifyGraph(g), DegreeDistribution::kLowDegree);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,86 @@
+// Randomized oracle test: GraphBuilder's de-duplication and adjacency
+// semantics checked against a naive std::set-based reference over many
+// random edge sequences.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace sgp {
+namespace {
+
+struct ReferenceGraph {
+  std::set<std::pair<VertexId, VertexId>> edges;  // canonical form
+  std::vector<std::set<VertexId>> neighbors;
+
+  ReferenceGraph(VertexId n) : neighbors(n) {}
+
+  void Add(VertexId u, VertexId v, bool directed) {
+    if (u == v) return;
+    auto key = directed || u <= v ? std::make_pair(u, v)
+                                  : std::make_pair(v, u);
+    edges.insert(key);
+    neighbors[u].insert(v);
+    neighbors[v].insert(u);
+  }
+};
+
+class BuilderOracleTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(BuilderOracleTest, MatchesNaiveReferenceOnRandomSequences) {
+  const bool directed = GetParam();
+  Rng rng(directed ? 101 : 202);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId n = 2 + static_cast<VertexId>(rng.UniformInt(30));
+    const int ops = static_cast<int>(rng.UniformInt(200));
+    GraphBuilder builder(n, directed);
+    ReferenceGraph ref(n);
+    for (int i = 0; i < ops; ++i) {
+      VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+      VertexId v = static_cast<VertexId>(rng.UniformInt(n));
+      builder.AddEdge(u, v);
+      ref.Add(u, v, directed);
+    }
+    Graph g = std::move(builder).Finalize();
+
+    // Edge multiset matches (count + canonical membership).
+    ASSERT_EQ(g.num_edges(), ref.edges.size()) << "trial " << trial;
+    for (const Edge& e : g.edges()) {
+      auto key = directed || e.src <= e.dst
+                     ? std::make_pair(e.src, e.dst)
+                     : std::make_pair(e.dst, e.src);
+      ASSERT_TRUE(ref.edges.count(key)) << "trial " << trial;
+    }
+    // Undirected neighborhoods match exactly.
+    for (VertexId u = 0; u < n; ++u) {
+      auto nb = g.Neighbors(u);
+      ASSERT_EQ(nb.size(), ref.neighbors[u].size())
+          << "trial " << trial << " u=" << u;
+      ASSERT_TRUE(std::equal(nb.begin(), nb.end(),
+                             ref.neighbors[u].begin()));
+    }
+    // Directed graphs: out/in degree sums both equal the edge count.
+    if (directed) {
+      uint64_t out_sum = 0;
+      uint64_t in_sum = 0;
+      for (VertexId u = 0; u < n; ++u) {
+        out_sum += g.OutDegree(u);
+        in_sum += g.InDegree(u);
+      }
+      ASSERT_EQ(out_sum, g.num_edges());
+      ASSERT_EQ(in_sum, g.num_edges());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Directedness, BuilderOracleTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "directed" : "undirected";
+                         });
+
+}  // namespace
+}  // namespace sgp

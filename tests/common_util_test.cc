@@ -1,0 +1,72 @@
+// Remaining common utilities: hashing and the table printer.
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "common/hashing.h"
+#include "common/table_printer.h"
+
+namespace sgp {
+namespace {
+
+TEST(HashingTest, DeterministicAndDistinct) {
+  EXPECT_EQ(HashU64(42), HashU64(42));
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(HashU64(i));
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions on small consecutive ids
+}
+
+TEST(HashingTest, ConsecutiveInputsSpreadAcrossBuckets) {
+  // hash mod k over consecutive ids must be near-uniform — this is what
+  // the "hash partitioning is balanced" assumption rests on.
+  std::vector<int> counts(8, 0);
+  for (uint64_t i = 0; i < 8000; ++i) ++counts[HashU64(i) % 8];
+  for (int c : counts) {
+    EXPECT_GT(c, 900);
+    EXPECT_LT(c, 1100);
+  }
+}
+
+TEST(HashingTest, SeedChangesPlacement) {
+  int same = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    same += HashU64Seeded(i, 1) % 16 == HashU64Seeded(i, 2) % 16;
+  }
+  // ~1/16 collisions expected, not ~1.
+  EXPECT_LT(same, 150);
+}
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"xxxxx", "y"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("a      bbbb"), std::string::npos);
+  EXPECT_NE(s.find("xxxxx  y"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, FormatCountSeparators) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(TablePrinterDeathTest, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.AddRow({"only-one"}), "SGP_CHECK");
+}
+
+}  // namespace
+}  // namespace sgp

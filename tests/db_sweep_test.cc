@@ -1,0 +1,94 @@
+// Parameterized graph-database sweep: plan-level invariants for every
+// (algorithm × k × query kind) combination.
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "graphdb/graphdb.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+using SweepParam = std::tuple<std::string, PartitionId, QueryKind>;
+
+class DbSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static const Graph& TestGraph() {
+    static const Graph* graph = new Graph(MakeDataset("ldbc", 9));
+    return *graph;
+  }
+};
+
+TEST_P(DbSweepTest, PlanInvariants) {
+  const auto& [algo, k, kind] = GetParam();
+  const Graph& g = TestGraph();
+  PartitionConfig cfg;
+  cfg.k = k;
+  GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+  const DbCostModel& cost = db.cost_model();
+
+  for (VertexId start : {0u, 7u, 99u, 250u}) {
+    Query q{kind, start, /*target=*/start == 0 ? 99u : 0u};
+    QueryPlan plan = db.Plan(q);
+
+    // The coordinator is the owner under the partition-aware router.
+    ASSERT_EQ(plan.coordinator, db.Owner(start));
+
+    // Remote messages come in request/response pairs, and bytes are only
+    // charged when messages exist.
+    ASSERT_EQ(plan.remote_messages % 2, 0u);
+    if (plan.remote_messages == 0) {
+      ASSERT_EQ(plan.network_bytes, 0u);
+    } else {
+      ASSERT_GE(plan.network_bytes,
+                plan.remote_messages / 2 * cost.bytes_per_request);
+    }
+
+    // Reads are conserved across rounds.
+    uint64_t round_reads = 0;
+    for (const auto& round : plan.rounds) {
+      ASSERT_FALSE(round.empty());
+      for (const auto& task : round) {
+        ASSERT_LT(task.worker, k);
+        round_reads += task.reads;
+      }
+    }
+    ASSERT_EQ(round_reads, plan.total_reads);
+
+    // Kind-specific read accounting.
+    const uint64_t deg = g.Degree(start);
+    if (kind == QueryKind::kOneHop) {
+      ASSERT_EQ(plan.total_reads, 1 + deg);
+      ASSERT_EQ(plan.result_size, deg);
+    }
+    if (kind == QueryKind::kTwoHop) {
+      // 1 start read + neighbor reads + distinct 2-hop records.
+      ASSERT_EQ(plan.total_reads, 1 + deg + plan.result_size);
+    }
+    // With one partition there is never remote traffic.
+    if (k == 1) {
+      ASSERT_EQ(plan.remote_messages, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsClustersKinds, DbSweepTest,
+    ::testing::Combine(::testing::Values("ECR", "LDG", "FNL", "MTS"),
+                       ::testing::Values(1u, 4u, 16u),
+                       ::testing::Values(QueryKind::kOneHop,
+                                         QueryKind::kTwoHop,
+                                         QueryKind::kShortestPath)),
+    [](const auto& info) {
+      std::string kind =
+          std::get<2>(info.param) == QueryKind::kOneHop      ? "onehop"
+          : std::get<2>(info.param) == QueryKind::kTwoHop    ? "twohop"
+                                                             : "sp";
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_" + kind;
+    });
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,166 @@
+// Edge cases and failure injection across the whole stack: empty graphs,
+// single vertices, k larger than n, isolated vertices, unreachable
+// targets, degenerate configurations.
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "graphdb/event_sim.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+Graph EmptyGraph(VertexId n = 0) {
+  GraphBuilder b(n, /*directed=*/false);
+  return std::move(b).Finalize();
+}
+
+TEST(EdgeCaseTest, PartitionEmptyGraph) {
+  Graph g = EmptyGraph();
+  for (const std::string& algo : PartitionerNames()) {
+    PartitionConfig cfg;
+    cfg.k = 4;
+    Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+    ValidatePartitioning(g, p);
+    EXPECT_TRUE(p.vertex_to_partition.empty()) << algo;
+  }
+}
+
+TEST(EdgeCaseTest, PartitionEdgelessVertices) {
+  Graph g = EmptyGraph(10);
+  for (const std::string& algo : PartitionerNames()) {
+    PartitionConfig cfg;
+    cfg.k = 4;
+    Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+    ValidatePartitioning(g, p);
+    PartitionMetrics m = ComputeMetrics(g, p);
+    EXPECT_DOUBLE_EQ(m.replication_factor, 1.0) << algo;
+    EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 0.0) << algo;
+  }
+}
+
+TEST(EdgeCaseTest, KLargerThanN) {
+  Graph g = testing::MakePath(4);
+  for (const std::string& algo : PartitionerNames()) {
+    PartitionConfig cfg;
+    cfg.k = 16;
+    Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+    ValidatePartitioning(g, p);
+  }
+}
+
+TEST(EdgeCaseTest, KEqualsOneIsAlwaysPerfect) {
+  Graph g = MakeDataset("ldbc", 8);
+  for (const std::string& algo : PartitionerNames()) {
+    PartitionConfig cfg;
+    cfg.k = 1;
+    PartitionMetrics m =
+        ComputeMetrics(g, CreatePartitioner(algo)->Run(g, cfg));
+    EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 0.0) << algo;
+    EXPECT_DOUBLE_EQ(m.replication_factor, 1.0) << algo;
+  }
+}
+
+TEST(EdgeCaseTest, EngineOnEmptyGraph) {
+  Graph g = EmptyGraph();
+  PartitionConfig cfg;
+  cfg.k = 2;
+  Partitioning p = CreatePartitioner("ECR")->Run(g, cfg);
+  AnalyticsEngine engine(g, p);
+  EngineStats stats = engine.Run(WccProgram());
+  EXPECT_EQ(stats.iterations, 0u);
+  EXPECT_TRUE(stats.values.empty());
+}
+
+TEST(EdgeCaseTest, EngineSingleVertex) {
+  Graph g = EmptyGraph(1);
+  PartitionConfig cfg;
+  cfg.k = 2;
+  Partitioning p = CreatePartitioner("ECR")->Run(g, cfg);
+  AnalyticsEngine engine(g, p);
+  EngineStats pr = engine.Run(PageRankProgram(5));
+  EXPECT_DOUBLE_EQ(pr.values[0], 0.15);
+  EngineStats sssp = engine.Run(SsspProgram(0));
+  EXPECT_DOUBLE_EQ(sssp.values[0], 0.0);
+}
+
+TEST(EdgeCaseTest, EngineDisconnectedGraph) {
+  Graph g = testing::MakeGraph(6, /*directed=*/false,
+                               {{0, 1}, {1, 2}, {3, 4}});
+  PartitionConfig cfg;
+  cfg.k = 3;
+  Partitioning p = CreatePartitioner("LDG")->Run(g, cfg);
+  AnalyticsEngine engine(g, p);
+  EngineStats sssp = engine.Run(SsspProgram(0));
+  EXPECT_EQ(sssp.values[2], 2.0);
+  EXPECT_EQ(sssp.values[3], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(sssp.values[5], std::numeric_limits<double>::infinity());
+  EngineStats wcc = engine.Run(WccProgram());
+  EXPECT_EQ(wcc.values[4], 3.0);
+  EXPECT_EQ(wcc.values[5], 5.0);
+}
+
+TEST(EdgeCaseTest, DatabaseQueryOnIsolatedVertex) {
+  Graph g = testing::MakeGraph(4, /*directed=*/false, {{0, 1}});
+  PartitionConfig cfg;
+  cfg.k = 2;
+  GraphDatabase db(g, CreatePartitioner("ECR")->Run(g, cfg));
+  QueryPlan plan = db.Plan({QueryKind::kOneHop, 3, 0});
+  EXPECT_EQ(plan.result_size, 0u);
+  EXPECT_EQ(plan.total_reads, 1u);  // still reads the (empty) adjacency
+}
+
+TEST(EdgeCaseTest, ShortestPathUnreachableTerminates) {
+  Graph g = testing::MakeGraph(5, /*directed=*/false, {{0, 1}, {2, 3}});
+  PartitionConfig cfg;
+  cfg.k = 2;
+  GraphDatabase db(g, CreatePartitioner("ECR")->Run(g, cfg));
+  QueryPlan plan = db.Plan({QueryKind::kShortestPath, 0, 3});
+  EXPECT_EQ(plan.result_size, 0u);  // unreachable
+}
+
+TEST(EdgeCaseTest, SimWithOneClientOneWorker) {
+  Graph g = MakeDataset("ldbc", 8);
+  PartitionConfig cfg;
+  cfg.k = 1;
+  GraphDatabase db(g, CreatePartitioner("ECR")->Run(g, cfg));
+  Workload w(g, {});
+  SimConfig sim;
+  sim.clients = 1;
+  sim.num_queries = 100;
+  SimResult r = SimulateClosedLoop(db, w, sim);
+  EXPECT_EQ(r.completed, 90u);
+  EXPECT_GT(r.throughput_qps, 0.0);
+}
+
+TEST(EdgeCaseDeathTest, PartitionerRejectsUnknownName) {
+  EXPECT_DEATH(CreatePartitioner("NOPE"), "SGP_CHECK");
+}
+
+TEST(EdgeCaseDeathTest, BuilderRejectsOutOfRangeVertex) {
+  GraphBuilder b(2, /*directed=*/false);
+  EXPECT_DEATH(b.AddEdge(0, 5), "SGP_CHECK");
+}
+
+TEST(EdgeCaseDeathTest, DatasetRejectsUnknownName) {
+  EXPECT_DEATH(MakeDataset("nope", 10), "SGP_CHECK");
+}
+
+TEST(EdgeCaseTest, MetricsOnSelfContainedPartition) {
+  // All vertices and edges on one partition of many.
+  Graph g = testing::MakeCycle(6);
+  Partitioning p = testing::MakeEdgeCutPartitioning(
+      g, 4, std::vector<PartitionId>(6, 2));
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  EXPECT_DOUBLE_EQ(m.vertex_imbalance, 4.0);  // max/avg with 3 empty parts
+}
+
+}  // namespace
+}  // namespace sgp

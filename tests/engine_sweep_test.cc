@@ -1,0 +1,89 @@
+// Parameterized engine sweep: accounting invariants that must hold for
+// every (workload × partitioner × cluster size) combination, beyond the
+// value-correctness checks of engine_test.cc.
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+using SweepParam = std::tuple<std::string, std::string, PartitionId>;
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static const Graph& TestGraph() {
+    static const Graph* graph = new Graph(MakeDataset("ldbc", 9));
+    return *graph;
+  }
+};
+
+TEST_P(EngineSweepTest, AccountingInvariants) {
+  const auto& [workload, algo, k] = GetParam();
+  const Graph& g = TestGraph();
+  PartitionConfig cfg;
+  cfg.k = k;
+  Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+  AnalyticsEngine engine(g, p);
+
+  EngineStats stats;
+  if (workload == "pagerank") {
+    stats = engine.Run(PageRankProgram(5));
+  } else if (workload == "wcc") {
+    stats = engine.Run(WccProgram());
+  } else {
+    VertexId source = 0;
+    while (g.Degree(source) == 0) ++source;
+    stats = engine.Run(SsspProgram(source));
+  }
+
+  // Message/byte conservation: every message was counted once at the
+  // sender and once at the receiver, 16 bytes each.
+  uint64_t per_worker_bytes = 0;
+  for (uint64_t b : stats.bytes_per_worker) per_worker_bytes += b;
+  EXPECT_EQ(per_worker_bytes, 2 * stats.total_network_bytes);
+  EXPECT_EQ(stats.total_network_bytes,
+            (stats.gather_messages + stats.sync_messages) * 16);
+
+  // Compute accounting: total compute is bounded below by one pass over
+  // the gather edges (iteration 1 touches every active vertex's edges).
+  double total_compute = 0;
+  for (double c : stats.compute_seconds_per_worker) total_compute += c;
+  EXPECT_GT(total_compute, 0.0);
+
+  // Simulated time is at least the barrier cost and at most the fully
+  // serialized cost.
+  EngineCostModel cost;
+  EXPECT_GE(stats.simulated_seconds,
+            stats.iterations * cost.superstep_latency_seconds);
+  EXPECT_LE(stats.simulated_seconds,
+            total_compute +
+                static_cast<double>(2 * stats.total_network_bytes) /
+                    cost.network_bytes_per_second +
+                stats.iterations * cost.superstep_latency_seconds + 1e-9);
+
+  // k = 1 never communicates; k > 1 on a connected-ish graph does.
+  if (k == 1) {
+    EXPECT_EQ(stats.total_network_bytes, 0u);
+  } else {
+    EXPECT_GT(stats.total_network_bytes, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsAlgorithmsClusters, EngineSweepTest,
+    ::testing::Combine(::testing::Values("pagerank", "wcc", "sssp"),
+                       ::testing::Values("ECR", "LDG", "HDRF", "HG"),
+                       ::testing::Values(1u, 4u, 32u)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param) +
+             "_k" + std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,129 @@
+// Remaining extension features: engine aggregation toggle, database
+// router modes, mixed workloads, re-streaming α annealing.
+#include <gtest/gtest.h>
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "graphdb/event_sim.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+TEST(AggregationTest, DisablingAggregationMultipliesGatherMessages) {
+  Graph g = MakeDataset("twitter", 9);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  Partitioning p = CreatePartitioner("ECR")->Run(g, cfg);
+  EngineCostModel with;
+  EngineCostModel without = with;
+  without.sender_side_aggregation = false;
+  EngineStats sa = AnalyticsEngine(g, p, with).Run(PageRankProgram(3));
+  EngineStats sn = AnalyticsEngine(g, p, without).Run(PageRankProgram(3));
+  EXPECT_GT(sn.gather_messages, 2 * sa.gather_messages);
+  // Results unchanged — aggregation is purely a communication protocol.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(sa.values[v], sn.values[v]);
+  }
+}
+
+TEST(AggregationTest, UnaggregatedEdgeCutMessagesEqualCutEdges) {
+  // Figure 10(a): without aggregation, every cut edge is one message per
+  // PageRank iteration.
+  Graph g = testing::MakeFigure10Graph();
+  Partitioning p =
+      testing::MakeEdgeCutPartitioning(g, 3, {0, 1, 2, 0, 1, 2});
+  PartitionMetrics m = ComputeMetrics(g, p);
+  const uint64_t cut_edges = static_cast<uint64_t>(
+      m.edge_cut_ratio * static_cast<double>(g.num_edges()) + 0.5);
+  EngineCostModel cost;
+  cost.sender_side_aggregation = false;
+  EngineStats stats = AnalyticsEngine(g, p, cost).Run(PageRankProgram(4));
+  EXPECT_EQ(stats.gather_messages, 4 * cut_edges);
+  EXPECT_EQ(stats.sync_messages, 0u);
+}
+
+TEST(RouterModeTest, RandomRouterPaysExtraRound) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  Partitioning p = CreatePartitioner("FNL")->Run(g, cfg);
+  GraphDatabase aware(g, p, {}, RouterMode::kPartitionAware);
+  GraphDatabase random(g, p, {}, RouterMode::kRandom);
+  uint64_t aware_msgs = 0;
+  uint64_t random_msgs = 0;
+  for (VertexId start : {1u, 10u, 50u, 200u, 400u}) {
+    Query q{QueryKind::kOneHop, start, 0};
+    QueryPlan pa = aware.Plan(q);
+    QueryPlan pr = random.Plan(q);
+    // Identical answers, identical reads.
+    ASSERT_EQ(pa.result_size, pr.result_size);
+    ASSERT_EQ(pa.total_reads, pr.total_reads);
+    aware_msgs += pa.remote_messages;
+    random_msgs += pr.remote_messages;
+  }
+  EXPECT_GT(random_msgs, aware_msgs);
+}
+
+TEST(RouterModeTest, ObliviousRouterLowersThroughput) {
+  Graph g = MakeDataset("ldbc", 10);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  Partitioning p = CreatePartitioner("MTS")->Run(g, cfg);
+  Workload w(g, {});
+  SimConfig sim;
+  sim.clients = 96;
+  sim.num_queries = 6000;
+  GraphDatabase aware(g, p, {}, RouterMode::kPartitionAware);
+  GraphDatabase random(g, p, {}, RouterMode::kRandom);
+  SimResult ra = SimulateClosedLoop(aware, w, sim);
+  SimResult rr = SimulateClosedLoop(random, w, sim);
+  EXPECT_GT(ra.throughput_qps, rr.throughput_qps);
+}
+
+TEST(MixedWorkloadTest, MixProportionsRoughlyHold) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  cfg.mix = {{QueryKind::kOneHop, 0.7}, {QueryKind::kTwoHop, 0.3}};
+  cfg.num_bindings = 2000;
+  Workload w(g, cfg);
+  uint32_t one_hop = 0;
+  for (const Query& q : w.bindings()) {
+    one_hop += q.kind == QueryKind::kOneHop;
+  }
+  EXPECT_NEAR(static_cast<double>(one_hop) / 2000.0, 0.7, 0.05);
+}
+
+TEST(MixedWorkloadTest, SimulatesEndToEnd) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  GraphDatabase db(g, CreatePartitioner("ECR")->Run(g, pcfg));
+  WorkloadConfig cfg;
+  cfg.mix = {{QueryKind::kOneHop, 0.5}, {QueryKind::kTwoHop, 0.5}};
+  Workload w(g, cfg);
+  SimConfig sim;
+  sim.clients = 16;
+  sim.num_queries = 2000;
+  SimResult r = SimulateClosedLoop(db, w, sim);
+  EXPECT_GT(r.throughput_qps, 0.0);
+}
+
+TEST(RestreamAnnealingTest, GrowthTightensBalanceOverPasses) {
+  Graph g = MakeDataset("twitter", 10);
+  PartitionConfig base;
+  base.k = 8;
+  base.restream_passes = 5;
+  PartitionConfig annealed = base;
+  annealed.restream_alpha_growth = 2.0;
+  auto partitioner = CreatePartitioner("RFNL");
+  PartitionMetrics fixed = ComputeMetrics(g, partitioner->Run(g, base));
+  PartitionMetrics grown = ComputeMetrics(g, partitioner->Run(g, annealed));
+  // Annealing cannot worsen balance; both stay valid partitionings.
+  EXPECT_LE(grown.vertex_imbalance, fixed.vertex_imbalance + 0.02);
+}
+
+}  // namespace
+}  // namespace sgp

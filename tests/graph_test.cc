@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+using testing::MakeGraph;
+
+std::vector<VertexId> ToVector(std::span<const VertexId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(GraphBuilderTest, DirectedAdjacency) {
+  Graph g = MakeGraph(4, /*directed=*/true, {{0, 1}, {0, 2}, {2, 1}, {3, 0}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(ToVector(g.OutNeighbors(0)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(ToVector(g.InNeighbors(1)), (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(g.OutDegree(3), 1u);
+  EXPECT_EQ(g.InDegree(3), 0u);
+}
+
+TEST(GraphBuilderTest, UndirectedNeighborsAreSymmetric) {
+  Graph g = MakeGraph(3, /*directed=*/false, {{0, 1}, {1, 2}});
+  EXPECT_EQ(ToVector(g.Neighbors(1)), (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(ToVector(g.OutNeighbors(1)), ToVector(g.Neighbors(1)));
+  EXPECT_EQ(ToVector(g.InNeighbors(1)), ToVector(g.Neighbors(1)));
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  Graph g = MakeGraph(2, /*directed=*/true, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edges()[0], (Edge{0, 1}));
+}
+
+TEST(GraphBuilderTest, DirectedDuplicatesRemovedKeepingFirst) {
+  Graph g = MakeGraph(3, /*directed=*/true, {{0, 1}, {1, 2}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edges()[0], (Edge{0, 1}));
+  EXPECT_EQ(g.edges()[1], (Edge{1, 2}));
+}
+
+TEST(GraphBuilderTest, DirectedReverseEdgesAreDistinct) {
+  Graph g = MakeGraph(2, /*directed=*/true, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  // The undirected neighborhood de-duplicates the pair.
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, UndirectedDuplicatesRemovedEitherDirection) {
+  Graph g = MakeGraph(2, /*directed=*/false, {{0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, NeighborsSortedAndUnique) {
+  Graph g = MakeGraph(5, /*directed=*/true,
+                      {{2, 4}, {2, 1}, {2, 3}, {4, 2}, {1, 2}});
+  auto nb = ToVector(g.Neighbors(2));
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb, (std::vector<VertexId>{1, 3, 4}));
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  Graph g = MakeGraph(3, /*directed=*/false, {});
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(GraphBuilderTest, InsertionOrderPreserved) {
+  Graph g = MakeGraph(4, /*directed=*/true, {{3, 0}, {1, 2}, {0, 3}});
+  EXPECT_EQ(g.edges()[0], (Edge{3, 0}));
+  EXPECT_EQ(g.edges()[1], (Edge{1, 2}));
+  EXPECT_EQ(g.edges()[2], (Edge{0, 3}));
+}
+
+TEST(GraphStatsTest, PathGraph) {
+  Graph g = testing::MakePath(5);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 4u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 8.0 / 5.0);
+}
+
+TEST(GraphStatsTest, StarGraphMaxDegree) {
+  Graph g = testing::MakeStar(10);
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.max_degree, 9u);
+  EXPECT_EQ(s.num_edges, 9u);
+}
+
+}  // namespace
+}  // namespace sgp

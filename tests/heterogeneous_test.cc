@@ -1,0 +1,148 @@
+// Heterogeneous-cluster support (Appendix A: BMI [44], LeBeane et al.
+// [29]): with per-partition capacity weights, every algorithm must place
+// load proportionally to capacity, and the engine must account for
+// per-worker speeds.
+#include <string>
+
+#include <gtest/gtest.h>
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/offline/multilevel.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+// Capacities 1,2,3,4 on a 4-partition cluster.
+std::vector<double> Capacities() { return {1.0, 2.0, 3.0, 4.0}; }
+
+// max over partitions of load / expected-share, where the expected share
+// is proportional to capacity.
+double EffectiveImbalance(const std::vector<uint64_t>& loads,
+                          const std::vector<double>& capacities) {
+  double total_load = 0;
+  double total_cap = 0;
+  for (uint64_t l : loads) total_load += static_cast<double>(l);
+  for (double c : capacities) total_cap += c;
+  double worst = 0;
+  for (size_t i = 0; i < loads.size(); ++i) {
+    double expected = total_load * capacities[i] / total_cap;
+    if (expected > 0) {
+      worst = std::max(worst, static_cast<double>(loads[i]) / expected);
+    }
+  }
+  return worst;
+}
+
+class HeterogeneousPartitionerTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HeterogeneousPartitionerTest, LoadFollowsCapacity) {
+  Graph g = MakeDataset("ldbc", 11);
+  auto partitioner = CreatePartitioner(GetParam());
+  PartitionConfig cfg;
+  cfg.k = 4;
+  cfg.capacity_weights = Capacities();
+  Partitioning p = partitioner->Run(g, cfg);
+  ValidatePartitioning(g, p);
+  PartitionMetrics m = ComputeMetrics(g, p);
+  const auto& loads = partitioner->model() == CutModel::kEdgeCut
+                          ? m.vertices_per_partition
+                          : m.edges_per_partition;
+  // Effective (capacity-normalized) balance within a generous envelope —
+  // hash-based methods balance in expectation only.
+  EXPECT_LT(EffectiveImbalance(loads, Capacities()), 1.35) << GetParam();
+  // And the big partition really is bigger than the small one.
+  EXPECT_GT(loads[3], loads[0] * 2) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, HeterogeneousPartitionerTest,
+                         ::testing::Values("ECR", "LDG", "FNL", "VCR",
+                                           "DBH", "GRID", "HDRF", "PGG",
+                                           "HCR", "HG", "MTS", "ESG"),
+                         [](const auto& info) { return info.param; });
+
+TEST(HeterogeneousTest, HomogeneousDefaultUnchanged) {
+  // Empty capacity_weights must reproduce the exact homogeneous result.
+  Graph g = MakeDataset("usaroad", 9);
+  PartitionConfig plain;
+  plain.k = 4;
+  PartitionConfig with_unit = plain;
+  with_unit.capacity_weights = {1.0, 1.0, 1.0, 1.0};
+  // Hash-based algorithms switch code paths (mod-k vs cumulative pick),
+  // so only the greedy ones are required to be bit-identical.
+  for (const char* algo : {"LDG", "FNL", "HDRF"}) {
+    auto partitioner = CreatePartitioner(algo);
+    PartitionMetrics a = ComputeMetrics(g, partitioner->Run(g, plain));
+    PartitionMetrics b = ComputeMetrics(g, partitioner->Run(g, with_unit));
+    EXPECT_NEAR(a.edge_cut_ratio, b.edge_cut_ratio, 0.05) << algo;
+  }
+}
+
+TEST(HeterogeneousTest, RejectsBadWeights) {
+  Graph g = MakeDataset("usaroad", 8);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  cfg.capacity_weights = {1.0, 2.0};  // wrong size
+  EXPECT_DEATH(CreatePartitioner("LDG")->Run(g, cfg), "SGP_CHECK");
+}
+
+TEST(HeterogeneousTest, MultilevelWeightedCapacities) {
+  Graph g = MakeDataset("ldbc", 10);
+  MultilevelOptions opts;
+  opts.k = 4;
+  opts.capacity_weights = Capacities();
+  Partitioning p = MultilevelPartition(g, opts);
+  ValidatePartitioning(g, p);
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_LT(EffectiveImbalance(m.vertices_per_partition, Capacities()),
+            1.25);
+}
+
+TEST(HeterogeneousEngineTest, FasterWorkersFinishSooner) {
+  Graph g = MakeDataset("twitter", 9);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  Partitioning p = CreatePartitioner("HDRF")->Run(g, cfg);
+
+  EngineCostModel uniform;
+  EngineCostModel skewed = uniform;
+  skewed.worker_speeds = {1.0, 1.0, 4.0, 4.0};
+  EngineStats su = AnalyticsEngine(g, p, uniform).Run(PageRankProgram(5));
+  EngineStats ss = AnalyticsEngine(g, p, skewed).Run(PageRankProgram(5));
+  // Fast workers burn less compute time...
+  EXPECT_LT(ss.compute_seconds_per_worker[2],
+            su.compute_seconds_per_worker[2] / 3.0);
+  // ...and values stay exact.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(su.values[v], ss.values[v]);
+  }
+}
+
+TEST(HeterogeneousEngineTest, CapacityAwarePlacementBeatsOblivious) {
+  // The LeBeane et al. scenario: half the cluster is 3x faster. Placing
+  // load proportionally to speed must beat capacity-oblivious placement
+  // on simulated execution time.
+  Graph g = MakeDataset("twitter", 10);
+  EngineCostModel cost;
+  cost.worker_speeds = {1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0};
+
+  PartitionConfig oblivious;
+  oblivious.k = 8;
+  PartitionConfig aware = oblivious;
+  aware.capacity_weights = {1.0, 1.0, 1.0, 1.0, 3.0, 3.0, 3.0, 3.0};
+
+  auto hdrf = CreatePartitioner("HDRF");
+  double t_oblivious = AnalyticsEngine(g, hdrf->Run(g, oblivious), cost)
+                           .Run(PageRankProgram(10))
+                           .simulated_seconds;
+  double t_aware = AnalyticsEngine(g, hdrf->Run(g, aware), cost)
+                       .Run(PageRankProgram(10))
+                       .simulated_seconds;
+  EXPECT_LT(t_aware, t_oblivious * 0.85);
+}
+
+}  // namespace
+}  // namespace sgp

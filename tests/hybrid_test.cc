@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+Partitioning RunAlgo(const Graph& g, const std::string& name, PartitionId k,
+                     uint32_t threshold = 100) {
+  auto partitioner = CreatePartitioner(name);
+  PartitionConfig cfg;
+  cfg.k = k;
+  cfg.hybrid_threshold = threshold;
+  Partitioning p = partitioner->Run(g, cfg);
+  ValidatePartitioning(g, p);
+  return p;
+}
+
+TEST(HybridRandomTest, LowDegreeInEdgesColocatedWithTarget) {
+  Graph g = MakeDataset("twitter", 10);
+  Partitioning p = RunAlgo(g, "HCR", 8, /*threshold=*/100);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edges()[e];
+    if (g.InDegree(edge.dst) <= 100) {
+      ASSERT_EQ(p.edge_to_partition[e], p.vertex_to_partition[edge.dst]);
+    }
+  }
+}
+
+TEST(HybridRandomTest, HighDegreeInEdgesScatteredBySource) {
+  Graph g = MakeDataset("twitter", 10);
+  Partitioning p = RunAlgo(g, "HCR", 8, /*threshold=*/100);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edges()[e];
+    if (g.InDegree(edge.dst) > 100) {
+      ASSERT_EQ(p.edge_to_partition[e], p.vertex_to_partition[edge.src]);
+    }
+  }
+}
+
+TEST(HybridRandomTest, ThresholdExtremesDegenerate) {
+  Graph g = MakeDataset("twitter", 9);
+  // Threshold ∞ → pure edge-cut by target hash; threshold 0 → pure
+  // source hash. Both are valid and differ on skewed graphs.
+  Partitioning all_low = RunAlgo(g, "HCR", 8, /*threshold=*/1u << 30);
+  Partitioning all_high = RunAlgo(g, "HCR", 8, /*threshold=*/0);
+  EXPECT_NE(all_low.edge_to_partition, all_high.edge_to_partition);
+}
+
+TEST(GingerTest, LowerReplicationThanHybridRandomOnSkewedGraph) {
+  Graph g = MakeDataset("twitter", 11);
+  PartitionMetrics hcr = ComputeMetrics(g, RunAlgo(g, "HCR", 16));
+  PartitionMetrics hg = ComputeMetrics(g, RunAlgo(g, "HG", 16));
+  EXPECT_LT(hg.replication_factor, hcr.replication_factor);
+}
+
+TEST(GingerTest, HighDegreeEdgesHashedBySource) {
+  Graph g = MakeDataset("twitter", 10);
+  auto partitioner = CreatePartitioner("HG");
+  PartitionConfig cfg;
+  cfg.k = 8;
+  Partitioning p = partitioner->Run(g, cfg);
+  // All in-edges of a high-degree vertex with the same source must land
+  // on the same partition (hash of the source).
+  std::vector<PartitionId> source_part(g.num_vertices(), kInvalidPartition);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edges()[e];
+    if (g.InDegree(edge.dst) <= cfg.hybrid_threshold) continue;
+    if (source_part[edge.src] == kInvalidPartition) {
+      source_part[edge.src] = p.edge_to_partition[e];
+    } else {
+      ASSERT_EQ(p.edge_to_partition[e], source_part[edge.src]);
+    }
+  }
+}
+
+TEST(GingerTest, LowDegreeInEdgesFollowMaster) {
+  Graph g = MakeDataset("ldbc", 10);
+  auto partitioner = CreatePartitioner("HG");
+  PartitionConfig cfg;
+  cfg.k = 4;
+  Partitioning p = partitioner->Run(g, cfg);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edges()[e];
+    const uint32_t in_degree = g.directed() ? g.InDegree(edge.dst)
+                                            : g.Degree(edge.dst);
+    if (in_degree <= cfg.hybrid_threshold) {
+      ASSERT_EQ(p.edge_to_partition[e], p.vertex_to_partition[edge.dst]);
+    }
+  }
+}
+
+TEST(HybridTest, ModelIsReportedAsHybrid) {
+  EXPECT_EQ(CreatePartitioner("HCR")->model(), CutModel::kHybrid);
+  EXPECT_EQ(CreatePartitioner("HG")->model(), CutModel::kHybrid);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,47 @@
+#include "graph/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "graph/generators.h"
+
+namespace sgp {
+namespace {
+
+TEST(IoTest, ReadSimpleEdgeList) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  Graph g = ReadEdgeList(in, /*directed=*/true);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(IoTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# comment\n\n% also comment\n0 1\n");
+  Graph g = ReadEdgeList(in, /*directed=*/false);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IoTest, ExplicitVertexCount) {
+  std::istringstream in("0 1\n");
+  Graph g = ReadEdgeList(in, /*directed=*/false, /*num_vertices=*/10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(IoTest, RoundTripPreservesEdges) {
+  Graph original = ErdosRenyi(64, 128, 21);
+  std::stringstream buffer;
+  WriteEdgeList(original, buffer);
+  Graph reloaded =
+      ReadEdgeList(buffer, /*directed=*/false, original.num_vertices());
+  EXPECT_EQ(original.edges(), reloaded.edges());
+}
+
+TEST(IoTest, EmptyInput) {
+  std::istringstream in("");
+  Graph g = ReadEdgeList(in, /*directed=*/true);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,126 @@
+#include "partition/metrics.h"
+
+#include <gtest/gtest.h>
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(MetricsTest, EdgeCutRatioHandComputed) {
+  // Square 0-1-2-3-0 split {0,1} vs {2,3}: 2 of 4 edges cut.
+  Graph g = MakeGraph(4, /*directed=*/false,
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 2, {0, 0, 1, 1});
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 0.5);
+  EXPECT_EQ(m.vertices_per_partition, (std::vector<uint64_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(m.vertex_imbalance, 1.0);
+}
+
+TEST(MetricsTest, ReplicationFactorHandComputed) {
+  // Star 0-{1,2}: both edges on partition 0 → every vertex has one copy,
+  // except masters that land elsewhere.
+  Graph g = MakeGraph(3, /*directed=*/false, {{0, 1}, {0, 2}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 2, {0, 0});
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+  // Split the star across partitions: center spans both.
+  Partitioning q = testing::MakeVertexCutPartitioning(g, 2, {0, 1});
+  PartitionMetrics mq = ComputeMetrics(g, q);
+  EXPECT_DOUBLE_EQ(mq.replication_factor, 4.0 / 3.0);
+}
+
+TEST(MetricsTest, ReplicationFactorNeverBelowOne) {
+  Graph g = ErdosRenyi(100, 300, 5);
+  auto partitioner = CreatePartitioner("VCR");
+  PartitionConfig cfg;
+  cfg.k = 8;
+  Partitioning p = partitioner->Run(g, cfg);
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_GE(m.replication_factor, 1.0);
+}
+
+TEST(MetricsTest, HashEdgeCutApproachesOneMinusOneOverK) {
+  // Expected cut ratio of random vertex placement is 1 − 1/k.
+  Graph g = ErdosRenyi(4000, 20000, 17);
+  for (PartitionId k : {2u, 4u, 8u}) {
+    auto partitioner = CreatePartitioner("ECR");
+    PartitionConfig cfg;
+    cfg.k = k;
+    PartitionMetrics m = ComputeMetrics(g, partitioner->Run(g, cfg));
+    EXPECT_NEAR(m.edge_cut_ratio, 1.0 - 1.0 / k, 0.02) << "k=" << k;
+  }
+}
+
+TEST(MetricsTest, EdgeImbalanceOfSkewedPlacement) {
+  Graph g = MakeGraph(4, /*directed=*/true, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 2, {0, 0, 0, 1});
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_DOUBLE_EQ(m.edge_imbalance, 3.0 / 2.0);
+}
+
+TEST(MetricsTest, ValidateAcceptsWellFormedPartitioning) {
+  Graph g = testing::MakeCycle(8);
+  Partitioning p =
+      testing::MakeEdgeCutPartitioning(g, 2, {0, 0, 0, 0, 1, 1, 1, 1});
+  ValidatePartitioning(g, p);  // must not abort
+}
+
+TEST(MetricsDeathTest, ValidateRejectsOutOfRangePartition) {
+  Graph g = testing::MakeCycle(4);
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 2, {0, 0, 1, 1});
+  p.vertex_to_partition[0] = 7;
+  EXPECT_DEATH(ValidatePartitioning(g, p), "SGP_CHECK");
+}
+
+TEST(AppendixBTest, PsiBoundsAndMonotonicity) {
+  Graph g = ErdosRenyi(500, 3000, 9);
+  // ψ ∈ (0, 1]; larger k → larger q → larger ψ.
+  double psi2 = DegreePsi(g, 2);
+  double psi8 = DegreePsi(g, 8);
+  EXPECT_GT(psi2, 0.0);
+  EXPECT_LE(psi8, 1.0);
+  EXPECT_LT(psi2, psi8);
+  // k = 1 → q = 0 → ψ counts only degree-0 vertices.
+  EXPECT_NEAR(DegreePsi(g, 1), 0.0, 0.05);
+}
+
+TEST(AppendixBTest, RandomVertexCutMatchesClosedForm) {
+  // Appendix B / Bourse et al. [10]: the measured replication factor of
+  // uniform random edge placement converges to k(1 − ψ) + ψ.
+  Graph g = ErdosRenyi(4000, 24000, 31);
+  for (PartitionId k : {4u, 16u}) {
+    auto partitioner = CreatePartitioner("VCR");
+    PartitionConfig cfg;
+    cfg.k = k;
+    PartitionMetrics m = ComputeMetrics(g, partitioner->Run(g, cfg));
+    double expected = ExpectedRandomReplicationFactor(g, k);
+    EXPECT_NEAR(m.replication_factor, expected, expected * 0.02)
+        << "k=" << k;
+  }
+}
+
+TEST(AppendixBTest, SkewLowersPsiGap) {
+  // A heavy-tailed degree sequence has more low-degree vertices than a
+  // regular one with the same mean, so its ψ is larger and its expected
+  // random replication factor smaller.
+  Graph regular = ErdosRenyi(4000, 24000, 5);
+  Graph skewed = BarabasiAlbert(4000, 6, 5);  // same avg degree ≈ 12
+  EXPECT_GT(DegreePsi(skewed, 16), DegreePsi(regular, 16));
+  EXPECT_LT(ExpectedRandomReplicationFactor(skewed, 16),
+            ExpectedRandomReplicationFactor(regular, 16));
+}
+
+TEST(MetricsDeathTest, ValidateRejectsSizeMismatch) {
+  Graph g = testing::MakeCycle(4);
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 2, {0, 0, 1, 1});
+  p.edge_to_partition.pop_back();
+  EXPECT_DEATH(ValidatePartitioning(g, p), "SGP_CHECK");
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,128 @@
+#include "partition/offline/multilevel.h"
+
+#include <gtest/gtest.h>
+#include "common/statistics.h"
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+TEST(MultilevelTest, ValidAndBalanced) {
+  Graph g = MakeDataset("ldbc", 11);
+  MultilevelOptions opts;
+  opts.k = 8;
+  Partitioning p = MultilevelPartition(g, opts);
+  ValidatePartitioning(g, p);
+  PartitionMetrics m = ComputeMetrics(g, p);
+  EXPECT_LE(m.vertex_imbalance, opts.balance_slack + 0.02);
+}
+
+TEST(MultilevelTest, MuchBetterCutThanHashOnCommunityGraph) {
+  Graph g = MakeDataset("ldbc", 11);
+  MultilevelOptions opts;
+  opts.k = 4;
+  PartitionMetrics mts = ComputeMetrics(g, MultilevelPartition(g, opts));
+  auto hash = CreatePartitioner("ECR");
+  PartitionConfig cfg;
+  cfg.k = 4;
+  PartitionMetrics ecr = ComputeMetrics(g, hash->Run(g, cfg));
+  EXPECT_LT(mts.edge_cut_ratio, ecr.edge_cut_ratio * 0.6);
+}
+
+TEST(MultilevelTest, AtLeastAsGoodAsStreamingOnCommunityGraph) {
+  // Table 4: MTS < FNL < LDG < ECR on the LDBC graph.
+  Graph g = MakeDataset("ldbc", 11);
+  MultilevelOptions opts;
+  opts.k = 8;
+  PartitionMetrics mts = ComputeMetrics(g, MultilevelPartition(g, opts));
+  auto fennel = CreatePartitioner("FNL");
+  PartitionConfig cfg;
+  cfg.k = 8;
+  PartitionMetrics fnl = ComputeMetrics(g, fennel->Run(g, cfg));
+  EXPECT_LE(mts.edge_cut_ratio, fnl.edge_cut_ratio * 1.05);
+}
+
+TEST(MultilevelTest, PerfectSplitOfTwoCliques) {
+  GraphBuilder b(16, /*directed=*/false);
+  for (VertexId u = 0; u < 8; ++u) {
+    for (VertexId v = u + 1; v < 8; ++v) b.AddEdge(u, v);
+  }
+  for (VertexId u = 8; u < 16; ++u) {
+    for (VertexId v = u + 1; v < 16; ++v) b.AddEdge(u, v);
+  }
+  b.AddEdge(3, 11);
+  Graph g = std::move(b).Finalize();
+  MultilevelOptions opts;
+  opts.k = 2;
+  opts.coarsen_target = 4;
+  PartitionMetrics m = ComputeMetrics(g, MultilevelPartition(g, opts));
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 1.0 / 57.0);
+}
+
+TEST(MultilevelTest, WeightedBalanceRespectsVertexWeights) {
+  // Heavily weighted vertices must spread: per-partition weighted load
+  // stays within the slack even though vertex counts become uneven.
+  Graph g = MakeDataset("ldbc", 10);
+  MultilevelOptions opts;
+  opts.k = 4;
+  opts.vertex_weights.assign(g.num_vertices(), 1);
+  // Make 1% of vertices 100× hotter.
+  for (VertexId v = 0; v < g.num_vertices(); v += 100) {
+    opts.vertex_weights[v] = 100;
+  }
+  Partitioning p = MultilevelPartition(g, opts);
+  std::vector<double> load(opts.k, 0);
+  double total = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    load[p.vertex_to_partition[v]] +=
+        static_cast<double>(opts.vertex_weights[v]);
+    total += static_cast<double>(opts.vertex_weights[v]);
+  }
+  double cap = opts.balance_slack * total / opts.k;
+  for (double l : load) EXPECT_LE(l, cap * 1.02);
+}
+
+TEST(MultilevelTest, DeterministicPerSeed) {
+  Graph g = MakeDataset("usaroad", 10);
+  MultilevelOptions opts;
+  opts.k = 8;
+  opts.seed = 5;
+  EXPECT_EQ(MultilevelPartition(g, opts).vertex_to_partition,
+            MultilevelPartition(g, opts).vertex_to_partition);
+}
+
+TEST(MultilevelTest, PartitionerAdapterMatchesDirectCall) {
+  Graph g = MakeDataset("usaroad", 9);
+  auto adapter = CreatePartitioner("MTS");
+  PartitionConfig cfg;
+  cfg.k = 4;
+  cfg.seed = 11;
+  MultilevelOptions opts;
+  opts.k = 4;
+  opts.seed = 11;
+  EXPECT_EQ(adapter->Run(g, cfg).vertex_to_partition,
+            MultilevelPartition(g, opts).vertex_to_partition);
+}
+
+TEST(MultilevelTest, HandlesTinyGraphs) {
+  Graph g = testing::MakePath(3);
+  MultilevelOptions opts;
+  opts.k = 2;
+  Partitioning p = MultilevelPartition(g, opts);
+  ValidatePartitioning(g, p);
+}
+
+TEST(MultilevelTest, KOneIsTrivial) {
+  Graph g = MakeDataset("usaroad", 8);
+  MultilevelOptions opts;
+  opts.k = 1;
+  PartitionMetrics m = ComputeMetrics(g, MultilevelPartition(g, opts));
+  EXPECT_DOUBLE_EQ(m.edge_cut_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,94 @@
+#include "partition/edgecut/parallel_streaming.h"
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+TEST(ParallelStreamingTest, ValidPartitioningAnyConfiguration) {
+  Graph g = MakeDataset("ldbc", 9);
+  for (uint32_t streams : {1u, 2u, 8u}) {
+    for (uint32_t interval : {1u, 16u, 1024u}) {
+      PartitionConfig cfg;
+      cfg.k = 4;
+      ParallelStreamOptions opts;
+      opts.num_streams = streams;
+      opts.sync_interval = interval;
+      ParallelStreamResult r = ParallelStreamingLdg(g, cfg, opts);
+      ValidatePartitioning(g, r.partitioning);
+      EXPECT_GT(r.sync_rounds, 0u);
+    }
+  }
+}
+
+TEST(ParallelStreamingTest, SingleStreamMatchesSequentialQuality) {
+  Graph g = MakeDataset("ldbc", 10);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  ParallelStreamOptions opts;
+  opts.num_streams = 1;
+  opts.sync_interval = 1u << 30;
+  ParallelStreamResult r = ParallelStreamingLdg(g, cfg, opts);
+  PartitionMetrics parallel = ComputeMetrics(g, r.partitioning);
+  PartitionMetrics sequential =
+      ComputeMetrics(g, CreatePartitioner("LDG")->Run(g, cfg));
+  // One worker with its own delta visible is exactly sequential LDG.
+  EXPECT_NEAR(parallel.edge_cut_ratio, sequential.edge_cut_ratio, 1e-9);
+}
+
+TEST(ParallelStreamingTest, StalenessDegradesQuality) {
+  Graph g = MakeDataset("ldbc", 11);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  ParallelStreamOptions fresh;
+  fresh.num_streams = 8;
+  fresh.sync_interval = 1;
+  ParallelStreamOptions stale;
+  stale.num_streams = 8;
+  stale.sync_interval = 1u << 20;  // one sync at the very end
+  double cut_fresh =
+      ComputeMetrics(g, ParallelStreamingLdg(g, cfg, fresh).partitioning)
+          .edge_cut_ratio;
+  double cut_stale =
+      ComputeMetrics(g, ParallelStreamingLdg(g, cfg, stale).partitioning)
+          .edge_cut_ratio;
+  EXPECT_LT(cut_fresh, cut_stale);
+}
+
+TEST(ParallelStreamingTest, SyncCostFallsWithInterval) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  ParallelStreamOptions frequent;
+  frequent.num_streams = 4;
+  frequent.sync_interval = 1;
+  ParallelStreamOptions rare = frequent;
+  rare.sync_interval = 256;
+  ParallelStreamResult rf = ParallelStreamingLdg(g, cfg, frequent);
+  ParallelStreamResult rr = ParallelStreamingLdg(g, cfg, rare);
+  EXPECT_GT(rf.sync_rounds, rr.sync_rounds);
+  // Every assignment is broadcast exactly once regardless of interval.
+  EXPECT_EQ(rf.sync_messages, rr.sync_messages);
+}
+
+TEST(ParallelStreamingTest, StillBeatsHashEvenWhenStale) {
+  Graph g = MakeDataset("ldbc", 11);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  ParallelStreamOptions opts;
+  opts.num_streams = 8;
+  opts.sync_interval = 128;
+  double cut_parallel =
+      ComputeMetrics(g, ParallelStreamingLdg(g, cfg, opts).partitioning)
+          .edge_cut_ratio;
+  double cut_hash =
+      ComputeMetrics(g, CreatePartitioner("ECR")->Run(g, cfg))
+          .edge_cut_ratio;
+  EXPECT_LT(cut_parallel, cut_hash * 0.9);
+}
+
+}  // namespace
+}  // namespace sgp

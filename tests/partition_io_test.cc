@@ -1,0 +1,69 @@
+#include "partition/partition_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+TEST(PartitionIoTest, RoundTripEdgeCut) {
+  Graph g = MakeDataset("usaroad", 8);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  Partitioning original = CreatePartitioner("LDG")->Run(g, cfg);
+  std::stringstream buffer;
+  WritePartitioning(original, buffer);
+  Partitioning reloaded = ReadPartitioning(g, buffer);
+  EXPECT_EQ(reloaded.model, original.model);
+  EXPECT_EQ(reloaded.k, original.k);
+  EXPECT_EQ(reloaded.vertex_to_partition, original.vertex_to_partition);
+  EXPECT_EQ(reloaded.edge_to_partition, original.edge_to_partition);
+}
+
+TEST(PartitionIoTest, RoundTripVertexCutAndHybrid) {
+  Graph g = MakeDataset("twitter", 8);
+  for (const char* algo : {"HDRF", "HG"}) {
+    PartitionConfig cfg;
+    cfg.k = 8;
+    Partitioning original = CreatePartitioner(algo)->Run(g, cfg);
+    std::stringstream buffer;
+    WritePartitioning(original, buffer);
+    Partitioning reloaded = ReadPartitioning(g, buffer);
+    EXPECT_EQ(reloaded.model, original.model) << algo;
+    EXPECT_EQ(reloaded.edge_to_partition, original.edge_to_partition)
+        << algo;
+  }
+}
+
+TEST(PartitionIoDeathTest, RejectsWrongGraph) {
+  Graph g = testing::MakePath(4);
+  Graph other = testing::MakePath(6);
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 2, {0, 0, 1, 1});
+  std::stringstream buffer;
+  WritePartitioning(p, buffer);
+  EXPECT_DEATH(ReadPartitioning(other, buffer), "SGP_CHECK");
+}
+
+TEST(PartitionIoDeathTest, RejectsGarbage) {
+  Graph g = testing::MakePath(4);
+  std::istringstream in("not a partitioning\n");
+  EXPECT_DEATH(ReadPartitioning(g, in), "SGP_CHECK");
+}
+
+TEST(PartitionIoDeathTest, RejectsIncompleteAssignment) {
+  Graph g = testing::MakePath(3);
+  std::istringstream in(
+      "sgp-partitioning v1\n"
+      "model edge-cut k 2 vertices 3 edges 2\n"
+      "v 0 0\nv 1 1\n"  // vertex 2 and the edges are missing
+  );
+  EXPECT_DEATH(ReadPartitioning(g, in), "SGP_CHECK");
+}
+
+}  // namespace
+}  // namespace sgp

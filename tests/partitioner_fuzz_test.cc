@@ -1,0 +1,72 @@
+// Randomized robustness sweep: every algorithm must produce a valid,
+// sane partitioning on arbitrary graphs — random sizes, random densities,
+// random structure (ER / BA / small-world / road), random k — not just on
+// the curated datasets.
+#include <string>
+
+#include <gtest/gtest.h>
+#include "common/random.h"
+#include "graph/generators.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+Graph RandomGraph(Rng& rng) {
+  switch (rng.UniformInt(4)) {
+    case 0: {
+      VertexId n = 4 + static_cast<VertexId>(rng.UniformInt(400));
+      uint64_t max_edges =
+          static_cast<uint64_t>(n) * (n - 1) / 2;
+      EdgeId m = 1 + rng.UniformInt(std::min<uint64_t>(max_edges, 4 * n));
+      return ErdosRenyi(n, m, rng.Next());
+    }
+    case 1: {
+      uint32_t deg = 1 + static_cast<uint32_t>(rng.UniformInt(4));
+      VertexId n = deg + 2 + static_cast<VertexId>(rng.UniformInt(300));
+      return BarabasiAlbert(n, deg, rng.Next());
+    }
+    case 2: {
+      uint32_t side = 3 + static_cast<uint32_t>(rng.UniformInt(15));
+      return RoadNetwork(side, side, 2.5, rng.Next());
+    }
+    default: {
+      uint32_t nbr = 1 + static_cast<uint32_t>(rng.UniformInt(3));
+      VertexId n = 2 * nbr + 2 + static_cast<VertexId>(rng.UniformInt(300));
+      return WattsStrogatz(n, nbr, 0.2, rng.Next());
+    }
+  }
+}
+
+class PartitionerFuzzTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartitionerFuzzTest, SurvivesRandomGraphsAndConfigs) {
+  auto partitioner = CreatePartitioner(GetParam());
+  Rng rng(0xF0 + std::hash<std::string>{}(GetParam()));
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph g = RandomGraph(rng);
+    PartitionConfig cfg;
+    cfg.k = 1 + static_cast<PartitionId>(rng.UniformInt(40));
+    cfg.seed = rng.Next();
+    cfg.order = static_cast<StreamOrder>(rng.UniformInt(4));
+    Partitioning p = partitioner->Run(g, cfg);
+    ValidatePartitioning(g, p);
+    PartitionMetrics m = ComputeMetrics(g, p);
+    ASSERT_GE(m.replication_factor, 1.0)
+        << GetParam() << " trial " << trial;
+    ASSERT_LE(m.replication_factor, static_cast<double>(cfg.k))
+        << GetParam() << " trial " << trial;
+    ASSERT_LE(m.edge_cut_ratio, 1.0) << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PartitionerFuzzTest,
+                         ::testing::Values("ECR", "LDG", "FNL", "RLDG",
+                                           "RFNL", "ESG", "VCR", "DBH",
+                                           "GRID", "HDRF", "PGG", "HCR",
+                                           "HG", "MTS"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,77 @@
+#include "partition/partitioning.h"
+
+#include <gtest/gtest.h>
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+using testing::MakeGraph;
+
+TEST(DeriveEdgePlacementTest, EdgesFollowSource) {
+  Graph g = MakeGraph(3, /*directed=*/true, {{0, 1}, {1, 2}, {2, 0}});
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 3, {0, 1, 2});
+  EXPECT_EQ(p.edge_to_partition, (std::vector<PartitionId>{0, 1, 2}));
+}
+
+TEST(DeriveMasterPlacementTest, MasterIsMostLoadedReplica) {
+  // Vertex 0 has two edges on partition 1 and one on partition 0.
+  Graph g = MakeGraph(4, /*directed=*/true, {{0, 1}, {0, 2}, {0, 3}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 2, {1, 1, 0});
+  EXPECT_EQ(p.vertex_to_partition[0], 1u);
+}
+
+TEST(DeriveMasterPlacementTest, TieBreaksTowardLowerPartition) {
+  Graph g = MakeGraph(3, /*directed=*/true, {{0, 1}, {0, 2}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 3, {2, 1});
+  EXPECT_EQ(p.vertex_to_partition[0], 1u);
+}
+
+TEST(DeriveMasterPlacementTest, IsolatedVertexGetsHashedMaster) {
+  Graph g = MakeGraph(3, /*directed=*/false, {{0, 1}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 4, {0});
+  EXPECT_LT(p.vertex_to_partition[2], 4u);
+}
+
+TEST(ReplicaSetsTest, SpansPartitionsOfIncidentEdges) {
+  // Triangle with each edge on its own partition: every vertex spans the
+  // two partitions of its incident edges (plus its master among them).
+  Graph g = MakeGraph(3, /*directed=*/false, {{0, 1}, {1, 2}, {2, 0}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 3, {0, 1, 2});
+  ReplicaSets r = ComputeReplicaSets(g, p);
+  EXPECT_EQ(r.Of(0).size(), 2u);  // edges on partitions 0 and 2
+  EXPECT_EQ(r.Of(1).size(), 2u);  // 0 and 1
+  EXPECT_EQ(r.Of(2).size(), 2u);  // 1 and 2
+}
+
+TEST(ReplicaSetsTest, EdgeCutReplicasMatchAppendixB) {
+  // Path 0-1-2 as a directed chain, vertices on separate partitions.
+  // Grouping out-edges by source means vertex 1 appears on partition 0
+  // (as the target of 0→1) and on its master partition 1.
+  Graph g = MakeGraph(3, /*directed=*/true, {{0, 1}, {1, 2}});
+  Partitioning p = testing::MakeEdgeCutPartitioning(g, 3, {0, 1, 2});
+  ReplicaSets r = ComputeReplicaSets(g, p);
+  EXPECT_EQ(r.Of(0).size(), 1u);
+  EXPECT_EQ(r.Of(1).size(), 2u);
+  EXPECT_EQ(r.Of(2).size(), 2u);
+}
+
+TEST(ReplicaSetsTest, SetsAreSortedAndUnique) {
+  Graph g = MakeGraph(4, /*directed=*/false,
+                      {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  Partitioning p = testing::MakeVertexCutPartitioning(g, 2, {0, 1, 0, 1});
+  ReplicaSets r = ComputeReplicaSets(g, p);
+  for (VertexId v = 0; v < 4; ++v) {
+    auto s = r.Of(v);
+    for (size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+  }
+}
+
+TEST(CutModelNameTest, AllNamed) {
+  EXPECT_EQ(CutModelName(CutModel::kEdgeCut), "edge-cut");
+  EXPECT_EQ(CutModelName(CutModel::kVertexCut), "vertex-cut");
+  EXPECT_EQ(CutModelName(CutModel::kHybrid), "hybrid-cut");
+}
+
+}  // namespace
+}  // namespace sgp

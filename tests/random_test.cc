@@ -1,0 +1,152 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sgp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(99);
+  uint64_t first = a.Next();
+  a.Seed(99);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.UniformInt(8)];
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // expectation 1000, generous slack
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.UniformReal();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t x = rng.UniformInRange(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinRange) {
+  Rng rng(1);
+  ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  Rng rng(2);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1600);
+    EXPECT_LT(c, 2400);
+  }
+}
+
+TEST(ZipfSamplerTest, HeadIsHotterThanTail) {
+  Rng rng(3);
+  ZipfSampler zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[999] * 5);
+}
+
+TEST(ZipfSamplerTest, Rank0FrequencyMatchesPmf) {
+  // P(rank 0) = 1 / H_{n,s}; for n=100, s=1: H ≈ 5.187 → ≈ 0.193.
+  Rng rng(4);
+  ZipfSampler zipf(100, 1.0);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) hits += zipf.Sample(rng) == 0;
+  double h = 0;
+  for (int i = 1; i <= 100; ++i) h += 1.0 / i;
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 1.0 / h, 0.02);
+}
+
+TEST(ZipfSamplerTest, SingleElementAlwaysZero) {
+  Rng rng(5);
+  ZipfSampler zipf(1, 1.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfSamplerTest, HighSkewConcentratesMass) {
+  Rng rng(6);
+  ZipfSampler zipf(1000, 2.0);
+  int head = 0;
+  for (int i = 0; i < 10000; ++i) head += zipf.Sample(rng) < 10;
+  EXPECT_GT(head, 9000);
+}
+
+}  // namespace
+}  // namespace sgp

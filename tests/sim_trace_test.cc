@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+GraphDatabase MakeDb(const Graph& g, PartitionId k) {
+  PartitionConfig cfg;
+  cfg.k = k;
+  return GraphDatabase(g, CreatePartitioner("FNL")->Run(g, cfg));
+}
+
+SimConfig TracingSim(uint64_t queries = 2000) {
+  SimConfig cfg;
+  cfg.clients = 16;
+  cfg.num_queries = queries;
+  cfg.collect_traces = true;
+  return cfg;
+}
+
+TEST(SimTraceTest, CollectsOneRecordPerMeasuredQuery) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, TracingSim());
+  EXPECT_EQ(r.traces.size(), r.completed);
+}
+
+TEST(SimTraceTest, TracesConsistentWithLatencySummary) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, TracingSim());
+  double sum = 0;
+  for (const QueryTraceRecord& t : r.traces) {
+    ASSERT_GE(t.completion_time, t.issue_time);
+    sum += t.completion_time - t.issue_time;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(r.traces.size()), r.latency.mean,
+              1e-9);
+}
+
+TEST(SimTraceTest, TraceFieldsMatchPlans) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, TracingSim());
+  for (const QueryTraceRecord& t : r.traces) {
+    ASSERT_LT(t.binding, w.bindings().size());
+    QueryPlan plan = db.Plan(w.bindings()[t.binding]);
+    ASSERT_EQ(t.coordinator, plan.coordinator);
+    ASSERT_EQ(t.reads, plan.total_reads);
+    ASSERT_EQ(t.rounds, plan.rounds.size());
+  }
+}
+
+TEST(SimTraceTest, CapRespected) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimConfig cfg = TracingSim(4000);
+  cfg.max_traces = 100;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_EQ(r.traces.size(), 100u);
+  // Statistics still cover every measured query, not just the traced ones.
+  EXPECT_EQ(r.latency.count, r.completed);
+}
+
+TEST(SimTraceTest, DisabledByDefault) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimConfig cfg;
+  cfg.clients = 8;
+  cfg.num_queries = 500;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_TRUE(r.traces.empty());
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,66 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace sgp {
+namespace {
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{5, 9, 1, 7};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({42}, 0.99), 42.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  DistributionSummary s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.4142, 1e-3);
+}
+
+TEST(SummarizeTest, EmptySampleIsZero) {
+  DistributionSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.RelativeStdDev(), 0.0);
+}
+
+TEST(SummarizeTest, ConstantSampleHasZeroSpread) {
+  DistributionSummary s = Summarize({7, 7, 7, 7});
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.RelativeStdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ImbalanceFactor(), 1.0);
+}
+
+TEST(SummarizeTest, ImbalanceFactorIsMaxOverMean) {
+  DistributionSummary s = Summarize({1, 1, 1, 5});
+  EXPECT_DOUBLE_EQ(s.ImbalanceFactor(), 5.0 / 2.0);
+}
+
+TEST(SummarizeTest, P99NearMaxForSmallSamples) {
+  DistributionSummary s = Summarize({1, 2, 3, 4, 100});
+  EXPECT_GT(s.p99, 90.0);
+  EXPECT_LE(s.p99, 100.0);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,86 @@
+// Section 5.1.3's workload characterizations, validated on the engine's
+// per-iteration dynamics: PageRank is uniform and stable; WCC starts
+// all-active and shrinks; SSSP grows in BFS order and then shrinks.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+AnalyticsEngine MakeEngine(const Graph& g) {
+  PartitionConfig cfg;
+  cfg.k = 8;
+  return AnalyticsEngine(g, CreatePartitioner("HDRF")->Run(g, cfg));
+}
+
+TEST(WorkloadDynamicsTest, PageRankIsUniformAndStable) {
+  Graph g = MakeDataset("twitter", 9);
+  EngineStats stats = MakeEngine(g).Run(PageRankProgram(8));
+  ASSERT_EQ(stats.active_per_iteration.size(), 8u);
+  ASSERT_EQ(stats.messages_per_iteration.size(), 8u);
+  for (uint64_t active : stats.active_per_iteration) {
+    EXPECT_EQ(active, g.num_vertices());
+  }
+  // "Uniform and stable computation and communication costs across each
+  // iteration" — every iteration moves exactly the same messages.
+  for (uint64_t msgs : stats.messages_per_iteration) {
+    EXPECT_EQ(msgs, stats.messages_per_iteration[0]);
+  }
+}
+
+TEST(WorkloadDynamicsTest, WccStartsAllActiveAndShrinks) {
+  Graph g = MakeDataset("ldbc", 10);
+  EngineStats stats = MakeEngine(g).Run(WccProgram());
+  ASSERT_GE(stats.active_per_iteration.size(), 3u);
+  EXPECT_EQ(stats.active_per_iteration[0], g.num_vertices());
+  // "Network communication shrinks ... at each iteration": activity and
+  // traffic both decline; the second half of the run moves less than the
+  // first half.
+  EXPECT_LT(stats.active_per_iteration.back(),
+            stats.active_per_iteration.front());
+  EXPECT_LT(stats.messages_per_iteration.back(),
+            stats.messages_per_iteration.front());
+  const auto& msgs = stats.messages_per_iteration;
+  uint64_t first_half = 0;
+  uint64_t second_half = 0;
+  for (size_t i = 0; i < msgs.size(); ++i) {
+    (i < msgs.size() / 2 ? first_half : second_half) += msgs[i];
+  }
+  EXPECT_LT(second_half, first_half);
+}
+
+TEST(WorkloadDynamicsTest, SsspGrowsThenShrinks) {
+  Graph g = MakeDataset("usaroad", 10);
+  VertexId source = 0;
+  while (g.Degree(source) == 0) ++source;
+  EngineStats stats = MakeEngine(g).Run(SsspProgram(source));
+  ASSERT_GE(stats.active_per_iteration.size(), 10u);
+  // "Network communication initially grows and then shrinks": the peak
+  // frontier is strictly inside the run, well above both endpoints.
+  auto peak = std::max_element(stats.active_per_iteration.begin(),
+                               stats.active_per_iteration.end());
+  size_t peak_pos = static_cast<size_t>(
+      peak - stats.active_per_iteration.begin());
+  EXPECT_GT(peak_pos, 0u);
+  EXPECT_LT(peak_pos, stats.active_per_iteration.size() - 1);
+  EXPECT_GT(*peak, stats.active_per_iteration.front());
+  EXPECT_GT(*peak, stats.active_per_iteration.back());
+  // It starts from a single active vertex: the source.
+  EXPECT_EQ(stats.active_per_iteration[0], 1u);
+}
+
+TEST(WorkloadDynamicsTest, MessageSeriesSumsToTotals) {
+  Graph g = MakeDataset("ldbc", 9);
+  EngineStats stats = MakeEngine(g).Run(WccProgram());
+  uint64_t sum = 0;
+  for (uint64_t m : stats.messages_per_iteration) sum += m;
+  EXPECT_EQ(sum, stats.gather_messages + stats.sync_messages);
+}
+
+}  // namespace
+}  // namespace sgp

@@ -1,0 +1,105 @@
+#include "graphdb/workload.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+#include "tests/test_util.h"
+
+namespace sgp {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedBindings) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  cfg.num_bindings = 250;
+  Workload w(g, cfg);
+  EXPECT_EQ(w.bindings().size(), 250u);
+  for (const Query& q : w.bindings()) {
+    EXPECT_LT(q.start, g.num_vertices());
+    EXPECT_GT(g.Degree(q.start), 0u);
+  }
+}
+
+TEST(WorkloadTest, DeterministicPerSeed) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  cfg.seed = 5;
+  Workload a(g, cfg);
+  Workload b(g, cfg);
+  for (size_t i = 0; i < a.bindings().size(); ++i) {
+    EXPECT_EQ(a.bindings()[i].start, b.bindings()[i].start);
+  }
+}
+
+TEST(WorkloadTest, ZipfSamplingFavorsHotBindings) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  cfg.skew = 1.0;
+  Workload w(g, cfg);
+  Rng rng(9);
+  std::vector<int> counts(cfg.num_bindings, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[w.SampleBindingIndex(rng)];
+  EXPECT_GT(counts[0], counts[cfg.num_bindings - 1] * 10);
+}
+
+TEST(WorkloadTest, ZeroSkewIsUniform) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  cfg.skew = 0.0;
+  cfg.num_bindings = 10;
+  Workload w(g, cfg);
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[w.SampleBindingIndex(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 1500);
+    EXPECT_LT(c, 2500);
+  }
+}
+
+TEST(WorkloadTest, ExpectedFrequenciesSumToTotal) {
+  Graph g = MakeDataset("ldbc", 9);
+  WorkloadConfig cfg;
+  Workload w(g, cfg);
+  auto freq = w.ExpectedFrequencies(10000);
+  double sum = std::accumulate(freq.begin(), freq.end(), 0.0);
+  EXPECT_NEAR(sum, 10000.0, 1e-6);
+  EXPECT_GT(freq[0], freq[999]);
+}
+
+TEST(WorkloadTest, AccessWeightsReflectHotVertices) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  GraphDatabase db(g, CreatePartitioner("ECR")->Run(g, pcfg));
+  WorkloadConfig cfg;
+  cfg.skew = 1.0;
+  Workload w(g, cfg);
+  auto weights = w.AccessWeights(db, 100000);
+  // The hottest binding's start vertex must carry at least its own
+  // expected frequency.
+  auto freq = w.ExpectedFrequencies(100000);
+  VertexId hottest = w.bindings()[0].start;
+  EXPECT_GE(static_cast<double>(weights[hottest]), freq[0] * 0.99);
+  // Total weight is positive and bounded by total reads.
+  uint64_t total = std::accumulate(weights.begin(), weights.end(),
+                                   static_cast<uint64_t>(0));
+  EXPECT_GT(total, 0u);
+}
+
+TEST(WorkloadTest, ShortestPathBindingsHaveTargets) {
+  Graph g = MakeDataset("usaroad", 8);
+  WorkloadConfig cfg;
+  cfg.kind = QueryKind::kShortestPath;
+  cfg.num_bindings = 50;
+  Workload w(g, cfg);
+  for (const Query& q : w.bindings()) {
+    EXPECT_EQ(q.kind, QueryKind::kShortestPath);
+    EXPECT_LT(q.target, g.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace sgp
