@@ -9,6 +9,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "advisor/advisor.h"
 #include "graph/io.h"
@@ -71,7 +72,16 @@ int main(int argc, char** argv) {
   }
   if (mode == "classify") {
     const bool directed = argc > 3 && std::strcmp(argv[3], "directed") == 0;
-    Graph g = ReadEdgeListFile(argv[2], directed);
+    EdgeListReadResult read = TryReadEdgeListFile(argv[2], directed);
+    if (!read.ok) {
+      std::cerr << "error: " << read.error << "\n";
+      return 1;
+    }
+    if (read.skipped_lines > 0) {
+      std::cerr << "warning: skipped " << read.skipped_lines
+                << " malformed line(s)\n";
+    }
+    Graph g = std::move(read.graph);
     GraphStats stats = ComputeStats(g);
     DegreeDistribution d = ClassifyGraph(g);
     std::cout << "graph: " << stats.num_vertices << " vertices, "

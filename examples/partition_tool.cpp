@@ -14,6 +14,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "graph/io.h"
 #include "partition/metrics.h"
@@ -52,7 +53,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  Graph graph = ReadEdgeListFile(path, directed);
+  EdgeListReadResult read = TryReadEdgeListFile(path, directed);
+  if (!read.ok) {
+    std::cerr << "error: " << read.error << "\n";
+    return 1;
+  }
+  if (read.skipped_lines > 0) {
+    std::cerr << "warning: skipped " << read.skipped_lines
+              << " malformed line(s)\n";
+  }
+  Graph graph = std::move(read.graph);
   GraphStats stats = ComputeStats(graph);
   std::cout << "loaded " << stats.num_vertices << " vertices, "
             << stats.num_edges << " edges\n";

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full hygiene pass: configure with ASan+UBSan, build everything, and run
+# the test suite under the sanitizers. Usage:
+#   scripts/check.sh [build-dir]
+# A separate build directory (default build-asan) keeps the instrumented
+# artifacts away from the regular build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSGP_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test run instead of just
+# printing; detect_leaks exercises the LeakSanitizer pass bundled with ASan.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export ASAN_OPTIONS="detect_leaks=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+echo "check.sh: all tests passed under address,undefined sanitizers"

@@ -1,0 +1,145 @@
+#include "common/faults.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sgp {
+
+bool FaultPlan::IsDown(PartitionId w, double t) const {
+  for (const WorkerOutage& o : outages) {
+    if (o.worker == w && t >= o.start && t < o.end) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::PermanentlyDown(PartitionId w, double t) const {
+  for (const WorkerOutage& o : outages) {
+    if (o.worker == w && o.permanent() && t >= o.start) return true;
+  }
+  return false;
+}
+
+double FaultPlan::Slowdown(PartitionId w, double t) const {
+  double factor = 1.0;
+  for (const StragglerWindow& s : stragglers) {
+    if (s.worker == w && t >= s.start && t < s.end) factor *= s.slowdown;
+  }
+  return factor;
+}
+
+bool FaultPlan::AnyOutageOverlaps(double begin, double end) const {
+  for (const WorkerOutage& o : outages) {
+    if (o.start <= end && begin < o.end) return true;
+  }
+  return false;
+}
+
+std::vector<char> FaultPlan::DownMask(PartitionId k, double t) const {
+  std::vector<char> mask;
+  for (const WorkerOutage& o : outages) {
+    if (t >= o.start && t < o.end) {
+      if (mask.empty()) mask.assign(k, 0);
+      SGP_CHECK(o.worker < k);
+      mask[o.worker] = 1;
+    }
+  }
+  return mask;
+}
+
+std::vector<double> FaultPlan::OutageTransitionTimes() const {
+  std::vector<double> times;
+  for (const WorkerOutage& o : outages) {
+    times.push_back(o.start);
+    if (!o.permanent()) times.push_back(o.end);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+void FaultPlan::Validate(PartitionId k) const {
+  for (const WorkerOutage& o : outages) {
+    SGP_CHECK(o.worker < k);
+    SGP_CHECK(o.end > o.start);
+  }
+  for (const StragglerWindow& s : stragglers) {
+    SGP_CHECK(s.worker < k);
+    SGP_CHECK(s.end > s.start);
+    SGP_CHECK(s.slowdown >= 1.0);
+  }
+  SGP_CHECK(message_loss_probability >= 0.0 &&
+            message_loss_probability <= 1.0);
+}
+
+FaultPlan FaultPlan::SingleOutage(PartitionId worker, double start,
+                                  double duration) {
+  SGP_CHECK(duration > 0);
+  FaultPlan plan;
+  plan.outages.push_back({worker, start, start + duration});
+  return plan;
+}
+
+FaultPlan MakeRandomFaultPlan(PartitionId k, double horizon,
+                              const RandomFaultOptions& options,
+                              uint64_t seed) {
+  SGP_CHECK(k > 0);
+  SGP_CHECK(horizon > 0);
+  FaultPlan plan;
+  plan.message_loss_probability = options.message_loss_probability;
+  Rng rng(seed ^ 0xfa017ULL);
+  // Worker k-1 is spared so at least one machine survives every scenario.
+  const PartitionId last_faulty = k > 1 ? k - 1 : 0;
+  for (PartitionId w = 0; w < last_faulty; ++w) {
+    if (rng.Bernoulli(options.crash_probability)) {
+      const double start = rng.UniformReal() * horizon;
+      if (rng.Bernoulli(options.permanent_probability)) {
+        plan.outages.push_back({w, start,
+                                std::numeric_limits<double>::infinity()});
+      } else {
+        // Exponential around the mean outage length, truncated so the
+        // window stays inside the horizon.
+        const double mean = options.mean_outage_fraction * horizon;
+        const double raw =
+            -mean * std::log(std::max(1e-12, 1.0 - rng.UniformReal()));
+        const double duration = std::min(raw, horizon - start);
+        plan.outages.push_back({w, start, start + std::max(duration, 1e-9)});
+      }
+    }
+    if (rng.Bernoulli(options.straggler_probability)) {
+      const double start = rng.UniformReal() * horizon;
+      const double duration =
+          options.mean_outage_fraction * horizon * rng.UniformReal();
+      plan.stragglers.push_back({w, start, start + std::max(duration, 1e-9),
+                                 options.straggler_slowdown});
+    }
+  }
+  plan.Validate(k);
+  return plan;
+}
+
+double RetryPolicy::BackoffSeconds(uint32_t failures, Rng& rng) const {
+  SGP_CHECK(failures >= 1);
+  double backoff = initial_backoff_seconds;
+  for (uint32_t i = 1; i < failures && backoff < max_backoff_seconds; ++i) {
+    backoff *= backoff_multiplier;
+  }
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (jitter_fraction > 0) {
+    backoff *= 1.0 - jitter_fraction + 2.0 * jitter_fraction *
+                                           rng.UniformReal();
+  }
+  return backoff;
+}
+
+void RetryPolicy::Validate() const {
+  SGP_CHECK(max_attempts >= 1);
+  SGP_CHECK(initial_backoff_seconds >= 0);
+  SGP_CHECK(backoff_multiplier >= 1.0);
+  SGP_CHECK(max_backoff_seconds >= initial_backoff_seconds);
+  SGP_CHECK(jitter_fraction >= 0.0 && jitter_fraction < 1.0);
+  SGP_CHECK(query_timeout_seconds > 0);
+}
+
+}  // namespace sgp

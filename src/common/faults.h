@@ -1,0 +1,145 @@
+#ifndef SGP_COMMON_FAULTS_H_
+#define SGP_COMMON_FAULTS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace sgp {
+
+/// Fail-stop outage of one worker: requests arriving in [start, end) are
+/// not served (in-flight service started before `start` completes). An
+/// infinite `end` models a permanent crash-stop failure.
+struct WorkerOutage {
+  PartitionId worker = 0;
+  double start = 0;
+  double end = std::numeric_limits<double>::infinity();
+
+  bool permanent() const {
+    return end == std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Straggler window: service times on `worker` are multiplied by
+/// `slowdown` (>= 1) inside [start, end) — the OS-noise / compaction-pause
+/// stragglers the healthy-cluster simulators deliberately ignore.
+struct StragglerWindow {
+  PartitionId worker = 0;
+  double start = 0;
+  double end = std::numeric_limits<double>::infinity();
+  double slowdown = 1.0;
+};
+
+/// Deterministic, seeded schedule of cluster faults shared by both
+/// simulators: worker crash/recover windows, straggler slowdowns, and a
+/// per-hop message-loss probability. All times are simulated seconds on
+/// the same clock the discrete-event simulator runs on. An
+/// empty plan reproduces the healthy-cluster behavior bit-for-bit.
+struct FaultPlan {
+  std::vector<WorkerOutage> outages;
+  std::vector<StragglerWindow> stragglers;
+
+  /// Probability that one one-way network hop drops its message.
+  double message_loss_probability = 0.0;
+
+  /// No faults of any kind configured.
+  bool empty() const {
+    return outages.empty() && stragglers.empty() &&
+           message_loss_probability == 0.0;
+  }
+
+  /// Worker `w` is inside some outage window at time `t`.
+  bool IsDown(PartitionId w, double t) const;
+
+  /// Worker `w` has a permanent outage starting at or before `t`.
+  bool PermanentlyDown(PartitionId w, double t) const;
+
+  /// Product of the slowdown factors of every straggler window covering
+  /// (w, t); 1.0 outside all windows.
+  double Slowdown(PartitionId w, double t) const;
+
+  /// Some outage window intersects [begin, end].
+  bool AnyOutageOverlaps(double begin, double end) const;
+
+  /// Per-worker down flags at time `t` (size k). Empty when no worker is
+  /// down, so it can be passed directly to GraphDatabase::Plan.
+  std::vector<char> DownMask(PartitionId k, double t) const;
+
+  /// Sorted, deduplicated finite outage boundaries — the times at which
+  /// the set of live workers changes.
+  std::vector<double> OutageTransitionTimes() const;
+
+  /// Aborts on malformed plans: worker ids >= k, end <= start,
+  /// slowdown < 1, loss probability outside [0, 1].
+  void Validate(PartitionId k) const;
+
+  /// Convenience: a plan with exactly one transient outage.
+  static FaultPlan SingleOutage(PartitionId worker, double start,
+                                double duration);
+};
+
+/// Knobs of MakeRandomFaultPlan.
+struct RandomFaultOptions {
+  /// Probability that a given worker crashes once during the horizon.
+  double crash_probability = 0.3;
+
+  /// Outage length as a fraction of the horizon (exponentially distributed
+  /// around this mean, truncated to the horizon).
+  double mean_outage_fraction = 0.2;
+
+  /// Probability that a crash is permanent instead of transient.
+  double permanent_probability = 0.0;
+
+  /// Probability that a given worker has one straggler window.
+  double straggler_probability = 0.0;
+
+  /// Service-time multiplier of straggler windows.
+  double straggler_slowdown = 4.0;
+
+  /// Per-hop message-loss probability copied into the plan.
+  double message_loss_probability = 0.0;
+};
+
+/// Deterministic random fault plan over `horizon` simulated seconds on a
+/// k-worker cluster: the same (k, horizon, options, seed) always yields
+/// the same plan. At least one worker is always left untouched so the
+/// cluster cannot lose all replicas of everything at once.
+FaultPlan MakeRandomFaultPlan(PartitionId k, double horizon,
+                              const RandomFaultOptions& options,
+                              uint64_t seed);
+
+/// Client-side retry policy: capped exponential backoff with
+/// multiplicative jitter plus a per-query deadline. Reused by the online
+/// simulator for failed sub-requests and by anything else that needs to
+/// pace retries deterministically.
+struct RetryPolicy {
+  /// Total tries of one sub-request (first attempt included).
+  uint32_t max_attempts = 3;
+
+  double initial_backoff_seconds = 500e-6;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 20e-3;
+
+  /// Backoff is multiplied by a uniform draw in [1 - j, 1 + j].
+  double jitter_fraction = 0.2;
+
+  /// Client gives up on the whole query this long after issuing it.
+  /// Infinity disables the deadline.
+  double query_timeout_seconds = 50e-3;
+
+  /// Delay before retry number `failures` (1-based count of failed
+  /// attempts so far): min(max, initial * multiplier^(failures-1)),
+  /// jittered. Deterministic given the rng state.
+  double BackoffSeconds(uint32_t failures, Rng& rng) const;
+
+  /// Aborts on malformed policies (zero attempts, negative backoff,
+  /// multiplier < 1, jitter outside [0, 1), non-positive timeout).
+  void Validate() const;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_FAULTS_H_

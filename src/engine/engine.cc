@@ -32,7 +32,8 @@ AnalyticsEngine::AnalyticsEngine(const Graph& graph,
                                  EngineCostModel cost_model)
     : graph_(&graph), dgraph_(graph, partitioning), cost_(cost_model) {}
 
-EngineStats AnalyticsEngine::Run(const VertexProgram& program) const {
+EngineStats AnalyticsEngine::Run(const VertexProgram& program,
+                                 const EngineFaultConfig& faults) const {
   const Graph& g = *graph_;
   const VertexId n = g.num_vertices();
   const PartitionId k = dgraph_.k();
@@ -74,6 +75,28 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program) const {
   std::vector<uint64_t> iter_bytes(k);
   std::vector<double> new_values;
   std::vector<VertexId> changed;
+
+  // Checkpoint / rollback cost model. A coordinated checkpoint writes
+  // every master vertex value to stable storage; the superstep barrier
+  // makes the slowest worker the critical path. A crash rolls back to the
+  // last durable superstep and replays the tail deterministically, so
+  // recovery charges time without perturbing values.
+  const bool with_faults = !faults.empty();
+  double checkpoint_cost = 0;
+  if (with_faults) {
+    SGP_CHECK(faults.checkpoint_seconds_per_vertex >= 0);
+    SGP_CHECK(faults.restart_seconds >= 0);
+    std::vector<uint64_t> masters_per_worker(k, 0);
+    for (VertexId v = 0; v < n; ++v) ++masters_per_worker[dgraph_.Master(v)];
+    for (PartitionId p = 0; p < k; ++p) {
+      checkpoint_cost = std::max(
+          checkpoint_cost, static_cast<double>(masters_per_worker[p]) *
+                               faults.checkpoint_seconds_per_vertex /
+                               speeds[p]);
+    }
+  }
+  std::vector<double> step_costs;
+  uint32_t last_checkpoint = 0;  // first superstep a recovery must replay
 
   auto gather_neighbors = [&](VertexId v, auto&& body) {
     switch (gather_dir) {
@@ -180,13 +203,40 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program) const {
       max_compute = std::max(max_compute, iter_compute[p]);
       max_bytes = std::max(max_bytes, iter_bytes[p]);
     }
-    stats.simulated_seconds +=
+    const double step_cost =
         max_compute +
         static_cast<double>(max_bytes) / cost_.network_bytes_per_second +
         cost_.superstep_latency_seconds;
+    stats.simulated_seconds += step_cost;
     stats.messages_per_iteration.push_back(
         stats.gather_messages + stats.sync_messages - messages_before);
     ++stats.iterations;
+
+    if (with_faults) {
+      step_costs.push_back(step_cost);
+      for (const EngineCrash& crash : faults.crashes) {
+        if (crash.superstep != iter) continue;
+        SGP_CHECK(crash.worker < k);
+        // Roll back to the last checkpoint (reload cost = one checkpoint
+        // write) and replay supersteps [last_checkpoint, iter].
+        double cost = faults.restart_seconds;
+        if (last_checkpoint > 0) cost += checkpoint_cost;
+        for (uint32_t s = last_checkpoint; s <= iter; ++s) {
+          cost += step_costs[s];
+        }
+        stats.recovery_seconds += cost;
+        stats.simulated_seconds += cost;
+        stats.replayed_supersteps += iter - last_checkpoint + 1;
+        ++stats.crashes_recovered;
+      }
+      if (faults.checkpoint_interval != 0 &&
+          (iter + 1) % faults.checkpoint_interval == 0) {
+        stats.checkpoint_seconds += checkpoint_cost;
+        stats.simulated_seconds += checkpoint_cost;
+        ++stats.checkpoints;
+        last_checkpoint = iter + 1;
+      }
+    }
 
     // --- Next frontier ---
     if (!all_active) {

@@ -5,23 +5,42 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/check.h"
 
 namespace sgp {
 
-Graph ReadEdgeList(std::istream& in, bool directed, VertexId num_vertices) {
+EdgeListReadResult TryReadEdgeList(std::istream& in, bool directed,
+                                   VertexId num_vertices) {
+  EdgeListReadResult result;
   std::vector<Edge> edges;
   VertexId max_id = 0;
   std::string line;
+  uint64_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     uint64_t src = 0;
     uint64_t dst = 0;
-    if (!(ls >> src >> dst)) continue;
-    SGP_CHECK(src <= kInvalidVertex - 1 && dst <= kInvalidVertex - 1);
+    if (!(ls >> src >> dst)) {
+      // Truncated or garbage line: recoverable, skip but keep the count so
+      // callers can tell a clean read from a degraded one.
+      ++result.skipped_lines;
+      continue;
+    }
+    const uint64_t limit =
+        num_vertices != 0 ? num_vertices
+                          : static_cast<uint64_t>(kInvalidVertex);
+    if (src >= limit || dst >= limit) {
+      std::ostringstream msg;
+      msg << "line " << line_number << ": vertex id " << std::max(src, dst)
+          << " out of range (limit " << limit << ")";
+      result.error = msg.str();
+      return result;
+    }
     edges.push_back(
         {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
     max_id = std::max({max_id, static_cast<VertexId>(src),
@@ -32,14 +51,34 @@ Graph ReadEdgeList(std::istream& in, bool directed, VertexId num_vertices) {
                                  : max_id + 1;
   GraphBuilder builder(n, directed);
   for (const Edge& e : edges) builder.AddEdge(e.src, e.dst);
-  return std::move(builder).Finalize();
+  result.graph = std::move(builder).Finalize();
+  result.ok = true;
+  return result;
+}
+
+EdgeListReadResult TryReadEdgeListFile(const std::string& path, bool directed,
+                                       VertexId num_vertices) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    EdgeListReadResult result;
+    result.error = "cannot open edge list file: " + path;
+    return result;
+  }
+  return TryReadEdgeList(in, directed, num_vertices);
+}
+
+Graph ReadEdgeList(std::istream& in, bool directed, VertexId num_vertices) {
+  EdgeListReadResult result = TryReadEdgeList(in, directed, num_vertices);
+  if (!result.ok) throw std::runtime_error(result.error);
+  return std::move(result.graph);
 }
 
 Graph ReadEdgeListFile(const std::string& path, bool directed,
                        VertexId num_vertices) {
-  std::ifstream in(path);
-  SGP_CHECK(in.good() && "cannot open edge list file");
-  return ReadEdgeList(in, directed, num_vertices);
+  EdgeListReadResult result =
+      TryReadEdgeListFile(path, directed, num_vertices);
+  if (!result.ok) throw std::runtime_error(result.error);
+  return std::move(result.graph);
 }
 
 void WriteEdgeList(const Graph& graph, std::ostream& out) {

@@ -1,6 +1,7 @@
 #ifndef SGP_GRAPH_IO_H_
 #define SGP_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -8,13 +9,35 @@
 
 namespace sgp {
 
+/// Outcome of a fault-tolerant edge-list read. Malformed lines (no two
+/// integers parse) are skipped and counted; out-of-range vertex ids and
+/// unopenable files are hard errors with a line-level diagnostic in
+/// `error`. `graph` is meaningful only when `ok`.
+struct EdgeListReadResult {
+  bool ok = false;
+  std::string error;
+  uint64_t skipped_lines = 0;
+  Graph graph;
+};
+
 /// Reads a whitespace-separated edge list ("src dst" per line; lines
-/// starting with '#' or '%' are comments). The vertex count is
-/// max id + 1 unless `num_vertices` is nonzero.
+/// starting with '#' or '%' are comments, extra columns are ignored). The
+/// vertex count is max id + 1 unless `num_vertices` is nonzero, in which
+/// case ids >= num_vertices are rejected. Never aborts.
+EdgeListReadResult TryReadEdgeList(std::istream& in, bool directed,
+                                   VertexId num_vertices = 0);
+
+/// Reads an edge list from a file. An unopenable file yields ok = false.
+EdgeListReadResult TryReadEdgeListFile(const std::string& path, bool directed,
+                                       VertexId num_vertices = 0);
+
+/// Reads a whitespace-separated edge list; throws std::runtime_error with
+/// the TryReadEdgeList diagnostic on invalid input.
 Graph ReadEdgeList(std::istream& in, bool directed,
                    VertexId num_vertices = 0);
 
-/// Reads an edge list from a file. Aborts if the file cannot be opened.
+/// Reads an edge list from a file. Throws std::runtime_error if the file
+/// cannot be opened or contains out-of-range vertex ids.
 Graph ReadEdgeListFile(const std::string& path, bool directed,
                        VertexId num_vertices = 0);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <map>
 #include <queue>
 
 #include "common/check.h"
@@ -11,7 +13,7 @@ namespace sgp {
 
 namespace {
 
-enum class EventType : uint8_t { kIssue, kTaskArrival, kAdvance };
+enum class EventType : uint8_t { kIssue, kTaskArrival, kAdvance, kDeadline };
 
 struct Event {
   double time = 0;
@@ -20,6 +22,8 @@ struct Event {
   uint32_t client = 0;
   uint32_t round = 0;
   uint32_t task = 0;
+  uint32_t gen = 0;      // query generation; stale events are dropped
+  uint32_t attempt = 0;  // failed tries of this sub-request so far
 };
 
 struct EventLater {
@@ -37,21 +41,81 @@ struct InFlight {
   uint32_t remaining_tasks = 0;
   double round_end = 0;    // completion time of the slowest task so far
   double start_time = 0;   // when the client issued the query
+  double deadline = std::numeric_limits<double>::infinity();
+  uint32_t gen = 0;        // bumped whenever the query finishes
 };
+
+enum class Outcome : uint8_t { kSuccess, kFailed, kTimedOut };
 
 }  // namespace
 
 SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
                              const SimConfig& config) {
-  SGP_CHECK(config.clients > 0);
-  SGP_CHECK(config.num_queries > 0);
+  SimResult result;
+  result.reads_per_worker.assign(db.k(), 0.0);
+  // Degenerate configurations produce a well-defined empty result instead
+  // of hanging, dividing by zero, or aborting.
+  if (config.clients == 0 || config.num_queries == 0 ||
+      config.warmup_fraction >= 1.0 || config.warmup_fraction < 0.0) {
+    return result;
+  }
   const DbCostModel& cost = db.cost_model();
   const double latency_hop = cost.network_latency_seconds;
+  const FaultPlan& faults = config.faults;
+  const RetryPolicy& retry = config.retry;
+  const bool has_faults = !faults.empty();
+  const bool has_outages = !faults.outages.empty();
+  if (has_faults) {
+    faults.Validate(db.k());
+    retry.Validate();
+  }
+  // Request + response hop loss folded into one draw per remote attempt.
+  const double loss_round_trip =
+      has_faults ? 1.0 - (1.0 - faults.message_loss_probability) *
+                             (1.0 - faults.message_loss_probability)
+                 : 0.0;
 
-  // Plans are deterministic per binding; build them once.
-  std::vector<QueryPlan> plans;
-  plans.reserve(workload.bindings().size());
-  for (const Query& q : workload.bindings()) plans.push_back(db.Plan(q));
+  // Plans are deterministic per binding and per live-worker set. Fault
+  // epochs — maximal intervals with a constant down mask — are known
+  // upfront, so one plan table is prebuilt per distinct mask; queries
+  // issued during an outage fail over to replicas via their epoch's table.
+  std::vector<std::vector<QueryPlan>> plan_tables;
+  auto build_table = [&](const std::vector<char>& mask) {
+    std::vector<QueryPlan> plans;
+    plans.reserve(workload.bindings().size());
+    for (const Query& q : workload.bindings()) plans.push_back(db.Plan(q, mask));
+    return plans;
+  };
+  plan_tables.push_back(build_table({}));  // healthy table, index 0
+  std::vector<double> epoch_starts{0.0};
+  std::vector<uint32_t> epoch_table{0};
+  if (has_outages) {
+    std::map<std::vector<char>, uint32_t> mask_index;
+    mask_index[{}] = 0;
+    std::vector<double> transitions = faults.OutageTransitionTimes();
+    for (double t : transitions) {
+      std::vector<char> mask = faults.DownMask(db.k(), t);
+      auto [it, inserted] =
+          mask_index.emplace(mask, static_cast<uint32_t>(plan_tables.size()));
+      if (inserted) plan_tables.push_back(build_table(mask));
+      if (t <= 0.0) {
+        epoch_table[0] = it->second;
+      } else {
+        epoch_starts.push_back(t);
+        epoch_table.push_back(it->second);
+      }
+    }
+  }
+  auto plan_for = [&](double t, uint32_t binding) -> const QueryPlan* {
+    size_t epoch = 0;
+    if (has_outages) {
+      epoch = static_cast<size_t>(
+                  std::upper_bound(epoch_starts.begin(), epoch_starts.end(), t) -
+                  epoch_starts.begin()) -
+              1;
+    }
+    return &plan_tables[epoch_table[epoch]][binding];
+  };
 
   Rng rng(config.seed);
   // Lognormal service-time multiplier with mean 1 and the configured
@@ -79,17 +143,17 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
 
   std::vector<InFlight> inflight(config.clients);
   std::vector<double> worker_available(db.k(), 0.0);
-  SimResult result;
-  result.reads_per_worker.assign(db.k(), 0.0);
 
   const uint64_t warmup =
       static_cast<uint64_t>(config.warmup_fraction *
                             static_cast<double>(config.num_queries));
-  uint64_t completed_total = 0;
+  uint64_t completed_total = 0;  // finished queries, any outcome
   double window_start = 0;
   double last_completion = 0;
   std::vector<double> latencies;
   latencies.reserve(config.num_queries - warmup);
+  std::vector<double> latencies_outage;
+  std::vector<double> latencies_steady;
 
   // Schedules the arrival events of one round; remote tasks pay the
   // request hop.
@@ -103,17 +167,78 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
                        (tasks[t].worker == q.plan->coordinator
                             ? 0.0
                             : latency_hop);
-      push({arrival, 0, EventType::kTaskArrival, client, q.round, t});
+      push({arrival, 0, EventType::kTaskArrival, client, q.round, t, q.gen,
+            0});
     }
+  };
+
+  // A query finished (successfully or not) at time `t`: account it,
+  // invalidate its outstanding events, and have the closed-loop client
+  // issue the next one.
+  auto finish_query = [&](uint32_t client, double t, Outcome outcome) {
+    InFlight& q = inflight[client];
+    ++completed_total;
+    last_completion = t;
+    if (completed_total == warmup) window_start = t;
+    if (completed_total > warmup) {
+      switch (outcome) {
+        case Outcome::kSuccess: {
+          const double latency = t - q.start_time;
+          latencies.push_back(latency);
+          if (has_outages) {
+            if (faults.AnyOutageOverlaps(q.start_time, t)) {
+              latencies_outage.push_back(latency);
+            } else {
+              latencies_steady.push_back(latency);
+            }
+          }
+          if (config.collect_traces &&
+              result.traces.size() < config.max_traces) {
+            QueryTraceRecord trace;
+            trace.binding = q.binding;
+            trace.issue_time = q.start_time;
+            trace.completion_time = t;
+            trace.coordinator = q.plan->coordinator;
+            trace.reads = q.plan->total_reads;
+            trace.rounds = static_cast<uint32_t>(q.plan->rounds.size());
+            result.traces.push_back(trace);
+          }
+          break;
+        }
+        case Outcome::kFailed:
+          ++result.availability.failed;
+          break;
+        case Outcome::kTimedOut:
+          ++result.availability.timed_out;
+          break;
+      }
+    }
+    ++q.gen;  // drop stale task / deadline events of this query
+    push({t, 0, EventType::kIssue, client, 0, 0, 0, 0});
   };
 
   auto issue_query = [&](uint32_t client, double now) {
     uint32_t binding = workload.SampleBindingIndex(rng);
     InFlight& q = inflight[client];
-    q.plan = &plans[binding];
+    ++q.gen;
+    q.plan = plan_for(now, binding);
     q.binding = binding;
     q.round = 0;
     q.start_time = now;
+    q.deadline = has_faults ? now + retry.query_timeout_seconds
+                            : std::numeric_limits<double>::infinity();
+    if (has_faults && std::isfinite(q.deadline)) {
+      push({q.deadline, 0, EventType::kDeadline, client, 0, 0, q.gen, 0});
+    }
+    if (!q.plan->reachable) {
+      // Every live replica of some required vertex is gone: the router
+      // cannot place the query. The client observes its timeout (or an
+      // immediate routing error when no deadline is configured).
+      if (!std::isfinite(q.deadline)) {
+        finish_query(client, now + 2 * latency_hop, Outcome::kFailed);
+      }
+      return;
+    }
     result.total_network_bytes += q.plan->network_bytes;
     result.total_remote_messages += q.plan->remote_messages;
     // Client → router → coordinator hop.
@@ -121,7 +246,7 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   };
 
   for (uint32_t c = 0; c < config.clients; ++c) {
-    push({0.0, 0, EventType::kIssue, c, 0, 0});
+    push({0.0, 0, EventType::kIssue, c, 0, 0, 0, 0});
   }
 
   while (!events.empty() && completed_total < config.num_queries) {
@@ -133,30 +258,56 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
         break;
       case EventType::kTaskArrival: {
         InFlight& q = inflight[e.client];
+        if (e.gen != q.gen) break;  // query already finished
         const QueryPlan::Task& task = q.plan->rounds[e.round][e.task];
         const PartitionId w = task.worker;
+        const bool remote = w != q.plan->coordinator;
+        // A sub-request attempt fails when its round trip loses a message
+        // or the worker is inside an outage window at arrival time.
+        bool lost = remote && loss_round_trip > 0 &&
+                    rng.Bernoulli(loss_round_trip);
+        if (lost) ++result.availability.lost_messages;
+        if (lost || (has_outages && faults.IsDown(w, e.time))) {
+          const uint32_t failures = e.attempt + 1;
+          if (failures >= retry.max_attempts) {
+            finish_query(e.client, e.time, Outcome::kFailed);
+            break;
+          }
+          const double retry_time =
+              e.time + retry.BackoffSeconds(failures, rng);
+          if (retry_time < q.deadline) {
+            ++result.availability.retries;
+            push({retry_time, 0, EventType::kTaskArrival, e.client, e.round,
+                  e.task, e.gen, failures});
+          }
+          // Otherwise the deadline event fails the query at q.deadline.
+          break;
+        }
         // FIFO single-server worker queue. Remote sub-requests pay RPC
-        // handling overhead on top of the storage reads.
+        // handling overhead on top of the storage reads; stragglers
+        // stretch the whole service time.
         double service =
             (static_cast<double>(task.reads) * cost.seconds_per_read +
-             (w == q.plan->coordinator ? 0.0
-                                       : cost.seconds_per_remote_task)) *
+             (remote ? cost.seconds_per_remote_task : 0.0)) *
             service_noise();
+        if (has_faults) service *= faults.Slowdown(w, e.time);
         double start = std::max(worker_available[w], e.time);
         double done = start + service;
         worker_available[w] = done;
         result.reads_per_worker[w] += static_cast<double>(task.reads);
+        result.availability.degraded_reads += task.degraded_reads;
         // Response hop back to the coordinator for remote tasks.
-        double task_end =
-            done + (w == q.plan->coordinator ? 0.0 : latency_hop);
+        double task_end = done + (remote ? latency_hop : 0.0);
         q.round_end = std::max(q.round_end, task_end);
         if (--q.remaining_tasks == 0) {
-          push({q.round_end, 0, EventType::kAdvance, e.client, e.round, 0});
+          push({q.round_end, 0, EventType::kAdvance, e.client, e.round, 0,
+                e.gen, 0});
         }
         break;
       }
       case EventType::kAdvance: {
         InFlight& q = inflight[e.client];
+        if (e.gen != q.gen) break;
         ++q.round;
         if (q.round < q.plan->rounds.size()) {
           schedule_round(e.client, e.time);
@@ -164,24 +315,14 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
         }
         // Query complete: response hop to the client.
         double completion = e.time + latency_hop;
-        ++completed_total;
-        last_completion = completion;
-        if (completed_total == warmup) window_start = completion;
-        if (completed_total > warmup) {
-          latencies.push_back(completion - q.start_time);
-          if (config.collect_traces &&
-              result.traces.size() < config.max_traces) {
-            QueryTraceRecord trace;
-            trace.binding = q.binding;
-            trace.issue_time = q.start_time;
-            trace.completion_time = completion;
-            trace.coordinator = q.plan->coordinator;
-            trace.reads = q.plan->total_reads;
-            trace.rounds = static_cast<uint32_t>(q.plan->rounds.size());
-            result.traces.push_back(trace);
-          }
-        }
-        push({completion, 0, EventType::kIssue, e.client, 0, 0});
+        if (completion > q.deadline) break;  // deadline event fires first
+        finish_query(e.client, completion, Outcome::kSuccess);
+        break;
+      }
+      case EventType::kDeadline: {
+        InFlight& q = inflight[e.client];
+        if (e.gen != q.gen) break;  // query already finished
+        finish_query(e.client, e.time, Outcome::kTimedOut);
         break;
       }
     }
@@ -191,6 +332,15 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   result.window_seconds = std::max(1e-12, last_completion - window_start);
   result.throughput_qps =
       static_cast<double>(result.completed) / result.window_seconds;
+  AvailabilityStats& avail = result.availability;
+  avail.succeeded = result.completed;
+  const uint64_t finished = avail.succeeded + avail.failed + avail.timed_out;
+  avail.availability =
+      finished == 0 ? 1.0
+                    : static_cast<double>(avail.succeeded) /
+                          static_cast<double>(finished);
+  avail.latency_during_outage = Summarize(std::move(latencies_outage));
+  avail.latency_steady = Summarize(std::move(latencies_steady));
   result.latency = Summarize(std::move(latencies));
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/faults.h"
 #include "common/statistics.h"
 #include "graphdb/graphdb.h"
 #include "graphdb/workload.h"
@@ -32,6 +33,16 @@ struct SimConfig {
 
   /// Cap on collected trace records when collect_traces is set.
   uint32_t max_traces = 1u << 20;
+
+  /// Injected faults (worker outages, stragglers, message loss). An empty
+  /// plan reproduces the healthy-cluster simulation bit-for-bit; with a
+  /// non-empty plan, failure and recovery events interleave with query
+  /// events and SimResult::availability is populated.
+  FaultPlan faults;
+
+  /// How clients react to failed sub-requests when `faults` is non-empty:
+  /// capped exponential backoff retries plus a per-query deadline.
+  RetryPolicy retry;
 };
 
 /// One completed query, when tracing is enabled.
@@ -42,6 +53,37 @@ struct QueryTraceRecord {
   PartitionId coordinator = 0;
   uint64_t reads = 0;            // total vertex reads of the plan
   uint32_t rounds = 0;           // fork-join rounds of the plan
+};
+
+/// Availability metrics of a faulty run — what the paper's healthy-cluster
+/// evaluation cannot see. Counters cover the measurement window unless
+/// noted; all zeros / defaults when SimConfig::faults is empty.
+struct AvailabilityStats {
+  /// Queries finished in the measurement window, by outcome. `succeeded`
+  /// equals SimResult::completed.
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;     // retry attempts exhausted, or start data lost
+  uint64_t timed_out = 0;  // client deadline expired
+
+  /// Sub-request retry attempts (whole run, warmup included).
+  uint64_t retries = 0;
+
+  /// Vertex reads served by a non-master replica after failover (whole
+  /// run). Nonzero only for vertex-cut / hybrid placements — replication
+  /// is what lets those placements keep serving through an outage.
+  uint64_t degraded_reads = 0;
+
+  /// One-way hops dropped by the message-loss process (whole run).
+  uint64_t lost_messages = 0;
+
+  /// succeeded / (succeeded + failed + timed_out); 1.0 for an empty window.
+  double availability = 1.0;
+
+  /// Latency of successful queries whose lifetime overlapped an outage
+  /// window, vs. those fully in steady state (p99 during the outage vs.
+  /// p99 in steady state).
+  DistributionSummary latency_during_outage;
+  DistributionSummary latency_steady;
 };
 
 /// Everything the paper measures about one online-workload run.
@@ -68,6 +110,10 @@ struct SimResult {
   /// Per-query records inside the measurement window, oldest first
   /// (empty unless SimConfig::collect_traces).
   std::vector<QueryTraceRecord> traces;
+
+  /// Availability metrics under the injected FaultPlan (defaults when the
+  /// plan is empty).
+  AvailabilityStats availability;
 };
 
 /// Discrete-event simulation of the JanusGraph cluster: FIFO single-server
@@ -75,6 +121,13 @@ struct SimResult {
 /// hop, closed-loop clients drawing Zipf-popular bindings. Queueing at hot
 /// workers — not modeled by any structural partitioning metric — is what
 /// produces the tail-latency inflation of Table 5.
+///
+/// With a non-empty SimConfig::faults, failure and recovery events
+/// interleave with query events: requests arriving at a dead worker fail
+/// over to a live data replica (vertex-cut / hybrid placements), are
+/// retried under SimConfig::retry, or time out at the client deadline;
+/// stragglers stretch service times; lossy hops drop sub-requests. Given
+/// identical inputs and seeds the result is bit-identical.
 SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
                              const SimConfig& config);
 

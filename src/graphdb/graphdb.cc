@@ -54,11 +54,47 @@ GraphDatabase::GraphDatabase(const Graph& graph,
               store.adjacency.begin() +
                   static_cast<int64_t>(store.offsets[local_slot_[u]]));
   }
+
+  // Vertex-cut / hybrid placements physically replicate vertex data on
+  // every partition holding incident edges; those copies are what queries
+  // fail over to when a worker dies. Edge-cut keeps a single copy.
+  if (partitioning.model != CutModel::kEdgeCut &&
+      partitioning.edge_to_partition.size() == graph.num_edges()) {
+    data_replicas_ = ComputeReplicaSets(graph, partitioning);
+  }
+}
+
+std::span<const PartitionId> GraphDatabase::DataReplicas(VertexId u) const {
+  if (!replicated()) return {&owner_[u], 1};
+  return data_replicas_.Of(u);
+}
+
+PartitionId GraphDatabase::EffectiveOwner(
+    VertexId u, const std::vector<char>& down) const {
+  const PartitionId owner = owner_[u];
+  if (down.empty() || !down[owner]) return owner;
+  for (PartitionId p : DataReplicas(u)) {
+    if (!down[p]) return p;
+  }
+  return kInvalidPartition;
 }
 
 PartitionId GraphDatabase::Coordinator(VertexId u) const {
   if (router_ == RouterMode::kPartitionAware) return owner_[u];
   return static_cast<PartitionId>(HashU64(u ^ 0x9e3779b9u) % k_);
+}
+
+PartitionId GraphDatabase::Coordinator(VertexId u,
+                                       const std::vector<char>& down) const {
+  if (router_ == RouterMode::kPartitionAware) return EffectiveOwner(u, down);
+  const PartitionId w =
+      static_cast<PartitionId>(HashU64(u ^ 0x9e3779b9u) % k_);
+  if (down.empty()) return w;
+  for (PartitionId i = 0; i < k_; ++i) {
+    const PartitionId c = (w + i) % k_;
+    if (!down[c]) return c;
+  }
+  return kInvalidPartition;
 }
 
 std::span<const VertexId> GraphDatabase::ReadAdjacency(VertexId u) const {
@@ -69,62 +105,84 @@ std::span<const VertexId> GraphDatabase::ReadAdjacency(VertexId u) const {
           store.adjacency.data() + store.offsets[slot + 1]};
 }
 
-void GraphDatabase::AddFetchRound(
-    std::vector<std::pair<PartitionId, uint64_t>> per_worker,
-    QueryPlan* plan) const {
-  if (per_worker.empty()) return;
-  std::vector<QueryPlan::Task> round;
-  round.reserve(per_worker.size());
-  for (const auto& [worker, reads] : per_worker) {
-    round.push_back({worker, reads});
-    plan->total_reads += reads;
-    if (worker != plan->coordinator) {
+void GraphDatabase::AddFetchRound(std::vector<QueryPlan::Task> round,
+                                  QueryPlan* plan) const {
+  if (round.empty()) return;
+  for (const QueryPlan::Task& task : round) {
+    plan->total_reads += task.reads;
+    if (task.worker != plan->coordinator) {
       plan->remote_messages += 2;  // request + response
       plan->network_bytes +=
           cost_.bytes_per_request +
-          reads * cost_.bytes_per_vertex_record;
+          task.reads * cost_.bytes_per_vertex_record;
     }
   }
   plan->rounds.push_back(std::move(round));
 }
 
-namespace {
-
-// Groups a list of vertices by owner into (worker, count) pairs.
-std::vector<std::pair<PartitionId, uint64_t>> GroupByOwner(
-    const std::vector<PartitionId>& owner, PartitionId k,
-    std::span<const VertexId> vertices) {
-  std::vector<uint64_t> counts(k, 0);
-  for (VertexId v : vertices) ++counts[owner[v]];
-  std::vector<std::pair<PartitionId, uint64_t>> grouped;
-  for (PartitionId w = 0; w < k; ++w) {
-    if (counts[w] > 0) grouped.emplace_back(w, counts[w]);
+bool GraphDatabase::GroupByEffectiveOwner(
+    std::span<const VertexId> vertices, const std::vector<char>& down,
+    std::vector<QueryPlan::Task>* out) const {
+  std::vector<uint64_t> reads(k_, 0);
+  std::vector<uint64_t> degraded(k_, 0);
+  for (VertexId v : vertices) {
+    const PartitionId w = EffectiveOwner(v, down);
+    if (w == kInvalidPartition) return false;
+    ++reads[w];
+    if (w != owner_[v]) ++degraded[w];
   }
-  return grouped;
+  out->clear();
+  for (PartitionId w = 0; w < k_; ++w) {
+    if (reads[w] > 0) out->push_back({w, reads[w], degraded[w]});
+  }
+  return true;
 }
 
-}  // namespace
-
-QueryPlan GraphDatabase::PlanOneHop(VertexId start) const {
+QueryPlan GraphDatabase::PlanOneHop(VertexId start,
+                                    const std::vector<char>& down) const {
   QueryPlan plan;
-  plan.coordinator = Coordinator(start);
-  // Round 0: read the start vertex's adjacency list at its owner — local
-  // under the partition-aware router, one remote round otherwise.
-  AddFetchRound({{owner_[start], 1}}, &plan);
+  plan.coordinator = Coordinator(start, down);
+  const VertexId start_list[] = {start};
+  std::vector<QueryPlan::Task> round;
+  // Round 0: read the start vertex's adjacency list at its effective
+  // owner — local under the partition-aware router, one remote round
+  // otherwise.
+  if (plan.coordinator == kInvalidPartition ||
+      !GroupByEffectiveOwner(start_list, down, &round)) {
+    plan.reachable = false;
+    return plan;
+  }
+  AddFetchRound(std::move(round), &plan);
   // Round 1: fetch the neighbor vertex records from their owners.
   auto neighbors = ReadAdjacency(start);
-  AddFetchRound(GroupByOwner(owner_, k_, neighbors), &plan);
+  if (!GroupByEffectiveOwner(neighbors, down, &round)) {
+    plan.reachable = false;
+    return plan;
+  }
+  AddFetchRound(std::move(round), &plan);
   plan.result_size = neighbors.size();
   return plan;
 }
 
-QueryPlan GraphDatabase::PlanTwoHop(VertexId start) const {
+QueryPlan GraphDatabase::PlanTwoHop(VertexId start,
+                                    const std::vector<char>& down) const {
   QueryPlan plan;
-  plan.coordinator = Coordinator(start);
-  AddFetchRound({{owner_[start], 1}}, &plan);
+  plan.coordinator = Coordinator(start, down);
+  const VertexId start_list[] = {start};
+  std::vector<QueryPlan::Task> round;
+  if (plan.coordinator == kInvalidPartition ||
+      !GroupByEffectiveOwner(start_list, down, &round)) {
+    plan.reachable = false;
+    return plan;
+  }
+  AddFetchRound(std::move(round), &plan);
   auto neighbors = ReadAdjacency(start);
   // Round 1: read each neighbor's record and adjacency at its owner.
-  AddFetchRound(GroupByOwner(owner_, k_, neighbors), &plan);
+  if (!GroupByEffectiveOwner(neighbors, down, &round)) {
+    plan.reachable = false;
+    return plan;
+  }
+  AddFetchRound(std::move(round), &plan);
   // Round 2: fetch the distinct 2-hop vertex records.
   std::unordered_set<VertexId> frontier;
   for (VertexId v : neighbors) {
@@ -133,24 +191,37 @@ QueryPlan GraphDatabase::PlanTwoHop(VertexId start) const {
     }
   }
   std::vector<VertexId> two_hop(frontier.begin(), frontier.end());
-  AddFetchRound(GroupByOwner(owner_, k_, two_hop), &plan);
+  if (!GroupByEffectiveOwner(two_hop, down, &round)) {
+    plan.reachable = false;
+    return plan;
+  }
+  AddFetchRound(std::move(round), &plan);
   plan.result_size = two_hop.size();
   return plan;
 }
 
-QueryPlan GraphDatabase::PlanShortestPath(VertexId start,
-                                          VertexId target) const {
+QueryPlan GraphDatabase::PlanShortestPath(
+    VertexId start, VertexId target, const std::vector<char>& down) const {
   QueryPlan plan;
-  plan.coordinator = Coordinator(start);
+  plan.coordinator = Coordinator(start, down);
+  if (plan.coordinator == kInvalidPartition) {
+    plan.reachable = false;
+    return plan;
+  }
   std::vector<char> visited(graph_->num_vertices(), 0);
   std::vector<VertexId> frontier{start};
+  std::vector<QueryPlan::Task> round;
   visited[start] = 1;
   uint64_t depth = 0;
   bool found = start == target;
   while (!frontier.empty() && !found) {
     // One round per BFS level: read the adjacency of every frontier
     // vertex at its owner.
-    AddFetchRound(GroupByOwner(owner_, k_, frontier), &plan);
+    if (!GroupByEffectiveOwner(frontier, down, &round)) {
+      plan.reachable = false;
+      return plan;
+    }
+    AddFetchRound(std::move(round), &plan);
     ++depth;
     std::vector<VertexId> next;
     for (VertexId v : frontier) {
@@ -168,14 +239,20 @@ QueryPlan GraphDatabase::PlanShortestPath(VertexId start,
 }
 
 QueryPlan GraphDatabase::Plan(const Query& query) const {
+  return Plan(query, {});
+}
+
+QueryPlan GraphDatabase::Plan(const Query& query,
+                              const std::vector<char>& down) const {
   SGP_CHECK(query.start < graph_->num_vertices());
+  SGP_CHECK(down.empty() || down.size() == k_);
   switch (query.kind) {
     case QueryKind::kOneHop:
-      return PlanOneHop(query.start);
+      return PlanOneHop(query.start, down);
     case QueryKind::kTwoHop:
-      return PlanTwoHop(query.start);
+      return PlanTwoHop(query.start, down);
     case QueryKind::kShortestPath:
-      return PlanShortestPath(query.start, query.target);
+      return PlanShortestPath(query.start, query.target, down);
   }
   return {};
 }

@@ -8,7 +8,8 @@
 namespace sgp {
 
 DynamicPartitioner::DynamicPartitioner(const DynamicOptions& options)
-    : options_(options), sizes_(options.k, 0) {
+    : options_(options), sizes_(options.k, 0), disabled_(options.k, 0),
+      alive_k_(options.k) {
   SGP_CHECK(options.k > 0);
   SGP_CHECK(options.balance_slack >= 1.0);
   SGP_CHECK(options.migration_gain >= 1.0);
@@ -42,7 +43,17 @@ void DynamicPartitioner::EnsureVertex(VertexId v) {
 double DynamicPartitioner::Capacity(PartitionId) const {
   return std::max(1.0, options_.balance_slack *
                            static_cast<double>(placed_vertices_) /
-                           static_cast<double>(options_.k));
+                           static_cast<double>(alive_k_));
+}
+
+PartitionId DynamicPartitioner::LeastLoadedAlive() const {
+  PartitionId best = kInvalidPartition;
+  for (PartitionId p = 0; p < options_.k; ++p) {
+    if (disabled_[p]) continue;
+    if (best == kInvalidPartition || sizes_[p] < sizes_[best]) best = p;
+  }
+  SGP_CHECK(best != kInvalidPartition);
+  return best;
 }
 
 void DynamicPartitioner::NoteNeighbor(VertexId v, PartitionId p) {
@@ -73,6 +84,7 @@ PartitionId DynamicPartitioner::PlaceNew(VertexId v) {
   PartitionId best = kInvalidPartition;
   double best_score = 0;
   for (const auto& [p, count] : neighbor_counts_[v]) {
+    if (disabled_[p]) continue;
     double size = static_cast<double>(sizes_[p]);
     double cap = Capacity(p);
     if (size + 1.0 > cap) continue;
@@ -85,10 +97,10 @@ PartitionId DynamicPartitioner::PlaceNew(VertexId v) {
   if (best == kInvalidPartition) {
     best = static_cast<PartitionId>(
         HashU64Seeded(v, options_.seed) % options_.k);
-    // Respect capacity even for hashed placements.
-    if (static_cast<double>(sizes_[best]) + 1.0 > Capacity(best)) {
-      best = static_cast<PartitionId>(
-          std::min_element(sizes_.begin(), sizes_.end()) - sizes_.begin());
+    // Respect capacity (and dead partitions) even for hashed placements.
+    if (disabled_[best] ||
+        static_cast<double>(sizes_[best]) + 1.0 > Capacity(best)) {
+      best = LeastLoadedAlive();
     }
   }
   assignment_[v] = best;
@@ -104,6 +116,7 @@ bool DynamicPartitioner::MaybeMigrate(VertexId v) {
   uint32_t best_count = 0;
   for (const auto& [p, count] : neighbor_counts_[v]) {
     if (p == cur) cur_count = count;
+    if (disabled_[p]) continue;
     if (count > best_count) {
       best_count = count;
       best = p;
@@ -157,6 +170,45 @@ uint32_t DynamicPartitioner::AddEdge(VertexId u, VertexId v) {
   return migrations;
 }
 
+uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
+  SGP_CHECK(dead < options_.k);
+  if (disabled_[dead]) return 0;
+  disabled_[dead] = 1;
+  --alive_k_;
+  SGP_CHECK(alive_k_ > 0);
+  uint64_t moved = 0;
+  for (VertexId v = 0; v < assignment_.size(); ++v) {
+    if (assignment_[v] != dead) continue;
+    // Same placement rule as PlaceNew, restricted to survivors: most
+    // neighbors, discounted by fill, least-loaded when nothing fits.
+    PartitionId best = kInvalidPartition;
+    double best_score = 0;
+    for (const auto& [p, count] : neighbor_counts_[v]) {
+      if (disabled_[p]) continue;
+      double size = static_cast<double>(sizes_[p]);
+      double cap = Capacity(p);
+      if (size + 1.0 > cap) continue;
+      double score = static_cast<double>(count) * (1.0 - size / cap);
+      if (best == kInvalidPartition || score > best_score) {
+        best_score = score;
+        best = p;
+      }
+    }
+    if (best == kInvalidPartition) best = LeastLoadedAlive();
+    --sizes_[dead];
+    ++sizes_[best];
+    assignment_[v] = best;
+    for (VertexId w : adjacency_[v]) {
+      ForgetNeighbor(w, dead);
+      NoteNeighbor(w, best);
+    }
+    ++moved;
+    ++total_migrations_;
+  }
+  SGP_CHECK(sizes_[dead] == 0);
+  return moved;
+}
+
 PartitionId DynamicPartitioner::PartitionOf(VertexId v) const {
   if (v >= assignment_.size()) return kInvalidPartition;
   return assignment_[v];
@@ -179,6 +231,129 @@ Partitioning DynamicPartitioner::Snapshot(const Graph& graph) const {
   }
   DeriveEdgePlacement(graph, &p);
   return p;
+}
+
+FailoverRepair RepairAfterWorkerLoss(const Graph& graph,
+                                     const Partitioning& p, PartitionId dead,
+                                     const DynamicOptions& options,
+                                     const MigrationCostModel& cost) {
+  SGP_CHECK(p.k > 1);
+  SGP_CHECK(dead < p.k);
+  SGP_CHECK(p.vertex_to_partition.size() == graph.num_vertices());
+  SGP_CHECK(p.edge_to_partition.size() == graph.num_edges());
+  const ReplicaSets old_replicas = ComputeReplicaSets(graph, p);
+
+  FailoverRepair repair;
+  if (p.model == CutModel::kEdgeCut) {
+    // No surviving copies of the dead worker's vertices: re-place them via
+    // the dynamic partitioner's neighbor-majority migration.
+    DynamicOptions opts = options;
+    opts.k = p.k;
+    DynamicPartitioner dp(opts);
+    dp.Bootstrap(graph, p);
+    dp.DrainPartition(dead);
+    repair.partitioning = dp.Snapshot(graph);
+    repair.partitioning.model = p.model;
+  } else {
+    // Vertex-cut / hybrid: every orphaned master usually has surviving
+    // replicas — promote the one holding the most still-live incident
+    // edges; its edges on the dead worker follow the source's new master.
+    Partitioning q = p;
+    std::vector<uint32_t> orphan_index(graph.num_vertices(), UINT32_MAX);
+    std::vector<VertexId> orphans;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (p.vertex_to_partition[v] == dead) {
+        orphan_index[v] = static_cast<uint32_t>(orphans.size());
+        orphans.push_back(v);
+      }
+    }
+    // Live incident-edge counts per candidate partition, orphans only.
+    std::vector<std::vector<std::pair<PartitionId, uint32_t>>> live_counts(
+        orphans.size());
+    auto bump = [&](VertexId v, PartitionId part) {
+      if (orphan_index[v] == UINT32_MAX) return;
+      auto& vec = live_counts[orphan_index[v]];
+      auto it = std::find_if(vec.begin(), vec.end(),
+                             [part](const auto& pr) {
+                               return pr.first == part;
+                             });
+      if (it == vec.end()) {
+        vec.emplace_back(part, 1u);
+      } else {
+        ++it->second;
+      }
+    };
+    const auto& edges = graph.edges();
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const PartitionId pe = p.edge_to_partition[e];
+      if (pe == dead) continue;
+      bump(edges[e].src, pe);
+      bump(edges[e].dst, pe);
+    }
+    // Running master loads so replica-less orphans spread evenly.
+    std::vector<uint64_t> master_loads(p.k, 0);
+    for (PartitionId part : p.vertex_to_partition) ++master_loads[part];
+    auto least_loaded_alive = [&]() {
+      PartitionId best = kInvalidPartition;
+      for (PartitionId part = 0; part < p.k; ++part) {
+        if (part == dead) continue;
+        if (best == kInvalidPartition ||
+            master_loads[part] < master_loads[best]) {
+          best = part;
+        }
+      }
+      SGP_CHECK(best != kInvalidPartition);
+      return best;
+    };
+    for (uint32_t i = 0; i < orphans.size(); ++i) {
+      const VertexId v = orphans[i];
+      PartitionId best = kInvalidPartition;
+      uint32_t best_count = 0;
+      // Of(v) is sorted, so ties resolve toward the lower partition id.
+      for (PartitionId cand : old_replicas.Of(v)) {
+        if (cand == dead) continue;
+        uint32_t count = 0;
+        for (const auto& [part, c] : live_counts[i]) {
+          if (part == cand) count = c;
+        }
+        if (best == kInvalidPartition || count > best_count) {
+          best = cand;
+          best_count = count;
+        }
+      }
+      if (best == kInvalidPartition) best = least_loaded_alive();
+      --master_loads[dead];
+      ++master_loads[best];
+      q.vertex_to_partition[v] = best;
+    }
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      if (q.edge_to_partition[e] == dead) {
+        q.edge_to_partition[e] = q.vertex_to_partition[edges[e].src];
+      }
+    }
+    repair.partitioning = std::move(q);
+  }
+
+  // Migration volume: diff the repaired placement against the original.
+  const Partitioning& q = repair.partitioning;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (q.vertex_to_partition[v] == p.vertex_to_partition[v]) continue;
+    ++repair.moved_masters;
+    bool had_replica = false;
+    for (PartitionId part : old_replicas.Of(v)) {
+      if (part == q.vertex_to_partition[v]) had_replica = true;
+    }
+    if (!had_replica) ++repair.copied_vertices;
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (q.edge_to_partition[e] != p.edge_to_partition[e]) {
+      ++repair.moved_edges;
+    }
+  }
+  repair.migration_bytes =
+      repair.copied_vertices * cost.bytes_per_vertex_record +
+      repair.moved_edges * cost.bytes_per_adjacency_entry;
+  return repair;
 }
 
 }  // namespace sgp

@@ -47,6 +47,16 @@ class DynamicPartitioner {
   /// Returns the number of migrations it triggered (0, 1 or 2).
   uint32_t AddEdge(VertexId u, VertexId v);
 
+  /// Recovery strategy for a permanent worker failure: marks `dead` as
+  /// lost, migrates every vertex it held to its neighbor-majority
+  /// surviving partition (least-loaded fallback), and excludes it from
+  /// all future placements. Returns the number of vertices moved. At
+  /// least one partition must stay alive.
+  uint64_t DrainPartition(PartitionId dead);
+
+  /// Partition `p` has been drained by DrainPartition.
+  bool IsDisabled(PartitionId p) const { return disabled_[p] != 0; }
+
   /// Current partition of `v` (kInvalidPartition if never seen).
   PartitionId PartitionOf(VertexId v) const;
 
@@ -72,10 +82,13 @@ class DynamicPartitioner {
   PartitionId PlaceNew(VertexId v);
   bool MaybeMigrate(VertexId v);
   double Capacity(PartitionId p) const;
+  PartitionId LeastLoadedAlive() const;
 
   DynamicOptions options_;
   std::vector<PartitionId> assignment_;
   std::vector<uint64_t> sizes_;
+  std::vector<char> disabled_;   // permanently failed partitions
+  PartitionId alive_k_;          // partitions still accepting vertices
   // Neighbor-partition counts per vertex (tiny sorted-by-insertion vecs).
   std::vector<std::vector<std::pair<PartitionId, uint32_t>>> neighbor_counts_;
   // Adjacency retained so migrations can update neighbors' synopses.
@@ -83,6 +96,46 @@ class DynamicPartitioner {
   uint64_t placed_vertices_ = 0;
   uint64_t total_migrations_ = 0;
 };
+
+/// Wire-volume model of post-failure data migration.
+struct MigrationCostModel {
+  uint32_t bytes_per_vertex_record = 128;
+  uint32_t bytes_per_adjacency_entry = 8;
+};
+
+/// Outcome of repairing a placement after a permanent worker failure. The
+/// repaired partitioning assigns nothing — neither masters nor edges — to
+/// the dead worker.
+struct FailoverRepair {
+  Partitioning partitioning;
+
+  /// Vertices whose master partition changed.
+  uint64_t moved_masters = 0;
+
+  /// Edges whose assigned partition changed (their adjacency entries must
+  /// be rebuilt at the new location).
+  uint64_t moved_edges = 0;
+
+  /// Vertices whose record had to be copied to a partition that held no
+  /// replica before the failure. For vertex-cut placements most masters
+  /// are promoted from surviving replicas instead — the replication
+  /// factor buying cheap recovery.
+  uint64_t copied_vertices = 0;
+
+  /// Total migration traffic implied by the two counters above.
+  uint64_t migration_bytes = 0;
+};
+
+/// Repairs `p` after worker `dead` permanently fails. Edge-cut placements
+/// are drained through a DynamicPartitioner (neighbor-majority migration
+/// under the balance slack); vertex-cut / hybrid placements promote each
+/// orphaned master to its surviving replica with the most local edges and
+/// move the dead worker's edges with their source master. Deterministic;
+/// migration volume is diffed against the pre-failure placement.
+FailoverRepair RepairAfterWorkerLoss(const Graph& graph,
+                                     const Partitioning& p, PartitionId dead,
+                                     const DynamicOptions& options,
+                                     const MigrationCostModel& cost = {});
 
 }  // namespace sgp
 

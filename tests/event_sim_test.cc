@@ -109,6 +109,48 @@ TEST(EventSimTest, NetworkBytesMatchPlannedTraffic) {
   EXPECT_EQ(r.total_remote_messages, 0u);
 }
 
+TEST(EventSimTest, ZeroClientsYieldEmptyResult) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, SmallSim(0, 3000));
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.throughput_qps, 0.0);
+  EXPECT_EQ(r.window_seconds, 0.0);
+  EXPECT_EQ(r.latency.count, 0u);
+  ASSERT_EQ(r.reads_per_worker.size(), 4u);
+  for (double reads : r.reads_per_worker) EXPECT_EQ(reads, 0.0);
+  EXPECT_TRUE(r.traces.empty());
+  EXPECT_DOUBLE_EQ(r.availability.availability, 1.0);
+}
+
+TEST(EventSimTest, ZeroQueriesYieldEmptyResult) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, SmallSim(8, 0));
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.throughput_qps, 0.0);
+  EXPECT_EQ(r.total_network_bytes, 0u);
+}
+
+TEST(EventSimTest, FullWarmupYieldsEmptyResult) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimConfig cfg = SmallSim(8, 500);
+  cfg.warmup_fraction = 1.0;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.window_seconds, 0.0);
+  cfg.warmup_fraction = 1.5;  // > 1 must behave identically
+  SimResult r2 = SimulateClosedLoop(db, w, cfg);
+  EXPECT_EQ(r2.completed, 0u);
+  cfg.warmup_fraction = -0.1;  // negative fractions are also degenerate
+  SimResult r3 = SimulateClosedLoop(db, w, cfg);
+  EXPECT_EQ(r3.completed, 0u);
+}
+
 TEST(EventSimTest, TwoHopIsSlowerThanOneHop) {
   Graph g = MakeDataset("ldbc", 10);
   GraphDatabase db = MakeDb(g, "ECR", 8);

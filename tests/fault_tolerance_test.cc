@@ -1,0 +1,408 @@
+// Fault-injection and recovery across the whole stack: the FaultPlan /
+// RetryPolicy primitives, availability of the online simulator under
+// outages, checkpoint/rollback in the analytics engine, and placement
+// repair after a permanent worker loss.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+#include "common/faults.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "graph/datasets.h"
+#include "graphdb/event_sim.h"
+#include "partition/dynamic/dynamic_partitioner.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+GraphDatabase MakeDb(const Graph& g, const std::string& algo, PartitionId k) {
+  PartitionConfig cfg;
+  cfg.k = k;
+  return GraphDatabase(g, CreatePartitioner(algo)->Run(g, cfg));
+}
+
+SimConfig SmallSim(uint32_t clients = 32, uint64_t queries = 3000) {
+  SimConfig cfg;
+  cfg.clients = clients;
+  cfg.num_queries = queries;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlanTest, OutageWindowsAreHalfOpen) {
+  FaultPlan plan = FaultPlan::SingleOutage(1, 2.0, 3.0);
+  EXPECT_FALSE(plan.IsDown(1, 1.999));
+  EXPECT_TRUE(plan.IsDown(1, 2.0));
+  EXPECT_TRUE(plan.IsDown(1, 4.999));
+  EXPECT_FALSE(plan.IsDown(1, 5.0));
+  EXPECT_FALSE(plan.IsDown(0, 3.0));
+  EXPECT_FALSE(plan.PermanentlyDown(1, 3.0));
+}
+
+TEST(FaultPlanTest, PermanentOutage) {
+  FaultPlan plan;
+  plan.outages.push_back({2, 1.0, kInf});
+  EXPECT_TRUE(plan.outages[0].permanent());
+  EXPECT_FALSE(plan.PermanentlyDown(2, 0.5));
+  EXPECT_TRUE(plan.PermanentlyDown(2, 1.0));
+  EXPECT_TRUE(plan.IsDown(2, 1e12));
+}
+
+TEST(FaultPlanTest, DownMaskEmptyWhenHealthy) {
+  FaultPlan plan = FaultPlan::SingleOutage(0, 10.0, 5.0);
+  EXPECT_TRUE(plan.DownMask(4, 1.0).empty());
+  std::vector<char> mask = plan.DownMask(4, 12.0);
+  ASSERT_EQ(mask.size(), 4u);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+}
+
+TEST(FaultPlanTest, SlowdownMultipliesOverlappingWindows) {
+  FaultPlan plan;
+  plan.stragglers.push_back({0, 0.0, 10.0, 2.0});
+  plan.stragglers.push_back({0, 5.0, 10.0, 3.0});
+  EXPECT_DOUBLE_EQ(plan.Slowdown(0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.Slowdown(0, 6.0), 6.0);
+  EXPECT_DOUBLE_EQ(plan.Slowdown(0, 11.0), 1.0);
+  EXPECT_DOUBLE_EQ(plan.Slowdown(1, 6.0), 1.0);
+}
+
+TEST(FaultPlanTest, TransitionTimesSortedAndDeduplicated) {
+  FaultPlan plan;
+  plan.outages.push_back({0, 5.0, 9.0});
+  plan.outages.push_back({1, 2.0, 5.0});
+  plan.outages.push_back({2, 2.0, kInf});  // infinite end has no transition
+  std::vector<double> times = plan.OutageTransitionTimes();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+  EXPECT_DOUBLE_EQ(times[2], 9.0);
+}
+
+TEST(FaultPlanTest, AnyOutageOverlaps) {
+  FaultPlan plan = FaultPlan::SingleOutage(0, 2.0, 2.0);
+  EXPECT_TRUE(plan.AnyOutageOverlaps(1.0, 3.0));
+  EXPECT_TRUE(plan.AnyOutageOverlaps(3.9, 10.0));
+  EXPECT_FALSE(plan.AnyOutageOverlaps(0.0, 1.9));
+  EXPECT_FALSE(plan.AnyOutageOverlaps(4.1, 9.0));
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicAndValid) {
+  RandomFaultOptions opt;
+  opt.crash_probability = 0.8;
+  opt.straggler_probability = 0.5;
+  opt.message_loss_probability = 0.01;
+  FaultPlan a = MakeRandomFaultPlan(8, 10.0, opt, 99);
+  FaultPlan b = MakeRandomFaultPlan(8, 10.0, opt, 99);
+  a.Validate(8);
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  for (size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_EQ(a.outages[i].worker, b.outages[i].worker);
+    EXPECT_DOUBLE_EQ(a.outages[i].start, b.outages[i].start);
+    EXPECT_DOUBLE_EQ(a.outages[i].end, b.outages[i].end);
+  }
+  // The last worker is always spared so data can survive somewhere.
+  for (const WorkerOutage& o : a.outages) EXPECT_LT(o.worker, 7u);
+  FaultPlan c = MakeRandomFaultPlan(8, 10.0, opt, 100);
+  bool differs = a.outages.size() != c.outages.size();
+  for (size_t i = 0; !differs && i < a.outages.size(); ++i) {
+    differs = a.outages[i].worker != c.outages[i].worker ||
+              a.outages[i].start != c.outages[i].start;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -------------------------------------------------------------- RetryPolicy
+
+TEST(RetryPolicyTest, BackoffGrowsAndCaps) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, rng),
+                   policy.initial_backoff_seconds);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, rng),
+                   policy.initial_backoff_seconds * 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(20, rng),
+                   policy.max_backoff_seconds);
+}
+
+TEST(RetryPolicyTest, JitterStaysInBand) {
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.2;
+  policy.Validate();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    double b = policy.BackoffSeconds(1, rng);
+    EXPECT_GE(b, policy.initial_backoff_seconds * 0.8 - 1e-15);
+    EXPECT_LE(b, policy.initial_backoff_seconds * 1.2 + 1e-15);
+  }
+}
+
+// ------------------------------------------------- online simulator faults
+
+TEST(FaultSimTest, EmptyPlanReproducesHealthyRunBitForBit) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "FNL", 4);
+  Workload w(g, {});
+  SimResult healthy = SimulateClosedLoop(db, w, SmallSim());
+  SimConfig cfg = SmallSim();
+  cfg.faults = FaultPlan{};  // explicitly empty
+  SimResult faulty = SimulateClosedLoop(db, w, cfg);
+  EXPECT_DOUBLE_EQ(healthy.throughput_qps, faulty.throughput_qps);
+  EXPECT_DOUBLE_EQ(healthy.latency.p99, faulty.latency.p99);
+  EXPECT_DOUBLE_EQ(healthy.latency.mean, faulty.latency.mean);
+  EXPECT_EQ(healthy.total_network_bytes, faulty.total_network_bytes);
+  EXPECT_EQ(faulty.availability.failed, 0u);
+  EXPECT_EQ(faulty.availability.retries, 0u);
+  EXPECT_DOUBLE_EQ(faulty.availability.availability, 1.0);
+}
+
+TEST(FaultSimTest, IdenticalSeedsGiveIdenticalAvailabilityMetrics) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "HDRF", 4);
+  Workload w(g, {});
+  SimConfig cfg = SmallSim();
+  cfg.faults = FaultPlan::SingleOutage(0, 0.002, 0.05);
+  cfg.faults.message_loss_probability = 0.005;
+  SimResult a = SimulateClosedLoop(db, w, cfg);
+  SimResult b = SimulateClosedLoop(db, w, cfg);
+  EXPECT_EQ(a.availability.succeeded, b.availability.succeeded);
+  EXPECT_EQ(a.availability.failed, b.availability.failed);
+  EXPECT_EQ(a.availability.timed_out, b.availability.timed_out);
+  EXPECT_EQ(a.availability.retries, b.availability.retries);
+  EXPECT_EQ(a.availability.degraded_reads, b.availability.degraded_reads);
+  EXPECT_EQ(a.availability.lost_messages, b.availability.lost_messages);
+  EXPECT_DOUBLE_EQ(a.availability.availability,
+                   b.availability.availability);
+  EXPECT_DOUBLE_EQ(a.availability.latency_during_outage.p99,
+                   b.availability.latency_during_outage.p99);
+  EXPECT_DOUBLE_EQ(a.latency.p99, b.latency.p99);
+}
+
+TEST(FaultSimTest, ReplicatedPlacementSustainsHigherAvailability) {
+  // Acceptance criterion: during a single-worker outage, the vertex-cut
+  // placement (HDRF) serves reads from surviving replicas while the hash
+  // edge-cut placement (ECR) has a single copy of everything the dead
+  // worker held.
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase edge_cut = MakeDb(g, "ECR", 4);
+  GraphDatabase vertex_cut = MakeDb(g, "HDRF", 4);
+  ASSERT_FALSE(edge_cut.replicated());
+  ASSERT_TRUE(vertex_cut.replicated());
+  Workload w(g, {});
+  SimConfig cfg = SmallSim();
+  cfg.faults.outages.push_back({0, 0.0, kInf});  // worker 0 down all run
+  SimResult ec = SimulateClosedLoop(edge_cut, w, cfg);
+  SimResult vc = SimulateClosedLoop(vertex_cut, w, cfg);
+  EXPECT_GT(ec.availability.failed + ec.availability.timed_out, 0u);
+  EXPECT_GT(vc.availability.degraded_reads, 0u);
+  EXPECT_GT(vc.availability.availability, ec.availability.availability);
+  EXPECT_GT(vc.availability.succeeded, 0u);
+}
+
+TEST(FaultSimTest, TransientOutageSplitsLatencyWindows) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "HDRF", 4);
+  Workload w(g, {});
+  // Size the outage from a healthy run so it sits inside the run.
+  SimResult healthy = SimulateClosedLoop(db, w, SmallSim());
+  double span = healthy.window_seconds / 0.9;
+  SimConfig cfg = SmallSim();
+  cfg.faults = FaultPlan::SingleOutage(1, 0.3 * span, 0.2 * span);
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_GT(r.availability.latency_steady.count, 0u);
+  EXPECT_GT(r.availability.latency_during_outage.count, 0u);
+  EXPECT_EQ(r.availability.latency_steady.count +
+                r.availability.latency_during_outage.count,
+            r.completed);
+}
+
+TEST(FaultSimTest, StragglerInflatesLatency) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimResult healthy = SimulateClosedLoop(db, w, SmallSim());
+  SimConfig cfg = SmallSim();
+  cfg.faults.stragglers.push_back({0, 0.0, kInf, 8.0});
+  SimResult slow = SimulateClosedLoop(db, w, cfg);
+  EXPECT_GT(slow.latency.mean, healthy.latency.mean);
+  // Stragglers slow the cluster but never drop queries.
+  EXPECT_EQ(slow.availability.failed, 0u);
+}
+
+TEST(FaultSimTest, MessageLossTriggersRetries) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimConfig cfg = SmallSim();
+  cfg.faults.message_loss_probability = 0.05;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_GT(r.availability.lost_messages, 0u);
+  EXPECT_GT(r.availability.retries, 0u);
+  EXPECT_GT(r.availability.succeeded, 0u);
+}
+
+TEST(FaultSimTest, TightDeadlineTimesOut) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimConfig cfg = SmallSim();
+  cfg.faults.stragglers.push_back({0, 0.0, kInf, 50.0});
+  cfg.retry.query_timeout_seconds = 2e-3;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_GT(r.availability.timed_out, 0u);
+  EXPECT_LT(r.availability.availability, 1.0);
+}
+
+// ------------------------------------------------- engine checkpointing
+
+TEST(EngineFaultTest, CrashRecoveryPreservesValues) {
+  // Acceptance criterion: an injected crash converges to the same vertex
+  // values as the failure-free run, at a nonzero recovery cost.
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("HDRF")->Run(g, pcfg);
+  AnalyticsEngine engine(g, p);
+  PageRankProgram pr(10);
+  EngineStats clean = engine.Run(pr);
+  EngineFaultConfig faults;
+  faults.checkpoint_interval = 3;
+  faults.crashes.push_back({1, 5});
+  EngineStats faulty = engine.Run(pr, faults);
+  ASSERT_EQ(clean.values.size(), faulty.values.size());
+  for (size_t v = 0; v < clean.values.size(); ++v) {
+    EXPECT_DOUBLE_EQ(clean.values[v], faulty.values[v]);
+  }
+  EXPECT_EQ(faulty.crashes_recovered, 1u);
+  // Crash at superstep 5 with checkpoints after 3: replay supersteps 3..5.
+  EXPECT_EQ(faulty.replayed_supersteps, 3u);
+  EXPECT_GT(faulty.recovery_seconds, 0.0);
+  EXPECT_GT(faulty.checkpoint_seconds, 0.0);
+  EXPECT_GT(faulty.simulated_seconds, clean.simulated_seconds);
+  EXPECT_EQ(clean.iterations, faulty.iterations);
+}
+
+TEST(EngineFaultTest, CheckpointIntervalTradesOverheadForReplay) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("LDG")->Run(g, pcfg);
+  AnalyticsEngine engine(g, p);
+  PageRankProgram pr(12);
+  EngineFaultConfig frequent;
+  frequent.checkpoint_interval = 2;
+  frequent.crashes.push_back({0, 9});
+  EngineFaultConfig sparse;
+  sparse.checkpoint_interval = 5;
+  sparse.crashes.push_back({0, 9});
+  EngineStats a = engine.Run(pr, frequent);
+  EngineStats b = engine.Run(pr, sparse);
+  EXPECT_GT(a.checkpoints, b.checkpoints);
+  EXPECT_LT(a.replayed_supersteps, b.replayed_supersteps);
+}
+
+TEST(EngineFaultTest, NoCheckpointsMeansFullReplay) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("ECR")->Run(g, pcfg);
+  AnalyticsEngine engine(g, p);
+  PageRankProgram pr(8);
+  EngineFaultConfig faults;
+  faults.crashes.push_back({2, 6});
+  EngineStats stats = engine.Run(pr, faults);
+  EXPECT_EQ(stats.checkpoints, 0u);
+  EXPECT_EQ(stats.replayed_supersteps, 7u);  // supersteps 0..6
+}
+
+// ------------------------------------------------- placement repair
+
+TEST(RecoveryTest, DrainPartitionEmptiesAndDisables) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("LDG")->Run(g, pcfg);
+  DynamicOptions opt;
+  opt.k = 4;
+  DynamicPartitioner dp(opt);
+  dp.Bootstrap(g, p);
+  uint64_t before_on_dead = dp.partition_sizes()[1];
+  ASSERT_GT(before_on_dead, 0u);
+  uint64_t moved = dp.DrainPartition(1);
+  EXPECT_EQ(moved, before_on_dead);
+  EXPECT_EQ(dp.partition_sizes()[1], 0u);
+  EXPECT_TRUE(dp.IsDisabled(1));
+  EXPECT_EQ(dp.DrainPartition(1), 0u);  // idempotent
+  for (VertexId v = 0; v < dp.num_vertices(); ++v) {
+    EXPECT_NE(dp.PartitionOf(v), 1u);
+  }
+  // New vertices never land on the drained partition.
+  VertexId base = g.num_vertices();
+  for (VertexId i = 0; i < 64; ++i) {
+    dp.AddEdge(base + i, base + ((i + 1) % 64));
+  }
+  for (VertexId i = 0; i < 64; ++i) {
+    EXPECT_NE(dp.PartitionOf(base + i), 1u);
+  }
+}
+
+TEST(RecoveryTest, RepairEdgeCutPlacement) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("LDG")->Run(g, pcfg);
+  FailoverRepair repair = RepairAfterWorkerLoss(g, p, 2, DynamicOptions{});
+  ValidatePartitioning(g, repair.partitioning);
+  for (PartitionId part : repair.partitioning.vertex_to_partition) {
+    EXPECT_NE(part, 2u);
+  }
+  for (PartitionId part : repair.partitioning.edge_to_partition) {
+    EXPECT_NE(part, 2u);
+  }
+  EXPECT_GT(repair.moved_masters, 0u);
+  EXPECT_GT(repair.moved_edges, 0u);
+  EXPECT_GT(repair.migration_bytes, 0u);
+}
+
+TEST(RecoveryTest, RepairVertexCutPromotesReplicas) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("HDRF")->Run(g, pcfg);
+  FailoverRepair repair = RepairAfterWorkerLoss(g, p, 0, DynamicOptions{});
+  ValidatePartitioning(g, repair.partitioning);
+  for (PartitionId part : repair.partitioning.vertex_to_partition) {
+    EXPECT_NE(part, 0u);
+  }
+  for (PartitionId part : repair.partitioning.edge_to_partition) {
+    EXPECT_NE(part, 0u);
+  }
+  EXPECT_GT(repair.moved_masters, 0u);
+  // Replication buys cheap recovery: most orphaned masters are promoted
+  // from surviving replicas instead of copied to a fresh worker.
+  EXPECT_LT(repair.copied_vertices, repair.moved_masters);
+}
+
+TEST(RecoveryTest, RepairIsDeterministic) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  Partitioning p = CreatePartitioner("HDRF")->Run(g, pcfg);
+  FailoverRepair a = RepairAfterWorkerLoss(g, p, 1, DynamicOptions{});
+  FailoverRepair b = RepairAfterWorkerLoss(g, p, 1, DynamicOptions{});
+  EXPECT_EQ(a.partitioning.vertex_to_partition,
+            b.partitioning.vertex_to_partition);
+  EXPECT_EQ(a.partitioning.edge_to_partition,
+            b.partitioning.edge_to_partition);
+  EXPECT_EQ(a.migration_bytes, b.migration_bytes);
+}
+
+}  // namespace
+}  // namespace sgp

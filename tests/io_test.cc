@@ -1,6 +1,7 @@
 #include "graph/io.h"
 
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 #include "graph/generators.h"
@@ -41,6 +42,61 @@ TEST(IoTest, EmptyInput) {
   Graph g = ReadEdgeList(in, /*directed=*/true);
   EXPECT_EQ(g.num_vertices(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(IoTest, SkipsAndCountsMalformedLines) {
+  // A truncated line (one id), a garbage line, and a valid tail.
+  std::istringstream in("0 1\n2\nhello world\n1 2\n");
+  EdgeListReadResult r = TryReadEdgeList(in, /*directed=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.skipped_lines, 2u);
+  EXPECT_EQ(r.graph.num_edges(), 2u);
+}
+
+TEST(IoTest, CommentsAreNotCountedAsSkipped) {
+  std::istringstream in("# header\n\n% another\n0 1\n");
+  EdgeListReadResult r = TryReadEdgeList(in, /*directed=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.skipped_lines, 0u);
+}
+
+TEST(IoTest, RejectsOutOfRangeIdsWithDiagnostic) {
+  std::istringstream in("0 1\n0 99\n");
+  EdgeListReadResult r =
+      TryReadEdgeList(in, /*directed=*/false, /*num_vertices=*/10);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+  EXPECT_NE(r.error.find("99"), std::string::npos);
+}
+
+TEST(IoTest, RejectsIdsAboveVertexIdSpace) {
+  std::istringstream in("0 18446744073709551615\n");
+  EdgeListReadResult r = TryReadEdgeList(in, /*directed=*/false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("out of range"), std::string::npos);
+}
+
+TEST(IoTest, UnopenableFileIsRecoverable) {
+  EdgeListReadResult r =
+      TryReadEdgeListFile("/nonexistent/edges.txt", /*directed=*/false);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/edges.txt", false),
+               std::runtime_error);
+}
+
+TEST(IoTest, LegacyReaderThrowsOnOutOfRange) {
+  std::istringstream in("0 99\n");
+  EXPECT_THROW(ReadEdgeList(in, /*directed=*/false, /*num_vertices=*/10),
+               std::runtime_error);
+}
+
+TEST(IoTest, ExtraColumnsAreIgnored) {
+  std::istringstream in("0 1 0.5\n1 2 0.25 tagged\n");
+  EdgeListReadResult r = TryReadEdgeList(in, /*directed=*/false);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.skipped_lines, 0u);
+  EXPECT_EQ(r.graph.num_edges(), 2u);
 }
 
 }  // namespace

@@ -68,6 +68,47 @@ TEST(SimTraceTest, CapRespected) {
   EXPECT_EQ(r.latency.count, r.completed);
 }
 
+TEST(SimTraceTest, IdenticalSeedsProduceIdenticalTraces) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimResult a = SimulateClosedLoop(db, w, TracingSim());
+  SimResult b = SimulateClosedLoop(db, w, TracingSim());
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].binding, b.traces[i].binding);
+    EXPECT_DOUBLE_EQ(a.traces[i].issue_time, b.traces[i].issue_time);
+    EXPECT_DOUBLE_EQ(a.traces[i].completion_time,
+                     b.traces[i].completion_time);
+    EXPECT_EQ(a.traces[i].coordinator, b.traces[i].coordinator);
+    EXPECT_EQ(a.traces[i].reads, b.traces[i].reads);
+    EXPECT_EQ(a.traces[i].rounds, b.traces[i].rounds);
+  }
+}
+
+TEST(SimTraceTest, ExplicitlyDisabledIgnoresCap) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimConfig cfg = TracingSim(1000);
+  cfg.collect_traces = false;
+  cfg.max_traces = 100;  // cap must be irrelevant when collection is off
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_TRUE(r.traces.empty());
+  EXPECT_GT(r.completed, 0u);
+}
+
+TEST(SimTraceTest, ZeroCapCollectsNothing) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, 4);
+  Workload w(g, {});
+  SimConfig cfg = TracingSim(1000);
+  cfg.max_traces = 0;
+  SimResult r = SimulateClosedLoop(db, w, cfg);
+  EXPECT_TRUE(r.traces.empty());
+  EXPECT_EQ(r.latency.count, r.completed);
+}
+
 TEST(SimTraceTest, DisabledByDefault) {
   Graph g = MakeDataset("ldbc", 9);
   GraphDatabase db = MakeDb(g, 4);
