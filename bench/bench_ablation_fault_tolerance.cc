@@ -125,5 +125,6 @@ int main() {
   std::cout << "\nVertex-cut repair promotes surviving replicas to master "
                "(few copies);\nedge-cut repair must re-ship every record "
                "the dead worker owned.\n";
+  sgp::bench::WriteBenchJson("ablation_fault_tolerance", scale);
   return 0;
 }

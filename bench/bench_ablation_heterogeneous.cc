@@ -50,5 +50,6 @@ int main() {
          "capability speeds up every algorithm (speedup > 1), because the\n"
          "slow machines stop being stragglers; the aware max/mean column\n"
          "shows the residual *time* imbalance after weighting.\n";
+  sgp::bench::WriteBenchJson("ablation_heterogeneous", scale);
   return 0;
 }

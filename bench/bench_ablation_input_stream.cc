@@ -62,5 +62,6 @@ int main() {
          "quality than their vertex stream counterparts\"); allowing\n"
          "migrations (the re-partitioning family of Section 2) buys back\n"
          "part of the gap at the cost of vertex moves.\n";
+  sgp::bench::WriteBenchJson("ablation_input_stream", scale);
   return 0;
 }

@@ -101,5 +101,6 @@ int main() {
                  "default) minimizes replication — both extremes degrade\n"
                  "toward pure source- or target-hashing.\n";
   }
+  sgp::bench::WriteBenchJson("ablation_objective_params", scale);
   return 0;
 }

@@ -56,5 +56,6 @@ int main() {
          "toward (but not to) hash quality, while barrier count drops —\n"
          "the coordination/quality trade-off that Section 4.1.1 contrasts\n"
          "with hash partitioning's zero-communication parallelism.\n";
+  sgp::bench::WriteBenchJson("ablation_parallel_ingest", scale);
   return 0;
 }

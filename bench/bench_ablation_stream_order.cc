@@ -40,5 +40,6 @@ int main() {
          "rows improve their replication factor under BFS/DFS locality but\n"
          "PGG pays with severe edge imbalance (the \"single partition\"\n"
          "pathology of Section 4.2.2), while HDRF stays balanced.\n";
+  sgp::bench::WriteBenchJson("ablation_stream_order", scale);
   return 0;
 }

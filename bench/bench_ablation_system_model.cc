@@ -82,5 +82,6 @@ int main() {
            "aware router wins throughput and latency for every algorithm —\n"
            "and the win grows with the partitioning's locality.\n";
   }
+  sgp::bench::WriteBenchJson("ablation_system_model", scale);
   return 0;
 }

@@ -62,5 +62,6 @@ int main() {
          "(all-active, stable); WCC starts all-active and decays; SSSP\n"
          "starts from one vertex, peaks mid-run in BFS order and decays —\n"
          "the \"ordered activation\" that defeats uniform-load objectives.\n";
+  sgp::bench::WriteBenchJson("ablation_workload_dynamics", scale);
   return 0;
 }

@@ -50,5 +50,6 @@ int main() {
          "shrinks — MTS falls to or below hash at skew 1.4 — while ECR's\n"
          "RSD stays flat. Structural cut metrics cannot see any of this\n"
          "(Section 6.3.3).\n";
+  sgp::bench::WriteBenchJson("ablation_workload_skew", scale);
   return 0;
 }

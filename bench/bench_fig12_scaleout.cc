@@ -46,5 +46,6 @@ int main() {
          "appears as collapsing per-worker efficiency (q/s/worker falls\n"
          "steeply from k=4 to k=32) as the growing cut ratio turns extra\n"
          "workers into extra round trips per query.\n";
+  sgp::bench::WriteBenchJson("fig12_scaleout", scale);
   return 0;
 }

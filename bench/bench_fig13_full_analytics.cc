@@ -63,5 +63,6 @@ int main() {
          "network (balanced + low replication); vertex-cut/hybrid fastest\n"
          "on twitter/uk2007; PageRank separates algorithms the most; the\n"
          "k=128 column rarely beats k=64 (communication dominates).\n";
+  sgp::bench::WriteBenchJson("fig13_full_analytics", scale);
   return 0;
 }

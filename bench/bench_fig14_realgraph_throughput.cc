@@ -43,5 +43,6 @@ int main() {
          "under medium load but lose their edge (or invert) under high\n"
          "load on every dataset, because workload-skew hotspots — not the\n"
          "cut ratio — dominate saturated-cluster behaviour.\n";
+  sgp::bench::WriteBenchJson("fig14_realgraph_throughput", scale);
   return 0;
 }

@@ -66,5 +66,6 @@ int main() {
          "edge-cut rows have a visibly smaller MB/RF slope than vertex-cut\n"
          "rows (no master->mirror sync, Appendix B), while for WCC the\n"
          "models coincide; PageRank moves the most data overall.\n";
+  sgp::bench::WriteBenchJson("fig1_comm_volume", scale);
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
          "low-degree road network; vertex-cut (HDRF/DBH) and hybrid lowest\n"
          "on the skewed twitter/uk2007 graphs; replication grows with k\n"
          "for every algorithm; no algorithm wins everywhere.\n";
+  sgp::bench::WriteBenchJson("fig2_replication", scale);
   return 0;
 }

@@ -61,5 +61,6 @@ int main() {
          "despite decent cut sizes; differences shrink for WCC/SSSP; and\n"
          "scaling beyond ~64 partitions stops helping as communication\n"
          "dominates.\n";
+  sgp::bench::WriteBenchJson("fig3_analytics_runtime", scale);
   return 0;
 }

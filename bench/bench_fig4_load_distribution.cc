@@ -49,5 +49,6 @@ int main() {
          "skewed twitter/uk2007 graphs edge-cut methods (ECR/LDG/FNL/MTS)\n"
          "show a long max tail because the edges of high-degree vertices\n"
          "pile onto single workers, while vertex-cut rows stay tight.\n";
+  sgp::bench::WriteBenchJson("fig4_load_distribution", scale);
   return 0;
 }

@@ -47,5 +47,6 @@ int main() {
       << "\nExpected shape (paper Fig. 5): network I/O is a linear function\n"
          "of the edge-cut ratio regardless of the algorithm — the MB/cut\n"
          "column is roughly constant across all rows.\n";
+  sgp::bench::WriteBenchJson("fig5_online_comm", scale);
   return 0;
 }

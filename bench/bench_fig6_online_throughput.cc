@@ -51,5 +51,6 @@ int main() {
          "the huge fan-out touches every worker regardless of the cut, so\n"
          "only the load balance is left to differentiate — the same\n"
          "skew-sensitivity that Table 5 shows in the tail latencies.\n";
+  sgp::bench::WriteBenchJson("fig6_online_throughput", scale);
   return 0;
 }

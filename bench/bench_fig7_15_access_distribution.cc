@@ -47,5 +47,6 @@ int main() {
          "workload skew concentrates reads on the workers owning hot\n"
          "neighborhoods, which the structural objectives cannot see; hash\n"
          "(ECR) spreads hot vertices and stays the tightest.\n";
+  sgp::bench::WriteBenchJson("fig7_15_access_distribution", scale);
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
          "showing that workload information — not better structural cuts —\n"
          "is what unlocks online performance. TAPER-S (the Appendix A\n"
          "streaming variant) recovers much of MTS-W's gain in one pass.\n";
+  sgp::bench::WriteBenchJson("fig8_workload_aware", scale);
   return 0;
 }

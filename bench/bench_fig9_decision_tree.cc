@@ -98,5 +98,6 @@ int main() {
          "weighs an edge at |V|/|E| of a vertex) admits edge-load skew\n"
          "that the paper's cluster absorbs via hybrid's lower sync cost;\n"
          "at simulator scale that advantage is smaller than the skew.\n";
+  sgp::bench::WriteBenchJson("fig9_decision_tree", scale);
   return 0;
 }

@@ -56,4 +56,14 @@ BENCHMARK(BM_Metis)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): identical run loop, plus a dump of the
+// decision counters the partitioners accumulated across all iterations
+// (tie-breaks, degree-table hits, phase timings) to BENCH_*.json.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  sgp::bench::WriteBenchJson("partitioner_speed", sgp::bench::ScaleFromEnv());
+  return 0;
+}

@@ -83,5 +83,6 @@ int main() {
              "ECR LDG FNL MTS", "1-hop, 2-hop, shortest path", "4-32",
              "twitter, uk2007, usaroad, ldbc"});
   t2.Print(std::cout);
+  sgp::bench::WriteBenchJson("table1_taxonomy", sgp::bench::ScaleFromEnv());
   return 0;
 }

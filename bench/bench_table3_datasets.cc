@@ -28,5 +28,6 @@ int main() {
                "UK2007-05 3.73B/105M power-law,\nUS-Road 58.3M/23M "
                "low-degree, LDBC-SNB heavy-tailed. The synthetic analogues\n"
                "preserve the type contrasts at laptop scale.\n";
+  sgp::bench::WriteBenchJson("table3_datasets", scale);
   return 0;
 }

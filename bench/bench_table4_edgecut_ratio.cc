@@ -31,5 +31,6 @@ int main() {
          "MTS 0.31→0.51 as k grows 4→32. Expected shape: every column\n"
          "grows with k and MTS < FNL < LDG < ECR throughout (FNL\n"
          "approaches offline METIS quality, confirming [40]).\n";
+  sgp::bench::WriteBenchJson("table4_edgecut_ratio", scale);
   return 0;
 }

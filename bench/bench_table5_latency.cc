@@ -43,5 +43,6 @@ int main() {
          "a much larger p99 inflation than hash (up to ~3.5x for FNL),\n"
          "because their load imbalance creates queueing hotspots; hash\n"
          "remains the best latency/throughput trade-off.\n";
+  sgp::bench::WriteBenchJson("table5_latency", scale);
   return 0;
 }

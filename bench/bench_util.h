@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "graph/datasets.h"
 #include "graph/graph.h"
 
@@ -40,6 +41,47 @@ inline void PrintBanner(const char* experiment, const char* description,
   std::printf("=== %s ===\n%s\n(synthetic datasets at scale %u; export "
               "SGP_SCALE to change)\n\n",
               experiment, description, scale);
+}
+
+/// Dumps the global metrics registry to BENCH_<name>.json — the
+/// machine-readable companion to the printed tables (schema
+/// "sgp.bench.v1", see docs/OBSERVABILITY.md). Deterministic metrics and
+/// wall-clock metrics land in separate arrays so the former can be diffed
+/// byte-for-byte across runs with identical seeds. Files are written to
+/// the working directory, or to $SGP_BENCH_JSON_DIR when set. Returns the
+/// path written, or "" on I/O failure (reported on stderr, never fatal).
+inline std::string WriteBenchJson(const char* bench_name, uint32_t scale) {
+  const MetricsRegistry& reg = MetricsRegistry::Global();
+  ExportOptions deterministic;
+  deterministic.filter = MetricFilter::kDeterministicOnly;
+  ExportOptions wall;
+  wall.filter = MetricFilter::kWallTimeOnly;
+
+  std::string json;
+  json += "{\"schema\":\"sgp.bench.v1\",\"bench\":\"";
+  json += bench_name;
+  json += "\",\"scale\":";
+  json += std::to_string(scale);
+  json += ",\"metrics\":";
+  json += SerializeMetricsArrayJson(reg.Snapshot(deterministic));
+  json += ",\"wall_time_metrics\":";
+  json += SerializeMetricsArrayJson(reg.Snapshot(wall));
+  json += "}\n";
+
+  std::string path = std::string("BENCH_") + bench_name + ".json";
+  if (const char* dir = std::getenv("SGP_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[metrics] cannot write %s\n", path.c_str());
+    return "";
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("[metrics] wrote %s\n", path.c_str());
+  return path;
 }
 
 }  // namespace sgp::bench

@@ -6,12 +6,17 @@
 //   advisor analytics <low-degree|heavy-tailed|power-law>
 //   advisor online <latency|throughput> [high-load]
 //   advisor classify <edge-list-file> [directed]
+// Every mode accepts --metrics-out <file> to dump the telemetry registry
+// as JSON.
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "advisor/advisor.h"
+#include "common/telemetry.h"
 #include "graph/io.h"
 #include "partition/partitioner.h"
 
@@ -22,7 +27,8 @@ int Usage() {
       << "usage:\n"
          "  advisor analytics <low-degree|heavy-tailed|power-law>\n"
          "  advisor online <latency|throughput> [high-load]\n"
-         "  advisor classify <edge-list-file> [directed]\n";
+         "  advisor classify <edge-list-file> [directed]\n"
+         "  (any mode also takes --metrics-out <file>)\n";
   return 1;
 }
 
@@ -32,9 +38,37 @@ void Print(const sgp::Recommendation& r) {
             << "\n";
 }
 
+int RunAdvisor(int argc, char** argv);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract --metrics-out <file> (valid in every mode) before dispatch.
+  std::string metrics_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  const int status = RunAdvisor(static_cast<int>(args.size()), args.data());
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    out << sgp::MetricsRegistry::Global().ExportJson();
+    std::cout << "metrics written to " << metrics_out << "\n";
+  }
+  return status;
+}
+
+namespace {
+
+int RunAdvisor(int argc, char** argv) {
   using namespace sgp;
   if (argc < 3) return Usage();
   const std::string mode = argv[1];
@@ -96,3 +130,5 @@ int main(int argc, char** argv) {
   }
   return Usage();
 }
+
+}  // namespace

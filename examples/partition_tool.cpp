@@ -11,11 +11,14 @@
 //   --seed <s>            RNG/hash seed
 //   --slack <b>           balance slack β (default 1.05)
 //   --output <file>       write "vertex partition" lines
+//   --metrics-out <file>  dump the telemetry registry as JSON
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
 
+#include "common/telemetry.h"
 #include "graph/io.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
@@ -26,7 +29,7 @@ int main(int argc, char** argv) {
   if (argc < 4) {
     std::cerr << "usage: partition_tool <edge-list> <algorithm> <k> "
                  "[--directed] [--order o] [--seed s] [--slack b] "
-                 "[--output file]\n";
+                 "[--output file] [--metrics-out file]\n";
     return 1;
   }
   const std::string path = argv[1];
@@ -36,6 +39,7 @@ int main(int argc, char** argv) {
 
   bool directed = false;
   std::string output;
+  std::string metrics_out;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--directed") == 0) {
       directed = true;
@@ -47,6 +51,8 @@ int main(int argc, char** argv) {
       config.balance_slack = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
       output = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_out = argv[++i];
     } else {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 1;
@@ -86,6 +92,15 @@ int main(int argc, char** argv) {
     WritePartitioningFile(partitioning, output);
     std::cout << "partitioning written to " << output
               << " (reload with ReadPartitioningFile)\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << metrics_out << "\n";
+      return 1;
+    }
+    out << MetricsRegistry::Global().ExportJson();
+    std::cout << "metrics written to " << metrics_out << "\n";
   }
   return 0;
 }

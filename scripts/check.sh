@@ -21,3 +21,25 @@ export ASAN_OPTIONS="detect_leaks=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 echo "check.sh: all tests passed under address,undefined sanitizers"
+
+# The telemetry layer is the one subsystem with lock-free concurrent
+# mutation; give its test an extra dedicated sanitizer pass so a racing
+# counter/histogram bug cannot hide behind a sharded ctest run.
+"$BUILD_DIR/tests/telemetry_test"
+echo "check.sh: telemetry_test passed standalone under sanitizers"
+
+# Machine-readable bench output: run a representative subset at a small
+# scale and verify every BENCH_*.json parses. The benches run sanitized
+# too — they double as an integration pass over the instrumented paths.
+JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$JSON_DIR"' EXIT
+for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
+             bench_partitioner_speed; do
+  SGP_SCALE=8 SGP_BENCH_JSON_DIR="$JSON_DIR" \
+    "$BUILD_DIR/bench/$bench" > /dev/null
+done
+for json in "$JSON_DIR"/BENCH_*.json; do
+  python3 -m json.tool "$json" > /dev/null
+  echo "check.sh: $(basename "$json") is valid JSON"
+done
+echo "check.sh: bench JSON snapshots validated"

@@ -2,11 +2,13 @@
 #define SGP_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace sgp {
 
-/// Simple wall-clock stopwatch used to time partitioning runs (the paper's
-/// "partitioning time" metric, Section 4.1).
+/// Monotonic stopwatch used to time partitioning runs (the paper's
+/// "partitioning time" metric, Section 4.1) and as the single clock
+/// implementation behind the telemetry layer's ScopedTimer / Span.
 class Timer {
  public:
   Timer() : start_(Clock::now()) {}
@@ -14,13 +16,24 @@ class Timer {
   /// Restarts the stopwatch.
   void Reset() { start_ = Clock::now(); }
 
+  /// Elapsed monotonic nanoseconds since construction or the last
+  /// Reset(). The primitive the floating-point accessors derive from.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
   /// Elapsed seconds since construction or the last Reset().
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
   }
 
   /// Elapsed milliseconds since construction or the last Reset().
-  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-6;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

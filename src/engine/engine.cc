@@ -3,10 +3,50 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 
 namespace sgp {
 
 namespace {
+
+// Superstep-level telemetry of the GAS engine. Everything here is derived
+// from the simulated cost model, so the values are deterministic for
+// identical inputs and appear in the deterministic JSON exports.
+struct EngineMetrics {
+  Counter* runs;
+  Counter* supersteps;
+  Counter* gather_messages;
+  Counter* sync_messages;
+  Counter* network_bytes;
+  Counter* checkpoints;
+  Counter* crashes_recovered;
+  Gauge* barrier_wait_seconds;
+  Gauge* simulated_seconds;
+  Gauge* recovery_seconds;
+  Histogram* superstep_cost;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new EngineMetrics();
+      m->runs = reg.GetCounter("engine.runs");
+      m->supersteps = reg.GetCounter("engine.supersteps");
+      m->gather_messages = reg.GetCounter("engine.gather.messages");
+      m->sync_messages = reg.GetCounter("engine.sync.messages");
+      m->network_bytes = reg.GetCounter("engine.network.bytes");
+      m->checkpoints = reg.GetCounter("engine.checkpoints");
+      m->crashes_recovered = reg.GetCounter("engine.crashes.recovered");
+      m->barrier_wait_seconds =
+          reg.GetGauge("engine.barrier_wait.sim_seconds");
+      m->simulated_seconds = reg.GetGauge("engine.simulated.sim_seconds");
+      m->recovery_seconds = reg.GetGauge("engine.recovery.sim_seconds");
+      m->superstep_cost =
+          reg.GetHistogram("engine.superstep_cost.sim_seconds");
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 // Local gather-direction edge count of one replica. For undirected graphs
 // each incident edge was recorded in both directions, so in_edges already
@@ -97,6 +137,7 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program,
   }
   std::vector<double> step_costs;
   uint32_t last_checkpoint = 0;  // first superstep a recovery must replay
+  double barrier_wait = 0;       // idle worker-seconds at barriers
 
   auto gather_neighbors = [&](VertexId v, auto&& body) {
     switch (gather_dir) {
@@ -195,18 +236,24 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program,
 
     // --- Superstep bookkeeping ---
     double max_compute = 0;
+    double sum_compute = 0;
     uint64_t max_bytes = 0;
     for (PartitionId p = 0; p < k; ++p) {
       stats.compute_seconds_per_worker[p] += iter_compute[p];
       stats.bytes_per_worker[p] += iter_bytes[p];
       stats.total_network_bytes += iter_bytes[p];
+      sum_compute += iter_compute[p];
       max_compute = std::max(max_compute, iter_compute[p]);
       max_bytes = std::max(max_bytes, iter_bytes[p]);
     }
+    // Idle worker-seconds at this superstep's barrier: everyone waits for
+    // the slowest worker (the load-imbalance cost Figure 4 visualizes).
+    barrier_wait += max_compute * static_cast<double>(k) - sum_compute;
     const double step_cost =
         max_compute +
         static_cast<double>(max_bytes) / cost_.network_bytes_per_second +
         cost_.superstep_latency_seconds;
+    EngineMetrics::Get().superstep_cost->Record(step_cost);
     stats.simulated_seconds += step_cost;
     stats.messages_per_iteration.push_back(
         stats.gather_messages + stats.sync_messages - messages_before);
@@ -272,6 +319,18 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program,
   // Bytes were added to both sender and receiver above, so halve the total
   // to report wire traffic once.
   stats.total_network_bytes /= 2;
+
+  EngineMetrics& metrics = EngineMetrics::Get();
+  metrics.runs->Increment();
+  metrics.supersteps->Increment(stats.iterations);
+  metrics.gather_messages->Increment(stats.gather_messages);
+  metrics.sync_messages->Increment(stats.sync_messages);
+  metrics.network_bytes->Increment(stats.total_network_bytes);
+  metrics.checkpoints->Increment(stats.checkpoints);
+  metrics.crashes_recovered->Increment(stats.crashes_recovered);
+  metrics.barrier_wait_seconds->Add(barrier_wait);
+  metrics.simulated_seconds->Add(stats.simulated_seconds);
+  metrics.recovery_seconds->Add(stats.recovery_seconds);
   return stats;
 }
 

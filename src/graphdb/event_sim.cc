@@ -47,18 +47,79 @@ struct InFlight {
 
 enum class Outcome : uint8_t { kSuccess, kFailed, kTimedOut };
 
+// Per-query-kind latency histograms (simulated clock — deterministic)
+// plus fault / retry counters of the online simulator.
+struct SimMetrics {
+  Histogram* latency_by_kind[3];
+  Counter* sims;
+  Counter* queries_completed;
+  Counter* retries;
+  Counter* failed;
+  Counter* timed_out;
+  Counter* lost_messages;
+  Counter* degraded_reads;
+  Counter* network_bytes;
+  Counter* remote_messages;
+
+  static SimMetrics& Get() {
+    static SimMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new SimMetrics();
+      m->latency_by_kind[static_cast<int>(QueryKind::kOneHop)] =
+          reg.GetHistogram("graphdb.query_latency.one_hop.sim_seconds");
+      m->latency_by_kind[static_cast<int>(QueryKind::kTwoHop)] =
+          reg.GetHistogram("graphdb.query_latency.two_hop.sim_seconds");
+      m->latency_by_kind[static_cast<int>(QueryKind::kShortestPath)] =
+          reg.GetHistogram(
+              "graphdb.query_latency.shortest_path.sim_seconds");
+      m->sims = reg.GetCounter("graphdb.sim.runs");
+      m->queries_completed = reg.GetCounter("graphdb.sim.queries.completed");
+      m->retries = reg.GetCounter("graphdb.sim.retries");
+      m->failed = reg.GetCounter("graphdb.sim.queries.failed");
+      m->timed_out = reg.GetCounter("graphdb.sim.queries.timed_out");
+      m->lost_messages = reg.GetCounter("graphdb.sim.messages.lost");
+      m->degraded_reads = reg.GetCounter("graphdb.sim.reads.degraded");
+      m->network_bytes = reg.GetCounter("graphdb.sim.network.bytes");
+      m->remote_messages = reg.GetCounter("graphdb.sim.messages.remote");
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
 }  // namespace
+
+std::vector<QueryTraceRecord> SimResult::Traces() const {
+  std::vector<QueryTraceRecord> out;
+  std::vector<TraceEvent> events = query_traces.Snapshot();
+  out.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    QueryTraceRecord record;
+    record.binding = static_cast<uint32_t>(e.args[0]);
+    record.issue_time = e.start;
+    record.completion_time = e.end;
+    record.coordinator = static_cast<PartitionId>(e.args[1]);
+    record.reads = e.args[2];
+    record.rounds = static_cast<uint32_t>(e.args[3]);
+    out.push_back(record);
+  }
+  return out;
+}
 
 SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
                              const SimConfig& config) {
   SimResult result;
   result.reads_per_worker.assign(db.k(), 0.0);
+  result.query_traces.set_capacity(config.collect_traces ? config.max_traces
+                                                         : 0);
   // Degenerate configurations produce a well-defined empty result instead
   // of hanging, dividing by zero, or aborting.
   if (config.clients == 0 || config.num_queries == 0 ||
       config.warmup_fraction >= 1.0 || config.warmup_fraction < 0.0) {
     return result;
   }
+  SimMetrics& metrics = SimMetrics::Get();
+  metrics.sims->Increment();
   const DbCostModel& cost = db.cost_model();
   const double latency_hop = cost.network_latency_seconds;
   const FaultPlan& faults = config.faults;
@@ -185,6 +246,10 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
         case Outcome::kSuccess: {
           const double latency = t - q.start_time;
           latencies.push_back(latency);
+          metrics
+              .latency_by_kind[static_cast<int>(
+                  workload.bindings()[q.binding].kind)]
+              ->Record(latency);
           if (has_outages) {
             if (faults.AnyOutageOverlaps(q.start_time, t)) {
               latencies_outage.push_back(latency);
@@ -192,16 +257,16 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
               latencies_steady.push_back(latency);
             }
           }
-          if (config.collect_traces &&
-              result.traces.size() < config.max_traces) {
-            QueryTraceRecord trace;
-            trace.binding = q.binding;
-            trace.issue_time = q.start_time;
-            trace.completion_time = t;
-            trace.coordinator = q.plan->coordinator;
-            trace.reads = q.plan->total_reads;
-            trace.rounds = static_cast<uint32_t>(q.plan->rounds.size());
-            result.traces.push_back(trace);
+          if (config.collect_traces) {
+            TraceEvent trace;
+            trace.name = "query";
+            trace.start = q.start_time;
+            trace.end = t;
+            trace.id = result.query_traces.NextId();
+            trace.args = {q.binding, q.plan->coordinator,
+                          q.plan->total_reads,
+                          static_cast<uint64_t>(q.plan->rounds.size())};
+            result.query_traces.Append(std::move(trace));
           }
           break;
         }
@@ -342,6 +407,15 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   avail.latency_during_outage = Summarize(std::move(latencies_outage));
   avail.latency_steady = Summarize(std::move(latencies_steady));
   result.latency = Summarize(std::move(latencies));
+
+  metrics.queries_completed->Increment(result.completed);
+  metrics.retries->Increment(avail.retries);
+  metrics.failed->Increment(avail.failed);
+  metrics.timed_out->Increment(avail.timed_out);
+  metrics.lost_messages->Increment(avail.lost_messages);
+  metrics.degraded_reads->Increment(avail.degraded_reads);
+  metrics.network_bytes->Increment(result.total_network_bytes);
+  metrics.remote_messages->Increment(result.total_remote_messages);
   return result;
 }
 

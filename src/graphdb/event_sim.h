@@ -6,6 +6,7 @@
 
 #include "common/faults.h"
 #include "common/statistics.h"
+#include "common/telemetry.h"
 #include "graphdb/graphdb.h"
 #include "graphdb/workload.h"
 
@@ -45,7 +46,11 @@ struct SimConfig {
   RetryPolicy retry;
 };
 
-/// One completed query, when tracing is enabled.
+/// One completed query, when tracing is enabled. This is the decoded view
+/// of a telemetry TraceEvent (name "query"; args = binding, coordinator,
+/// reads, rounds; start/end = issue/completion on the simulated clock)
+/// kept for analysis convenience — the raw events live in
+/// SimResult::query_traces.
 struct QueryTraceRecord {
   uint32_t binding = 0;          // index into Workload::bindings()
   double issue_time = 0;         // seconds, simulated clock
@@ -107,13 +112,18 @@ struct SimResult {
   uint64_t total_network_bytes = 0;
   uint64_t total_remote_messages = 0;
 
-  /// Per-query records inside the measurement window, oldest first
-  /// (empty unless SimConfig::collect_traces).
-  std::vector<QueryTraceRecord> traces;
+  /// Bounded per-query trace buffer (telemetry API): one "query" event
+  /// per measured query, oldest first, capped at SimConfig::max_traces.
+  /// Empty unless SimConfig::collect_traces.
+  TraceBuffer query_traces{0};
 
   /// Availability metrics under the injected FaultPlan (defaults when the
   /// plan is empty).
   AvailabilityStats availability;
+
+  /// Compatibility accessor: the trace buffer decoded into the classic
+  /// per-query records.
+  std::vector<QueryTraceRecord> Traces() const;
 };
 
 /// Discrete-event simulation of the JanusGraph cluster: FIFO single-server

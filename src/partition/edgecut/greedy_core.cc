@@ -5,10 +5,47 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "stream/stream.h"
 
 namespace sgp::internal_edgecut {
+
+namespace {
+
+// Phase timings and decision counters of the greedy edge-cut family.
+// Decisions are accumulated in plain locals inside Run and flushed once
+// here, so the scoring loop carries no atomic traffic (the <2% overhead
+// budget of bench_partitioner_speed).
+struct GreedyMetrics {
+  Counter* vertices_assigned;
+  Counter* neighbor_scans;
+  Counter* tie_breaks;
+  Counter* capacity_fallbacks;
+  Histogram* stream_build_wall;
+  Histogram* score_assign_wall;
+
+  static GreedyMetrics& Get() {
+    static GreedyMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new GreedyMetrics();
+      m->vertices_assigned =
+          reg.GetCounter("partition.greedy.vertices.assigned");
+      m->neighbor_scans = reg.GetCounter("partition.greedy.neighbor.scans");
+      m->tie_breaks = reg.GetCounter("partition.greedy.tie_breaks");
+      m->capacity_fallbacks =
+          reg.GetCounter("partition.greedy.capacity_fallbacks");
+      m->stream_build_wall = reg.GetHistogram(
+          "partition.greedy.stream_build.wall_seconds", MetricOptions::WallClock());
+      m->score_assign_wall = reg.GetHistogram(
+          "partition.greedy.score_assign.wall_seconds", MetricOptions::WallClock());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Partitioning RunStreamingGreedy(const Graph& graph,
                                 const PartitionConfig& config,
@@ -39,8 +76,20 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   }
   const bool gamma_is_three_halves = gamma == 1.5;
 
-  std::vector<VertexId> stream =
-      MakeVertexStream(graph, config.order, config.seed);
+  GreedyMetrics& metrics = GreedyMetrics::Get();
+  std::vector<VertexId> stream;
+  {
+    // Phase 1: stream read (materializing the arrival order).
+    ScopedTimer stream_timer(metrics.stream_build_wall);
+    stream = MakeVertexStream(graph, config.order, config.seed);
+  }
+  // Phase 2: score + assign. Decision counts live in locals until the
+  // post-loop flush.
+  ScopedTimer score_assign_timer(metrics.score_assign_wall);
+  uint64_t local_assigned = 0;
+  uint64_t local_neighbor_scans = 0;
+  uint64_t local_tie_breaks = 0;
+  uint64_t local_fallbacks = 0;
 
   std::vector<PartitionId> assignment(n, kInvalidPartition);
   std::vector<uint64_t> sizes(k, 0);
@@ -61,6 +110,7 @@ Partitioning RunStreamingGreedy(const Graph& graph,
         assignment[u] = kInvalidPartition;
       }
       for (VertexId v : graph.Neighbors(u)) {
+        ++local_neighbor_scans;
         PartitionId part = assignment[v];
         if (part == kInvalidPartition) continue;
         if (neighbor_counts[part]++ == 0) touched.push_back(part);
@@ -86,9 +136,12 @@ Partitioning RunStreamingGreedy(const Graph& graph,
           score = static_cast<double>(neighbor_counts[i]) -
                   pass_alpha * gamma * load;
         }
-        if (score > best_score ||
-            (score == best_score && sizes[i] < best_size)) {
+        if (score > best_score) {
           best_score = score;
+          best = i;
+          best_size = sizes[i];
+        } else if (score == best_score && sizes[i] < best_size) {
+          ++local_tie_breaks;  // equal score resolved by the smaller part
           best = i;
           best_size = sizes[i];
         }
@@ -96,6 +149,7 @@ Partitioning RunStreamingGreedy(const Graph& graph,
       // All partitions at capacity can only happen transiently in
       // re-streaming passes; fall back to the least-loaded partition.
       if (best == kInvalidPartition) {
+        ++local_fallbacks;
         best = 0;
         for (PartitionId i = 1; i < k; ++i) {
           if (static_cast<double>(sizes[i]) / weights[i] <
@@ -106,11 +160,17 @@ Partitioning RunStreamingGreedy(const Graph& graph,
       }
       assignment[u] = best;
       ++sizes[best];
+      ++local_assigned;
 
       for (PartitionId part : touched) neighbor_counts[part] = 0;
       touched.clear();
     }
   }
+
+  metrics.vertices_assigned->Increment(local_assigned);
+  metrics.neighbor_scans->Increment(local_neighbor_scans);
+  metrics.tie_breaks->Increment(local_tie_breaks);
+  metrics.capacity_fallbacks->Increment(local_fallbacks);
 
   Partitioning result;
   result.model = CutModel::kEdgeCut;

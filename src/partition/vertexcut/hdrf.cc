@@ -4,11 +4,40 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
 #include "partition/vertexcut/replica_state.h"
 #include "stream/stream.h"
 
 namespace sgp {
+
+namespace {
+
+// Decision counters of the HDRF scoring loop, accumulated in locals and
+// flushed once per Run (no atomics on the per-edge path).
+struct HdrfMetrics {
+  Counter* edges_assigned;
+  Counter* degree_table_hits;
+  Counter* tie_breaks;
+  Histogram* assign_wall;
+
+  static HdrfMetrics& Get() {
+    static HdrfMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new HdrfMetrics();
+      m->edges_assigned = reg.GetCounter("partition.hdrf.edges.assigned");
+      m->degree_table_hits =
+          reg.GetCounter("partition.hdrf.degree_table.hits");
+      m->tie_breaks = reg.GetCounter("partition.hdrf.tie_breaks");
+      m->assign_wall = reg.GetHistogram("partition.hdrf.assign.wall_seconds",
+                                        MetricOptions::WallClock());
+      return m;
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 Partitioning HdrfPartitioner::Run(const Graph& graph,
                                   const PartitionConfig& config) const {
@@ -22,6 +51,11 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
   result.k = k;
   result.edge_to_partition.resize(graph.num_edges());
 
+  HdrfMetrics& metrics = HdrfMetrics::Get();
+  ScopedTimer assign_timer(metrics.assign_wall);
+  uint64_t local_degree_hits = 0;
+  uint64_t local_tie_breaks = 0;
+
   ReplicaState replicas(graph.num_vertices());
   std::vector<uint32_t> partial_degree(graph.num_vertices(), 0);
   std::vector<uint64_t> loads(k, 0);
@@ -32,7 +66,10 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
     const Edge& edge = graph.edges()[e];
     const VertexId u = edge.src;
     const VertexId v = edge.dst;
-    // Partial degrees observed so far, normalized (Section 4.2.2).
+    // Partial degrees observed so far, normalized (Section 4.2.2). An
+    // endpoint already in the table is a "hit" — the synopsis had state
+    // for it from an earlier edge.
+    local_degree_hits += (partial_degree[u] > 0) + (partial_degree[v] > 0);
     ++partial_degree[u];
     ++partial_degree[v];
     const double du = partial_degree[u];
@@ -62,9 +99,11 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
       if (replicas.Contains(u, i)) g += 1.0 + theta_v;
       if (replicas.Contains(v, i)) g += 1.0 + theta_u;
       double score = g + lambda * (max_load - effective[i]) / spread;
-      if (score > best_score ||
-          (score == best_score && loads[i] < loads[best])) {
+      if (score > best_score) {
         best_score = score;
+        best = i;
+      } else if (score == best_score && loads[i] < loads[best]) {
+        ++local_tie_breaks;  // equal score resolved by the lighter part
         best = i;
       }
     }
@@ -74,6 +113,10 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
     replicas.Add(u, best);
     replicas.Add(v, best);
   }
+  metrics.edges_assigned->Increment(graph.num_edges());
+  metrics.degree_table_hits->Increment(local_degree_hits);
+  metrics.tie_breaks->Increment(local_tie_breaks);
+
   uint64_t replica_entries = 0;
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     replica_entries += replicas.Of(v).size();

@@ -6,10 +6,36 @@
 
 #include "common/check.h"
 #include "common/random.h"
+#include "common/telemetry.h"
 
 namespace sgp {
 
 namespace {
+
+// Ingest-rate instrumentation: one flush per stream materialization, no
+// per-element work (stream construction is on the partitioners' hot path).
+struct StreamMetrics {
+  Counter* vertex_builds;
+  Counter* vertex_items;
+  Counter* edge_builds;
+  Counter* edge_items;
+  Histogram* build_wall;
+
+  static StreamMetrics& Get() {
+    static StreamMetrics* metrics = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      auto* m = new StreamMetrics();
+      m->vertex_builds = reg.GetCounter("stream.vertex_stream.builds");
+      m->vertex_items = reg.GetCounter("stream.vertex_stream.items");
+      m->edge_builds = reg.GetCounter("stream.edge_stream.builds");
+      m->edge_items = reg.GetCounter("stream.edge_stream.items");
+      m->build_wall = reg.GetHistogram("stream.build.wall_seconds",
+                                       MetricOptions::WallClock());
+      return m;
+    }();
+    return *metrics;
+  }
+};
 
 // Traversal order over the undirected graph, covering every component.
 // `depth_first` selects DFS, otherwise BFS. Component roots are chosen in
@@ -78,6 +104,10 @@ std::string_view StreamOrderName(StreamOrder order) {
 
 std::vector<VertexId> MakeVertexStream(const Graph& graph, StreamOrder order,
                                        uint64_t seed) {
+  StreamMetrics& metrics = StreamMetrics::Get();
+  ScopedTimer build_timer(metrics.build_wall);
+  metrics.vertex_builds->Increment();
+  metrics.vertex_items->Increment(graph.num_vertices());
   const VertexId n = graph.num_vertices();
   switch (order) {
     case StreamOrder::kNatural: {
@@ -102,6 +132,10 @@ std::vector<VertexId> MakeVertexStream(const Graph& graph, StreamOrder order,
 
 std::vector<EdgeId> MakeEdgeStream(const Graph& graph, StreamOrder order,
                                    uint64_t seed) {
+  StreamMetrics& metrics = StreamMetrics::Get();
+  ScopedTimer build_timer(metrics.build_wall);
+  metrics.edge_builds->Increment();
+  metrics.edge_items->Increment(graph.num_edges());
   const EdgeId m = graph.num_edges();
   std::vector<EdgeId> ids(m);
   std::iota(ids.begin(), ids.end(), EdgeId{0});

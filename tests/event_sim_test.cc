@@ -1,6 +1,10 @@
 #include "graphdb/event_sim.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/telemetry.h"
 #include "graph/datasets.h"
 #include "partition/partitioner.h"
 #include "tests/test_util.h"
@@ -120,7 +124,7 @@ TEST(EventSimTest, ZeroClientsYieldEmptyResult) {
   EXPECT_EQ(r.latency.count, 0u);
   ASSERT_EQ(r.reads_per_worker.size(), 4u);
   for (double reads : r.reads_per_worker) EXPECT_EQ(reads, 0.0);
-  EXPECT_TRUE(r.traces.empty());
+  EXPECT_TRUE(r.Traces().empty());
   EXPECT_DOUBLE_EQ(r.availability.availability, 1.0);
 }
 
@@ -149,6 +153,26 @@ TEST(EventSimTest, FullWarmupYieldsEmptyResult) {
   cfg.warmup_fraction = -0.1;  // negative fractions are also degenerate
   SimResult r3 = SimulateClosedLoop(db, w, cfg);
   EXPECT_EQ(r3.completed, 0u);
+}
+
+TEST(EventSimTest, LatencyHistogramMatchesExactQuantiles) {
+  // The simulator publishes every measured latency into the global
+  // per-query-kind histogram; its quantile estimates must agree with the
+  // exact sample quantiles in SimResult up to the bucket resolution
+  // (32 buckets/decade => <= 10^(1/32)-1 ~= 7.5% relative error).
+  MetricsRegistry::Global().Reset();
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "ECR", 4);
+  Workload w(g, {});
+  SimResult r = SimulateClosedLoop(db, w, SmallSim());
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "graphdb.query_latency.one_hop.sim_seconds");
+  ASSERT_EQ(h->count(), r.latency.count);
+  EXPECT_DOUBLE_EQ(h->min(), r.latency.min);
+  EXPECT_DOUBLE_EQ(h->max(), r.latency.max);
+  const double tolerance = std::pow(10.0, 1.0 / 32.0) - 1.0;
+  EXPECT_NEAR(h->Quantile(0.5) / r.latency.median, 1.0, tolerance);
+  EXPECT_NEAR(h->Quantile(0.99) / r.latency.p99, 1.0, tolerance);
 }
 
 TEST(EventSimTest, TwoHopIsSlowerThanOneHop) {
