@@ -1,9 +1,12 @@
 // Ablation (Table 1 "Parallelization" column, Section 4.1.1): greedy
-// streaming partitioners parallelize only by sharing their assignment
-// history; this sweep shows the quality/coordination trade-off of
-// parallel LDG ingest vs stale shared state — and why hash partitioning
-// (zero coordination) is attractive for parallel loaders.
+// streaming partitioners parallelize only by sharing their synopsis —
+// assignment history for the edge-cut family, degree tables and replica
+// sets for the vertex-cut family. This sweep runs the generalized parallel
+// driver over all four objectives and shows the quality/coordination
+// trade-off vs stale shared state — and why hash partitioning (zero
+// coordination) is attractive for parallel loaders.
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
@@ -15,47 +18,71 @@ int main() {
   using namespace sgp;
   const uint32_t scale = bench::ScaleFromEnv();
   bench::PrintBanner("Ablation: parallel ingest",
-                     "Parallel LDG: cut quality vs synchronization "
+                     "Parallel streaming ingest: quality vs synchronization "
                      "interval (ldbc, k=16)",
                      scale);
   Graph g = MakeDataset("ldbc", scale);
   PartitionConfig cfg;
   cfg.k = 16;
 
-  TablePrinter table({"Ingest workers", "Sync interval", "EdgeCutRatio",
-                      "Sync rounds", "Sync messages"});
-  // Sequential and hash baselines.
-  PartitionMetrics ldg =
-      ComputeMetrics(g, CreatePartitioner("LDG")->Run(g, cfg));
-  table.AddRow({"1 (sequential LDG)", "-", FormatDouble(ldg.edge_cut_ratio, 3),
-                "-", "-"});
+  // Quality is each family's own objective: edge-cut ratio for the
+  // vertex-stream algorithms, replication factor for the edge-stream ones.
+  auto quality = [&](ParallelAlgo algo, const Partitioning& p) {
+    PartitionMetrics m = ComputeMetrics(g, p);
+    return algo == ParallelAlgo::kLdg || algo == ParallelAlgo::kFennel
+               ? m.edge_cut_ratio
+               : m.replication_factor;
+  };
+
+  TablePrinter table({"Algo", "Ingest workers", "Sync interval",
+                      "Cut ratio / RF", "Sync rounds", "Sync messages"});
+  // Hash baselines: zero coordination at any worker count.
   PartitionMetrics ecr =
       ComputeMetrics(g, CreatePartitioner("ECR")->Run(g, cfg));
-  table.AddRow({"any (hash ECR)", "none needed",
+  table.AddRow({"ECR (hash)", "any", "none needed",
                 FormatDouble(ecr.edge_cut_ratio, 3), "0", "0"});
+  PartitionMetrics vcr =
+      ComputeMetrics(g, CreatePartitioner("VCR")->Run(g, cfg));
+  table.AddRow({"VCR (hash)", "any", "none needed",
+                FormatDouble(vcr.replication_factor, 3), "0", "0"});
 
-  for (uint32_t streams : {4u, 16u}) {
-    for (uint32_t interval : {1u, 16u, 256u, 1u << 20}) {
+  for (ParallelAlgo algo : {ParallelAlgo::kLdg, ParallelAlgo::kFennel,
+                            ParallelAlgo::kHdrf, ParallelAlgo::kPgg}) {
+    const std::string name(ParallelAlgoName(algo));
+    // Sequential baseline == the parallel driver with one worker.
+    {
       ParallelStreamOptions opts;
-      opts.num_streams = streams;
-      opts.sync_interval = interval;
-      ParallelStreamResult r = ParallelStreamingLdg(g, cfg, opts);
-      PartitionMetrics m = ComputeMetrics(g, r.partitioning);
-      table.AddRow({std::to_string(streams),
-                    interval == 1u << 20 ? "once at end"
-                                         : std::to_string(interval),
-                    FormatDouble(m.edge_cut_ratio, 3),
-                    FormatCount(r.sync_rounds),
-                    FormatCount(r.sync_messages)});
+      opts.num_streams = 1;
+      opts.sync_interval = 1u << 20;
+      ParallelStreamResult r = RunParallelStreaming(g, cfg, opts, algo);
+      table.AddRow({name, "1 (sequential)", "-",
+                    FormatDouble(quality(algo, r.partitioning), 3), "-",
+                    "0"});
+    }
+    for (uint32_t streams : {4u, 16u}) {
+      for (uint32_t interval : {1u, 256u, 1u << 20}) {
+        ParallelStreamOptions opts;
+        opts.num_streams = streams;
+        opts.sync_interval = interval;
+        ParallelStreamResult r = RunParallelStreaming(g, cfg, opts, algo);
+        table.AddRow({name, std::to_string(streams),
+                      interval == 1u << 20 ? "once at end"
+                                           : std::to_string(interval),
+                      FormatDouble(quality(algo, r.partitioning), 3),
+                      FormatCount(r.sync_rounds),
+                      FormatCount(r.sync_messages)});
+      }
     }
   }
   table.Print(std::cout);
   std::cout
-      << "\nExpected shape: frequent synchronization matches sequential LDG\n"
-         "quality; as the interval grows the stale state erodes the cut\n"
-         "toward (but not to) hash quality, while barrier count drops —\n"
-         "the coordination/quality trade-off that Section 4.1.1 contrasts\n"
-         "with hash partitioning's zero-communication parallelism.\n";
+      << "\nExpected shape: frequent synchronization matches each sequential\n"
+         "algorithm's quality; as the interval grows the stale synopsis\n"
+         "(assignment history for LDG/FNL, degree + replica tables for\n"
+         "HDRF/PGG) erodes quality toward the corresponding hash baseline,\n"
+         "while barrier count drops — the coordination/quality trade-off\n"
+         "that Section 4.1.1 contrasts with hash partitioning's\n"
+         "zero-communication parallelism.\n";
   sgp::bench::WriteBenchJson("ablation_parallel_ingest", scale);
   return 0;
 }

@@ -4,47 +4,70 @@
 // graph loading.
 //
 // Usage:
-//   partition_tool <edge-list> <algorithm> <k> [options]
+//   partition_tool <edge-list> <algorithm> <k> [options]        (in-memory)
+//   partition_tool --input-edgelist <file> <algorithm> <k> ...  (streaming)
+//
+// The second form never materializes the graph: the edge list is pulled
+// chunk by chunk through EdgeListFileSource and partitioned on the fly by
+// one of the stream-ingest algorithms (vcr | dbh | hdrf), keeping only the
+// O(n + k) synopsis in memory.
+//
 // Options:
-//   --directed            treat the input as a directed graph
-//   --order <o>           stream order: natural|random|bfs|dfs
+//   --directed            treat the input as a directed graph (in-memory)
+//   --order <o>           stream order: natural|random|bfs|dfs (in-memory)
+//   --chunk-size <n>      elements per ingest chunk (both modes)
 //   --seed <s>            RNG/hash seed
 //   --slack <b>           balance slack β (default 1.05)
 //   --output <file>       write "vertex partition" lines
 //   --metrics-out <file>  dump the telemetry registry as JSON
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/telemetry.h"
 #include "graph/io.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
 #include "partition/partitioner.h"
+#include "partition/stream_ingest.h"
+#include "stream/source.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cerr
+      << "usage: partition_tool <edge-list> <algorithm> <k> [options]\n"
+         "       partition_tool --input-edgelist <file> <vcr|dbh|hdrf> <k> "
+         "[options]\n"
+         "options: [--directed] [--order o] [--chunk-size n] [--seed s]\n"
+         "         [--slack b] [--output file] [--metrics-out file]\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace sgp;
-  if (argc < 4) {
-    std::cerr << "usage: partition_tool <edge-list> <algorithm> <k> "
-                 "[--directed] [--order o] [--seed s] [--slack b] "
-                 "[--output file] [--metrics-out file]\n";
-    return 1;
-  }
-  const std::string path = argv[1];
-  const std::string algo = argv[2];
   PartitionConfig config;
-  config.k = static_cast<PartitionId>(std::stoul(argv[3]));
-
   bool directed = false;
+  std::string stream_path;  // --input-edgelist: partition without a Graph
+  uint64_t chunk_size = 0;
   std::string output;
   std::string metrics_out;
-  for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--directed") == 0) {
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--input-edgelist") == 0 && i + 1 < argc) {
+      stream_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--directed") == 0) {
       directed = true;
     } else if (std::strcmp(argv[i], "--order") == 0 && i + 1 < argc) {
       config.order = ParseStreamOrder(argv[++i]);
+    } else if (std::strcmp(argv[i], "--chunk-size") == 0 && i + 1 < argc) {
+      chunk_size = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       config.seed = std::stoull(argv[++i]);
     } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
@@ -53,40 +76,98 @@ int main(int argc, char** argv) {
       output = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
       metrics_out = argv[++i];
-    } else {
+    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
       std::cerr << "unknown option: " << argv[i] << "\n";
       return 1;
+    } else {
+      positional.emplace_back(argv[i]);
     }
   }
 
-  EdgeListReadResult read = TryReadEdgeListFile(path, directed);
-  if (!read.ok) {
-    std::cerr << "error: " << read.error << "\n";
+  // Streaming mode drops the edge-list positional: the file is the flag's
+  // argument, so only <algorithm> <k> remain.
+  const size_t expected = stream_path.empty() ? 3 : 2;
+  if (positional.size() != expected) {
+    PrintUsage();
     return 1;
   }
-  if (read.skipped_lines > 0) {
-    std::cerr << "warning: skipped " << read.skipped_lines
-              << " malformed line(s)\n";
+  const std::string algo = positional[expected - 2];
+  config.k = static_cast<PartitionId>(std::stoul(positional[expected - 1]));
+  config.ingest_chunk_size = chunk_size;
+
+  Partitioning partitioning;
+  if (!stream_path.empty()) {
+    StreamIngestAlgo ingest_algo;
+    if (!ParseStreamIngestAlgo(algo, &ingest_algo)) {
+      std::cerr << "error: streaming mode supports vcr | dbh | hdrf, got '"
+                << algo << "'\n";
+      return 1;
+    }
+    EdgeListFileSource::Options opts;
+    if (chunk_size > 0) opts.chunk_size = chunk_size;
+    EdgeListFileSource source(stream_path, opts);
+    StreamIngestResult r = PartitionEdgeStream(source, ingest_algo, config);
+    if (!r.ok) {
+      std::cerr << "error: " << r.error << "\n";
+      return 1;
+    }
+    if (source.skipped_lines() > 0) {
+      std::cerr << "warning: skipped " << source.skipped_lines()
+                << " malformed line(s)\n";
+    }
+    partitioning = std::move(r.partitioning);
+    std::cout << "streamed " << r.num_edges << " edges over "
+              << r.num_vertices << " vertices (chunk size "
+              << opts.chunk_size << ")\n";
+
+    // Without a materialized graph only stream-side quality measures are
+    // available: edge balance over the k loads plus the synopsis size.
+    std::vector<uint64_t> edge_loads(config.k, 0);
+    for (PartitionId p : partitioning.edge_to_partition) ++edge_loads[p];
+    const uint64_t max_load =
+        *std::max_element(edge_loads.begin(), edge_loads.end());
+    const double avg_load =
+        static_cast<double>(r.num_edges) / static_cast<double>(config.k);
+    std::cout << "algorithm:          " << algo << " (vertex-cut, streamed)\n"
+              << "partitions:         " << config.k << "\n"
+              << "partitioning time:  "
+              << partitioning.partitioning_seconds * 1e3 << " ms\n"
+              << "edge imbalance:     "
+              << (avg_load > 0 ? static_cast<double>(max_load) / avg_load
+                               : 1.0)
+              << "\n"
+              << "synopsis bytes:     " << partitioning.state_bytes << "\n";
+  } else {
+    const std::string& path = positional[0];
+    EdgeListReadResult read = TryReadEdgeListFile(path, directed);
+    if (!read.ok) {
+      std::cerr << "error: " << read.error << "\n";
+      return 1;
+    }
+    if (read.skipped_lines > 0) {
+      std::cerr << "warning: skipped " << read.skipped_lines
+                << " malformed line(s)\n";
+    }
+    Graph graph = std::move(read.graph);
+    GraphStats stats = ComputeStats(graph);
+    std::cout << "loaded " << stats.num_vertices << " vertices, "
+              << stats.num_edges << " edges\n";
+
+    auto partitioner = CreatePartitioner(algo);
+    partitioning = partitioner->Run(graph, config);
+    ValidatePartitioning(graph, partitioning);
+    PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
+
+    std::cout << "algorithm:          " << partitioner->name() << " ("
+              << CutModelName(partitioner->model()) << ")\n"
+              << "partitions:         " << config.k << "\n"
+              << "partitioning time:  "
+              << partitioning.partitioning_seconds * 1e3 << " ms\n"
+              << "edge-cut ratio:     " << metrics.edge_cut_ratio << "\n"
+              << "replication factor: " << metrics.replication_factor << "\n"
+              << "vertex imbalance:   " << metrics.vertex_imbalance << "\n"
+              << "edge imbalance:     " << metrics.edge_imbalance << "\n";
   }
-  Graph graph = std::move(read.graph);
-  GraphStats stats = ComputeStats(graph);
-  std::cout << "loaded " << stats.num_vertices << " vertices, "
-            << stats.num_edges << " edges\n";
-
-  auto partitioner = CreatePartitioner(algo);
-  Partitioning partitioning = partitioner->Run(graph, config);
-  ValidatePartitioning(graph, partitioning);
-  PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
-
-  std::cout << "algorithm:          " << partitioner->name() << " ("
-            << CutModelName(partitioner->model()) << ")\n"
-            << "partitions:         " << config.k << "\n"
-            << "partitioning time:  "
-            << partitioning.partitioning_seconds * 1e3 << " ms\n"
-            << "edge-cut ratio:     " << metrics.edge_cut_ratio << "\n"
-            << "replication factor: " << metrics.replication_factor << "\n"
-            << "vertex imbalance:   " << metrics.vertex_imbalance << "\n"
-            << "edge imbalance:     " << metrics.edge_imbalance << "\n";
 
   if (!output.empty()) {
     WritePartitioningFile(partitioning, output);

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Compare the deterministic sections of two sgp bench JSON snapshots.
+
+A BENCH_*.json file (bench/bench_util.h, WriteBenchJson) has two halves:
+the deterministic sections -- "schema", "bench", "scale" and the
+"metrics" list, whose entries are pure functions of the input and the
+code -- and the "wall_time_metrics" list, which changes on every run.
+This tool diffs only the deterministic half, so a committed golden
+snapshot can gate refactors: if a change is behavior-preserving, the
+counters (stream chunks, state builds, decision counts, ...) match
+exactly.
+
+Regenerate a golden after an intentional behavior change with the same
+command that produced it, e.g.:
+    SGP_SCALE=8 SGP_BENCH_JSON_DIR=tests/golden build/bench/<bench>
+
+Usage: bench_diff.py GOLDEN CURRENT
+Exit status: 0 when the deterministic sections match, 1 with a readable
+diff when they do not, 2 on unreadable or malformed input.
+"""
+
+import json
+import sys
+
+DETERMINISTIC_SCALARS = ("schema", "bench", "scale")
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.stderr.write(f"bench_diff: cannot read {path}: {err}\n")
+        sys.exit(2)
+    if doc.get("schema") != "sgp.bench.v1":
+        sys.stderr.write(f"bench_diff: {path}: not an sgp.bench.v1 file\n")
+        sys.exit(2)
+    return doc
+
+
+def metric_table(doc, path):
+    table = {}
+    for metric in doc.get("metrics", []):
+        name = metric.get("name")
+        if name is None:
+            sys.stderr.write(f"bench_diff: {path}: metric without a name\n")
+            sys.exit(2)
+        if metric.get("wall_time"):
+            sys.stderr.write(
+                f"bench_diff: {path}: wall-time metric {name!r} in the "
+                "deterministic section\n")
+            sys.exit(2)
+        table[name] = metric
+    return table
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write("usage: bench_diff.py GOLDEN CURRENT\n")
+        return 2
+    golden_path, current_path = argv[1], argv[2]
+    golden = load(golden_path)
+    current = load(current_path)
+
+    differences = []
+    for key in DETERMINISTIC_SCALARS:
+        if golden.get(key) != current.get(key):
+            differences.append(
+                f"  {key}: golden={golden.get(key)!r} "
+                f"current={current.get(key)!r}")
+
+    golden_metrics = metric_table(golden, golden_path)
+    current_metrics = metric_table(current, current_path)
+    for name in sorted(golden_metrics.keys() - current_metrics.keys()):
+        differences.append(f"  metric {name}: missing from current")
+    for name in sorted(current_metrics.keys() - golden_metrics.keys()):
+        differences.append(f"  metric {name}: missing from golden")
+    for name in sorted(golden_metrics.keys() & current_metrics.keys()):
+        g, c = golden_metrics[name], current_metrics[name]
+        for field in sorted(g.keys() | c.keys()):
+            if g.get(field) != c.get(field):
+                differences.append(
+                    f"  metric {name}.{field}: golden={g.get(field)!r} "
+                    f"current={c.get(field)!r}")
+
+    if differences:
+        sys.stderr.write(
+            f"bench_diff: deterministic sections differ "
+            f"({golden_path} vs {current_path}):\n")
+        sys.stderr.write("\n".join(differences) + "\n")
+        return 1
+    print(f"bench_diff: {golden.get('bench')} deterministic sections match "
+          f"({len(golden_metrics)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -28,13 +28,20 @@ echo "check.sh: all tests passed under address,undefined sanitizers"
 "$BUILD_DIR/tests/telemetry_test"
 echo "check.sh: telemetry_test passed standalone under sanitizers"
 
+# The ingest-equivalence suite is the contract of the chunked source
+# layer (chunk boundaries and the disk reader never change results); run
+# it standalone under the sanitizers so a buffer-lifetime bug in a chunk
+# refill cannot hide behind a sharded ctest run either.
+"$BUILD_DIR/tests/source_equivalence_test"
+echo "check.sh: source_equivalence_test passed standalone under sanitizers"
+
 # Machine-readable bench output: run a representative subset at a small
 # scale and verify every BENCH_*.json parses. The benches run sanitized
 # too — they double as an integration pass over the instrumented paths.
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
-             bench_partitioner_speed; do
+             bench_partitioner_speed bench_ablation_parallel_ingest; do
   SGP_SCALE=8 SGP_BENCH_JSON_DIR="$JSON_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null
 done
@@ -43,3 +50,13 @@ for json in "$JSON_DIR"/BENCH_*.json; do
   echo "check.sh: $(basename "$json") is valid JSON"
 done
 echo "check.sh: bench JSON snapshots validated"
+
+# Deterministic-regression gate: the committed golden pins the
+# deterministic metric sections (stream chunks, state builds, item
+# counts) of the parallel-ingest ablation at SGP_SCALE=8. A
+# behavior-preserving change must reproduce them exactly; regenerate the
+# golden (command in scripts/bench_diff.py) after intentional changes.
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_ablation_parallel_ingest.json \
+  "$JSON_DIR/BENCH_ablation_parallel_ingest.json"
+echo "check.sh: bench goldens match"

@@ -12,6 +12,33 @@
 
 namespace sgp {
 
+EdgeLineStatus ParseEdgeListLine(const std::string& line,
+                                 uint64_t line_number, VertexId id_limit,
+                                 Edge* edge, std::string* error) {
+  if (line.empty() || line[0] == '#' || line[0] == '%') {
+    return EdgeLineStatus::kIgnored;
+  }
+  std::istringstream ls(line);
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  if (!(ls >> src >> dst)) {
+    // Truncated or garbage line: recoverable, the caller skips it but
+    // keeps a count so a clean read can be told from a degraded one.
+    return EdgeLineStatus::kSkipped;
+  }
+  const uint64_t limit = id_limit;
+  if (src >= limit || dst >= limit) {
+    std::ostringstream msg;
+    msg << "line " << line_number << ": vertex id " << std::max(src, dst)
+        << " out of range (limit " << limit << ")";
+    *error = msg.str();
+    return EdgeLineStatus::kError;
+  }
+  edge->src = static_cast<VertexId>(src);
+  edge->dst = static_cast<VertexId>(dst);
+  return EdgeLineStatus::kEdge;
+}
+
 EdgeListReadResult TryReadEdgeList(std::istream& in, bool directed,
                                    VertexId num_vertices) {
   EdgeListReadResult result;
@@ -19,32 +46,24 @@ EdgeListReadResult TryReadEdgeList(std::istream& in, bool directed,
   VertexId max_id = 0;
   std::string line;
   uint64_t line_number = 0;
+  const VertexId limit = num_vertices != 0 ? num_vertices : kInvalidVertex;
   while (std::getline(in, line)) {
     ++line_number;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream ls(line);
-    uint64_t src = 0;
-    uint64_t dst = 0;
-    if (!(ls >> src >> dst)) {
-      // Truncated or garbage line: recoverable, skip but keep the count so
-      // callers can tell a clean read from a degraded one.
-      ++result.skipped_lines;
-      continue;
+    Edge edge;
+    switch (ParseEdgeListLine(line, line_number, limit, &edge,
+                              &result.error)) {
+      case EdgeLineStatus::kIgnored:
+        continue;
+      case EdgeLineStatus::kSkipped:
+        ++result.skipped_lines;
+        continue;
+      case EdgeLineStatus::kError:
+        return result;
+      case EdgeLineStatus::kEdge:
+        break;
     }
-    const uint64_t limit =
-        num_vertices != 0 ? num_vertices
-                          : static_cast<uint64_t>(kInvalidVertex);
-    if (src >= limit || dst >= limit) {
-      std::ostringstream msg;
-      msg << "line " << line_number << ": vertex id " << std::max(src, dst)
-          << " out of range (limit " << limit << ")";
-      result.error = msg.str();
-      return result;
-    }
-    edges.push_back(
-        {static_cast<VertexId>(src), static_cast<VertexId>(dst)});
-    max_id = std::max({max_id, static_cast<VertexId>(src),
-                       static_cast<VertexId>(dst)});
+    edges.push_back(edge);
+    max_id = std::max({max_id, edge.src, edge.dst});
   }
   VertexId n = num_vertices != 0 ? num_vertices
                : edges.empty()   ? 0

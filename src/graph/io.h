@@ -20,6 +20,23 @@ struct EdgeListReadResult {
   Graph graph;
 };
 
+/// Classification of one edge-list line by the shared line parser.
+enum class EdgeLineStatus {
+  kEdge,     // an edge was parsed into *edge
+  kIgnored,  // blank line or '#'/'%' comment
+  kSkipped,  // malformed (recoverable): callers count it and move on
+  kError,    // out-of-range vertex id: *error carries the diagnostic
+};
+
+/// Parses one line of a whitespace-separated edge list ("src dst", extra
+/// columns ignored). `id_limit` is the exclusive vertex-id bound
+/// (kInvalidVertex when the caller grows the id space from the data).
+/// This is the single line-level parser behind both the materializing
+/// TryReadEdgeList readers and the bounded-memory EdgeListFileSource.
+EdgeLineStatus ParseEdgeListLine(const std::string& line,
+                                 uint64_t line_number, VertexId id_limit,
+                                 Edge* edge, std::string* error);
+
 /// Reads a whitespace-separated edge list ("src dst" per line; lines
 /// starting with '#' or '%' are comments, extra columns are ignored). The
 /// vertex count is max id + 1 unless `num_vertices` is nonzero, in which

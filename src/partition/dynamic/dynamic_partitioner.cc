@@ -7,9 +7,23 @@
 
 namespace sgp {
 
+namespace {
+
+// The shared state core is configured from PartitionConfig; project the
+// dynamic options onto one (homogeneous cluster, loads only).
+PartitionConfig StateConfig(const DynamicOptions& options) {
+  PartitionConfig config;
+  config.k = options.k;
+  config.balance_slack = options.balance_slack;
+  config.seed = options.seed;
+  return config;
+}
+
+}  // namespace
+
 DynamicPartitioner::DynamicPartitioner(const DynamicOptions& options)
-    : options_(options), sizes_(options.k, 0), disabled_(options.k, 0),
-      alive_k_(options.k) {
+    : options_(options), state_(StateConfig(options)),
+      disabled_(options.k, 0), alive_k_(options.k) {
   SGP_CHECK(options.k > 0);
   SGP_CHECK(options.balance_slack >= 1.0);
   SGP_CHECK(options.migration_gain >= 1.0);
@@ -22,7 +36,7 @@ void DynamicPartitioner::Bootstrap(const Graph& graph,
   EnsureVertex(graph.num_vertices() == 0 ? 0 : graph.num_vertices() - 1);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     assignment_[v] = partitioning.vertex_to_partition[v];
-    ++sizes_[assignment_[v]];
+    state_.AddLoad(assignment_[v]);
     ++placed_vertices_;
   }
   for (const Edge& e : graph.edges()) {
@@ -50,7 +64,9 @@ PartitionId DynamicPartitioner::LeastLoadedAlive() const {
   PartitionId best = kInvalidPartition;
   for (PartitionId p = 0; p < options_.k; ++p) {
     if (disabled_[p]) continue;
-    if (best == kInvalidPartition || sizes_[p] < sizes_[best]) best = p;
+    if (best == kInvalidPartition || state_.load(p) < state_.load(best)) {
+      best = p;
+    }
   }
   SGP_CHECK(best != kInvalidPartition);
   return best;
@@ -85,7 +101,7 @@ PartitionId DynamicPartitioner::PlaceNew(VertexId v) {
   double best_score = 0;
   for (const auto& [p, count] : neighbor_counts_[v]) {
     if (disabled_[p]) continue;
-    double size = static_cast<double>(sizes_[p]);
+    double size = static_cast<double>(state_.load(p));
     double cap = Capacity(p);
     if (size + 1.0 > cap) continue;
     double score = static_cast<double>(count) * (1.0 - size / cap);
@@ -99,12 +115,12 @@ PartitionId DynamicPartitioner::PlaceNew(VertexId v) {
         HashU64Seeded(v, options_.seed) % options_.k);
     // Respect capacity (and dead partitions) even for hashed placements.
     if (disabled_[best] ||
-        static_cast<double>(sizes_[best]) + 1.0 > Capacity(best)) {
+        static_cast<double>(state_.load(best)) + 1.0 > Capacity(best)) {
       best = LeastLoadedAlive();
     }
   }
   assignment_[v] = best;
-  ++sizes_[best];
+  state_.AddLoad(best);
   ++placed_vertices_;
   return best;
 }
@@ -127,11 +143,13 @@ bool DynamicPartitioner::MaybeMigrate(VertexId v) {
       options_.migration_gain * static_cast<double>(cur_count) + 1.0) {
     return false;
   }
-  if (static_cast<double>(sizes_[best]) + 1.0 > Capacity(best)) return false;
+  if (static_cast<double>(state_.load(best)) + 1.0 > Capacity(best)) {
+    return false;
+  }
 
   // Move v and fix every neighbor's synopsis.
-  --sizes_[cur];
-  ++sizes_[best];
+  state_.RemoveLoad(cur);
+  state_.AddLoad(best);
   assignment_[v] = best;
   for (VertexId w : adjacency_[v]) {
     ForgetNeighbor(w, cur);
@@ -185,7 +203,7 @@ uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
     double best_score = 0;
     for (const auto& [p, count] : neighbor_counts_[v]) {
       if (disabled_[p]) continue;
-      double size = static_cast<double>(sizes_[p]);
+      double size = static_cast<double>(state_.load(p));
       double cap = Capacity(p);
       if (size + 1.0 > cap) continue;
       double score = static_cast<double>(count) * (1.0 - size / cap);
@@ -195,8 +213,8 @@ uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
       }
     }
     if (best == kInvalidPartition) best = LeastLoadedAlive();
-    --sizes_[dead];
-    ++sizes_[best];
+    state_.RemoveLoad(dead);
+    state_.AddLoad(best);
     assignment_[v] = best;
     for (VertexId w : adjacency_[v]) {
       ForgetNeighbor(w, dead);
@@ -205,8 +223,21 @@ uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
     ++moved;
     ++total_migrations_;
   }
-  SGP_CHECK(sizes_[dead] == 0);
+  SGP_CHECK(state_.load(dead) == 0);
   return moved;
+}
+
+uint64_t DynamicPartitioner::SynopsisBytes() const {
+  uint64_t synopsis_entries = 0;
+  for (const auto& counts : neighbor_counts_) {
+    synopsis_entries += counts.size();
+  }
+  uint64_t adjacency_entries = 0;
+  for (const auto& adj : adjacency_) adjacency_entries += adj.size();
+  return state_.SynopsisBytes() +
+         assignment_.size() * sizeof(PartitionId) +
+         synopsis_entries * (sizeof(PartitionId) + sizeof(uint32_t)) +
+         adjacency_entries * sizeof(VertexId);
 }
 
 PartitionId DynamicPartitioner::PartitionOf(VertexId v) const {
@@ -229,6 +260,7 @@ Partitioning DynamicPartitioner::Snapshot(const Graph& graph) const {
           HashU64Seeded(v, options_.seed) % options_.k);
     }
   }
+  p.state_bytes = SynopsisBytes();
   DeriveEdgePlacement(graph, &p);
   return p;
 }

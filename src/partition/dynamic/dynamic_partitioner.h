@@ -7,6 +7,7 @@
 
 #include "graph/graph.h"
 #include "partition/partitioning.h"
+#include "partition/state.h"
 
 namespace sgp {
 
@@ -66,7 +67,13 @@ class DynamicPartitioner {
   }
 
   /// Current per-partition vertex counts.
-  const std::vector<uint64_t>& partition_sizes() const { return sizes_; }
+  const std::vector<uint64_t>& partition_sizes() const {
+    return state_.loads();
+  }
+
+  /// Bytes of working state (loads, assignment, neighbor synopsis,
+  /// retained adjacency) — the Snapshot's state_bytes.
+  uint64_t SynopsisBytes() const;
 
   /// Total migrations since construction/bootstrap.
   uint64_t total_migrations() const { return total_migrations_; }
@@ -86,7 +93,7 @@ class DynamicPartitioner {
 
   DynamicOptions options_;
   std::vector<PartitionId> assignment_;
-  std::vector<uint64_t> sizes_;
+  PartitionState state_;         // per-partition vertex loads
   std::vector<char> disabled_;   // permanently failed partitions
   PartitionId alive_k_;          // partitions still accepting vertices
   // Neighbor-partition counts per vertex (tiny sorted-by-insertion vecs).

@@ -5,26 +5,26 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "partition/state.h"
 
 namespace sgp {
 
-Partitioning EdgeStreamGreedyPartitioner::Run(
-    const Graph& graph, const PartitionConfig& config) const {
+namespace internal_edgecut {
+
+Partitioning RunEdgeStreamGreedy(EdgeStreamSource& source,
+                                 VertexId num_vertices,
+                                 const PartitionConfig& config) {
   SGP_CHECK(config.k > 0);
   Timer timer;
-  const VertexId n = graph.num_vertices();
+  const VertexId n = num_vertices;
   const PartitionId k = config.k;
-  const std::vector<double> weights = NormalizedCapacities(config);
-  std::vector<double> capacity(k);
-  for (PartitionId i = 0; i < k; ++i) {
-    capacity[i] = std::max(
-        1.0, config.balance_slack * static_cast<double>(n) /
-                 static_cast<double>(k) * weights[i]);
-  }
+  PartitionState state(config);
+  state.InitCapacities(n, config.balance_slack);
+  const std::vector<double>& weights = state.weights();
+  const std::vector<double>& capacity = state.capacities();
+  const std::vector<uint64_t>& sizes = state.loads();
 
   std::vector<PartitionId> assignment(n, kInvalidPartition);
-  std::vector<uint64_t> sizes(k, 0);
   // Synopsis: per vertex, the count of already-seen neighbors per
   // partition (small sorted vectors, like the greedy vertex-cut state).
   std::vector<std::vector<std::pair<PartitionId, uint32_t>>> seen(n);
@@ -48,7 +48,7 @@ Partitioning EdgeStreamGreedyPartitioner::Run(
       p = least_loaded();
     }
     assignment[v] = p;
-    ++sizes[p];
+    state.AddLoad(p);
     degree_at_placement[v] = observed_degree[v];
   };
   auto note_neighbor = [&](VertexId v, PartitionId p) {
@@ -84,13 +84,12 @@ Partitioning EdgeStreamGreedyPartitioner::Run(
     if (static_cast<double>(sizes[majority]) + 1.0 > capacity[majority]) {
       return;
     }
-    --sizes[cur];
-    ++sizes[majority];
+    state.RemoveLoad(cur);
+    state.AddLoad(majority);
     assignment[v] = majority;
   };
 
-  for (EdgeId e : MakeEdgeStream(graph, config.order, config.seed)) {
-    const Edge& edge = graph.edges()[e];
+  ForEachStreamItem(source, [&](const StreamEdge& edge) {
     const VertexId u = edge.src;
     const VertexId v = edge.dst;
     ++observed_degree[u];
@@ -103,7 +102,7 @@ Partitioning EdgeStreamGreedyPartitioner::Run(
       note_neighbor(v, assignment[u]);
       maybe_migrate(u);
       maybe_migrate(v);
-      continue;
+      return;
     }
     if (u_placed) {
       place(v, assignment[u]);
@@ -116,12 +115,12 @@ Partitioning EdgeStreamGreedyPartitioner::Run(
     }
     note_neighbor(u, assignment[v]);
     note_neighbor(v, assignment[u]);
-  }
+  });
   // Isolated vertices (no edges) still need masters.
   for (VertexId v = 0; v < n; ++v) {
     if (assignment[v] == kInvalidPartition) {
       assignment[v] = least_loaded();
-      ++sizes[assignment[v]];
+      state.AddLoad(assignment[v]);
     }
   }
 
@@ -130,12 +129,25 @@ Partitioning EdgeStreamGreedyPartitioner::Run(
   result.k = k;
   uint64_t synopsis_entries = 0;
   for (const auto& counts : seen) synopsis_entries += counts.size();
-  result.state_bytes =
+  state.NoteAuxiliaryBytes(
       static_cast<uint64_t>(n) *
           (sizeof(PartitionId) + 2 * sizeof(uint32_t)) +
-      synopsis_entries * (sizeof(PartitionId) + sizeof(uint32_t)) +
-      static_cast<uint64_t>(k) * sizeof(uint64_t);
+      synopsis_entries * (sizeof(PartitionId) + sizeof(uint32_t)));
+  result.state_bytes = state.SynopsisBytes();
   result.vertex_to_partition = std::move(assignment);
+  result.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace internal_edgecut
+
+Partitioning EdgeStreamGreedyPartitioner::Run(
+    const Graph& graph, const PartitionConfig& config) const {
+  Timer timer;
+  InMemoryEdgeSource source(graph, config.order, config.seed,
+                            config.ingest_chunk_size);
+  Partitioning result = internal_edgecut::RunEdgeStreamGreedy(
+      source, graph.num_vertices(), config);
   DeriveEdgePlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

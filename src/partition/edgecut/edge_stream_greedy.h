@@ -2,6 +2,7 @@
 #define SGP_PARTITION_EDGECUT_EDGE_STREAM_GREEDY_H_
 
 #include "partition/partitioner.h"
+#include "stream/source.h"
 
 namespace sgp {
 
@@ -23,6 +24,19 @@ class EdgeStreamGreedyPartitioner final : public Partitioner {
   Partitioning Run(const Graph& graph,
                    const PartitionConfig& config) const override;
 };
+
+namespace internal_edgecut {
+
+/// Source-level ESG entry point: consumes any edge stream (in-memory
+/// replay or the bounded-memory disk source) and returns the vertex
+/// placement plus state accounting; the edge placement is left for the
+/// caller to derive (it needs the materialized graph). `num_vertices`
+/// must cover every id the stream produces.
+Partitioning RunEdgeStreamGreedy(EdgeStreamSource& source,
+                                 VertexId num_vertices,
+                                 const PartitionConfig& config);
+
+}  // namespace internal_edgecut
 
 }  // namespace sgp
 

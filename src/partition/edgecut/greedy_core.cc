@@ -7,7 +7,8 @@
 #include "common/check.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "stream/source.h"
 
 namespace sgp::internal_edgecut {
 
@@ -55,15 +56,14 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   Timer timer;
   const VertexId n = graph.num_vertices();
   const PartitionId k = config.k;
-  // Per-partition capacity: β·(n/k) scaled by the partition's relative
-  // capacity on heterogeneous clusters (all 1 otherwise).
-  const std::vector<double> weights = NormalizedCapacities(config);
-  std::vector<double> capacity(k);
-  for (PartitionId i = 0; i < k; ++i) {
-    capacity[i] = std::max(
-        1.0, config.balance_slack * static_cast<double>(n) /
-                 static_cast<double>(k) * weights[i]);
-  }
+  // Shared synopsis: loads plus the hard capacity C = β·(n/k)·w_i of
+  // Equation (1). The const refs keep the scoring expressions below
+  // textually identical to the pre-state-layer code.
+  PartitionState state(config);
+  state.InitCapacities(n, config.balance_slack);
+  const std::vector<double>& weights = state.weights();
+  const std::vector<double>& capacity = state.capacities();
+  const std::vector<uint64_t>& sizes = state.loads();
 
   // FENNEL α: the paper's optimum α = m·k^{γ−1}/n^{γ}, which reduces to
   // √k·m/n^{3/2} at γ = 1.5.
@@ -77,12 +77,13 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   const bool gamma_is_three_halves = gamma == 1.5;
 
   GreedyMetrics& metrics = GreedyMetrics::Get();
-  std::vector<VertexId> stream;
-  {
-    // Phase 1: stream read (materializing the arrival order).
+  // Phase 1: ingest setup (the source materializes the arrival order once;
+  // every pass replays it chunk by chunk).
+  InMemoryVertexSource source = [&] {
     ScopedTimer stream_timer(metrics.stream_build_wall);
-    stream = MakeVertexStream(graph, config.order, config.seed);
-  }
+    return InMemoryVertexSource(graph, config.order, config.seed,
+                                config.ingest_chunk_size);
+  }();
   // Phase 2: score + assign. Decision counts live in locals until the
   // post-loop flush.
   ScopedTimer score_assign_timer(metrics.score_assign_wall);
@@ -92,7 +93,6 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   uint64_t local_fallbacks = 0;
 
   std::vector<PartitionId> assignment(n, kInvalidPartition);
-  std::vector<uint64_t> sizes(k, 0);
   std::vector<uint32_t> neighbor_counts(k, 0);
   std::vector<PartitionId> touched;
   touched.reserve(k);
@@ -102,11 +102,12 @@ Partitioning RunStreamingGreedy(const Graph& graph,
     const double pass_alpha =
         alpha * std::pow(config.restream_alpha_growth,
                          static_cast<double>(pass));
-    for (VertexId u : stream) {
+    source.Reset();
+    ForEachStreamItem(source, [&](VertexId u) {
       // Re-streaming: remove u from its previous partition before
       // re-placing it, so capacities reflect the tentative state.
       if (assignment[u] != kInvalidPartition) {
-        --sizes[assignment[u]];
+        state.RemoveLoad(assignment[u]);
         assignment[u] = kInvalidPartition;
       }
       for (VertexId v : graph.Neighbors(u)) {
@@ -159,12 +160,12 @@ Partitioning RunStreamingGreedy(const Graph& graph,
         }
       }
       assignment[u] = best;
-      ++sizes[best];
+      state.AddLoad(best);
       ++local_assigned;
 
       for (PartitionId part : touched) neighbor_counts[part] = 0;
       touched.clear();
-    }
+    });
   }
 
   metrics.vertices_assigned->Increment(local_assigned);
@@ -175,9 +176,10 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   Partitioning result;
   result.model = CutModel::kEdgeCut;
   result.k = k;
-  result.state_bytes =
+  state.NoteAuxiliaryBytes(
       static_cast<uint64_t>(n) * sizeof(PartitionId) +  // assignment
-      static_cast<uint64_t>(k) * (sizeof(uint64_t) + sizeof(uint32_t));
+      static_cast<uint64_t>(k) * sizeof(uint32_t));     // neighbor_counts
+  result.state_bytes = state.SynopsisBytes();
   result.vertex_to_partition = std::move(assignment);
   DeriveEdgePlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/state.h"
 
 namespace sgp {
 
@@ -14,11 +15,13 @@ Partitioning HashEdgeCutPartitioner::Run(const Graph& graph,
   result.model = CutModel::kEdgeCut;
   result.k = config.k;
   result.vertex_to_partition.resize(graph.num_vertices());
-  const CapacityAwareHasher hasher(config);
+  PartitionState state(config);
+  const CapacityAwareHasher hasher(state);
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
     result.vertex_to_partition[u] = hasher.Pick(HashU64Seeded(u, config.seed));
   }
-  result.state_bytes = config.k * sizeof(double);  // hash table of cumulative capacities only
+  // O(k) synopsis: capacity weights for the hasher, nothing per vertex.
+  result.state_bytes = state.SynopsisBytes();
   DeriveEdgePlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

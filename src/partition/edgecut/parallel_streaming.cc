@@ -1,47 +1,62 @@
 #include "partition/edgecut/parallel_streaming.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "stream/source.h"
 
 namespace sgp {
 
-ParallelStreamResult ParallelStreamingLdg(
+namespace {
+
+// ---------------------------------------------------------------------
+// Vertex-stream driver: LDG / FENNEL. Generalizes the original parallel
+// LDG loop — the LDG scoring branch is expression-identical to it.
+// ---------------------------------------------------------------------
+ParallelStreamResult RunParallelVertexStream(
     const Graph& graph, const PartitionConfig& config,
-    const ParallelStreamOptions& options) {
-  SGP_CHECK(config.k > 0);
-  SGP_CHECK(options.num_streams >= 1);
-  SGP_CHECK(options.sync_interval >= 1);
+    const ParallelStreamOptions& options, ParallelAlgo algo) {
   Timer timer;
   const VertexId n = graph.num_vertices();
   const PartitionId k = config.k;
   const uint32_t s = options.num_streams;
-  const std::vector<double> weights = NormalizedCapacities(config);
-  std::vector<double> capacity(k);
-  for (PartitionId i = 0; i < k; ++i) {
-    capacity[i] = std::max(
-        1.0, config.balance_slack * static_cast<double>(n) /
-                 static_cast<double>(k) * weights[i]);
-  }
+  ShardedPartitionState shard(config, s);
+  shard.global().InitCapacities(n, config.balance_slack);
+  const std::vector<double>& weights = shard.global().weights();
+  const std::vector<double>& capacity = shard.global().capacities();
 
-  std::vector<VertexId> stream =
-      MakeVertexStream(graph, config.order, config.seed);
-  // Round-robin split across ingest workers.
+  // FENNEL α = m·k^{γ−1}/n^{γ} (√k·m/n^{3/2} at γ = 1.5), as in the
+  // sequential greedy core.
+  const double gamma = config.fennel_gamma;
+  double alpha = config.fennel_alpha;
+  if (alpha == 0.0 && n > 0) {
+    alpha = static_cast<double>(graph.num_edges()) *
+            std::pow(static_cast<double>(k), gamma - 1.0) /
+            std::pow(static_cast<double>(n), gamma);
+  }
+  const bool gamma_is_three_halves = gamma == 1.5;
+
+  // Round-robin split across ingest workers, pulled through the chunked
+  // source (chunk boundaries don't change the sequence).
   std::vector<std::vector<VertexId>> substreams(s);
-  for (size_t i = 0; i < stream.size(); ++i) {
-    substreams[i % s].push_back(stream[i]);
+  {
+    InMemoryVertexSource source(graph, config.order, config.seed,
+                                config.ingest_chunk_size);
+    size_t i = 0;
+    ForEachStreamItem(source, [&](VertexId u) {
+      substreams[i++ % s].push_back(u);
+    });
   }
 
-  // Published (synchronized) state, plus per-worker unpublished deltas.
+  // Published (synchronized) assignments, plus per-worker unpublished
+  // records; loads live in the sharded state.
   std::vector<PartitionId> published(n, kInvalidPartition);
-  std::vector<uint64_t> published_sizes(k, 0);
   std::vector<std::vector<std::pair<VertexId, PartitionId>>> deltas(s);
-  std::vector<std::vector<uint64_t>> delta_sizes(
-      s, std::vector<uint64_t>(k, 0));
   // Worker-local view lookup: own delta shadows the published state.
   std::vector<PartitionId> scratch_view(n, kInvalidPartition);
 
@@ -73,11 +88,21 @@ ParallelStreamResult ParallelStreamingLdg(
         double best_score = -std::numeric_limits<double>::infinity();
         double best_size = 0;
         for (PartitionId part = 0; part < k; ++part) {
-          const double size = static_cast<double>(
-              published_sizes[part] + delta_sizes[w][part]);
+          const double size =
+              static_cast<double>(shard.CombinedLoad(w, part));
           if (size + 1.0 > capacity[part]) continue;
-          double score = static_cast<double>(neighbor_counts[part]) *
-                         (1.0 - size / capacity[part]);
+          double score;
+          if (algo == ParallelAlgo::kLdg) {
+            score = static_cast<double>(neighbor_counts[part]) *
+                    (1.0 - size / capacity[part]);
+          } else {
+            const double eff = size / weights[part];
+            const double load = gamma_is_three_halves
+                                    ? std::sqrt(eff)
+                                    : std::pow(eff, gamma - 1.0);
+            score = static_cast<double>(neighbor_counts[part]) -
+                    alpha * gamma * load;
+          }
           // Ties toward the least-loaded partition, as in sequential LDG.
           if (score > best_score ||
               (score == best_score && size < best_size)) {
@@ -89,7 +114,7 @@ ParallelStreamResult ParallelStreamingLdg(
         if (best == kInvalidPartition) best = u % k;  // all full (stale)
         deltas[w].emplace_back(u, best);
         scratch_view[u] = best;
-        ++delta_sizes[w][best];
+        shard.AddWorkerLoad(w, best);
         for (PartitionId p : touched) neighbor_counts[p] = 0;
         touched.clear();
       }
@@ -102,24 +127,246 @@ ParallelStreamResult ParallelStreamingLdg(
     ++result.sync_rounds;
     for (uint32_t w = 0; w < s; ++w) {
       result.sync_messages += deltas[w].size() * (s - 1);
-      for (const auto& [v, p] : deltas[w]) {
-        published[v] = p;
-        ++published_sizes[p];
-      }
+      for (const auto& [v, p] : deltas[w]) published[v] = p;
       deltas[w].clear();
-      std::fill(delta_sizes[w].begin(), delta_sizes[w].end(), 0);
     }
+    shard.Publish();
   }
 
   result.partitioning.model = CutModel::kEdgeCut;
   result.partitioning.k = k;
   result.partitioning.vertex_to_partition = std::move(published);
   DeriveEdgePlacement(graph, &result.partitioning);
-  result.partitioning.state_bytes =
-      static_cast<uint64_t>(n) * sizeof(PartitionId) +
-      static_cast<uint64_t>(s) * k * sizeof(uint64_t);
+  shard.global().NoteAuxiliaryBytes(
+      static_cast<uint64_t>(n) * 2 * sizeof(PartitionId));  // view arrays
+  result.partitioning.state_bytes = shard.SynopsisBytes();
   result.partitioning.partitioning_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+// ---------------------------------------------------------------------
+// Edge-stream driver: HDRF / PGG. The shared synopsis — partial degrees,
+// edge loads, replica sets A(u) — goes through the published/delta
+// mechanism; with one worker each placement sees exact state and the
+// result equals the sequential algorithm's.
+// ---------------------------------------------------------------------
+
+// One HDRF placement against worker w's combined (published + own delta)
+// view. Expressions mirror internal_vertexcut::PlaceHdrfEdge; effective
+// loads are recomputed from the combined integer loads, which yields the
+// same doubles the sequential incremental update maintains.
+PartitionId PlaceHdrfSharded(ShardedPartitionState& shard, uint32_t w,
+                             VertexId u, VertexId v, double lambda) {
+  const PartitionId k = shard.global().k();
+  shard.IncrementWorkerDegree(w, u);
+  shard.IncrementWorkerDegree(w, v);
+  const double du = shard.CombinedDegree(w, u);
+  const double dv = shard.CombinedDegree(w, v);
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+
+  double max_load = 0;
+  double min_load = shard.CombinedEffectiveLoad(w, 0);
+  for (PartitionId i = 0; i < k; ++i) {
+    const double eff = shard.CombinedEffectiveLoad(w, i);
+    max_load = std::max(max_load, eff);
+    min_load = std::min(min_load, eff);
+  }
+  const double spread = 1.0 + (max_load - min_load);  // ε = 1
+
+  PartitionId best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (PartitionId i = 0; i < k; ++i) {
+    double g = 0;
+    if (shard.ReplicaContains(w, u, i)) g += 1.0 + theta_v;
+    if (shard.ReplicaContains(w, v, i)) g += 1.0 + theta_u;
+    double score =
+        g + lambda * (max_load - shard.CombinedEffectiveLoad(w, i)) / spread;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    } else if (score == best_score &&
+               shard.CombinedLoad(w, i) < shard.CombinedLoad(w, best)) {
+      best = i;
+    }
+  }
+  shard.AddWorkerLoad(w, best);
+  if (!shard.ReplicaContains(w, u, best)) shard.AddWorkerReplica(w, u, best);
+  if (!shard.ReplicaContains(w, v, best)) shard.AddWorkerReplica(w, v, best);
+  return best;
+}
+
+// One PGG placement against worker w's combined view. Mirrors the
+// sequential PowerGraphGreedyPartitioner; the least-loaded rule ties
+// toward the lower partition id, so it is independent of the order the
+// combined replica sets are visited in.
+PartitionId PlacePggSharded(ShardedPartitionState& shard, uint32_t w,
+                            const Graph& graph, VertexId u, VertexId v,
+                            std::vector<PartitionId>& setu,
+                            std::vector<PartitionId>& setv,
+                            std::vector<PartitionId>& intersection,
+                            const std::vector<PartitionId>& all) {
+  setu.clear();
+  setv.clear();
+  shard.ForEachReplica(w, u, [&](PartitionId p) { setu.push_back(p); });
+  shard.ForEachReplica(w, v, [&](PartitionId p) { setv.push_back(p); });
+
+  auto least_loaded = [&](const std::vector<PartitionId>& candidates) {
+    PartitionId best = candidates.front();
+    double best_load = shard.CombinedEffectiveLoad(w, best);
+    for (PartitionId p : candidates) {
+      const double load = shard.CombinedEffectiveLoad(w, p);
+      if (load < best_load || (load == best_load && p < best)) {
+        best_load = load;
+        best = p;
+      }
+    }
+    return best;
+  };
+
+  PartitionId target;
+  if (!setu.empty() && !setv.empty()) {
+    intersection.clear();
+    for (PartitionId p : setu) {
+      if (shard.ReplicaContains(w, v, p)) intersection.push_back(p);
+    }
+    if (!intersection.empty()) {
+      target = least_loaded(intersection);
+    } else {
+      const bool u_busier =
+          static_cast<int64_t>(graph.Degree(u)) - shard.CombinedDegree(w, u) >=
+          static_cast<int64_t>(graph.Degree(v)) - shard.CombinedDegree(w, v);
+      target = least_loaded(u_busier ? setu : setv);
+    }
+  } else if (!setu.empty()) {
+    target = least_loaded(setu);
+  } else if (!setv.empty()) {
+    target = least_loaded(setv);
+  } else {
+    target = least_loaded(all);
+  }
+
+  shard.AddWorkerLoad(w, target);
+  // Placed degrees update after the decision, as in the sequential code.
+  shard.IncrementWorkerDegree(w, u);
+  shard.IncrementWorkerDegree(w, v);
+  if (!shard.ReplicaContains(w, u, target)) {
+    shard.AddWorkerReplica(w, u, target);
+  }
+  if (!shard.ReplicaContains(w, v, target)) {
+    shard.AddWorkerReplica(w, v, target);
+  }
+  return target;
+}
+
+ParallelStreamResult RunParallelEdgeStream(
+    const Graph& graph, const PartitionConfig& config,
+    const ParallelStreamOptions& options, ParallelAlgo algo) {
+  Timer timer;
+  const VertexId n = graph.num_vertices();
+  const PartitionId k = config.k;
+  const uint32_t s = options.num_streams;
+  ShardedPartitionState shard(config, s);
+  shard.InitDegreeTable(n);
+  shard.InitReplicas(n);
+  if (algo == ParallelAlgo::kHdrf) shard.global().InitEffectiveLoads();
+
+  std::vector<std::vector<StreamEdge>> substreams(s);
+  {
+    InMemoryEdgeSource source(graph, config.order, config.seed,
+                              config.ingest_chunk_size);
+    size_t i = 0;
+    ForEachStreamItem(source, [&](const StreamEdge& e) {
+      substreams[i++ % s].push_back(e);
+    });
+  }
+
+  ParallelStreamResult result;
+  result.partitioning.model = CutModel::kVertexCut;
+  result.partitioning.k = k;
+  result.partitioning.edge_to_partition.resize(graph.num_edges());
+
+  std::vector<PartitionId> all(k);
+  for (PartitionId i = 0; i < k; ++i) all[i] = i;
+  std::vector<PartitionId> setu, setv, intersection;
+  std::vector<size_t> cursor(s, 0);
+  std::vector<uint64_t> round_placed(s, 0);
+
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (uint32_t w = 0; w < s; ++w) {
+      const size_t end = std::min(cursor[w] + options.sync_interval,
+                                  substreams[w].size());
+      round_placed[w] = end - cursor[w];
+      for (size_t i = cursor[w]; i < end; ++i) {
+        const StreamEdge& e = substreams[w][i];
+        const PartitionId target =
+            algo == ParallelAlgo::kHdrf
+                ? PlaceHdrfSharded(shard, w, e.src, e.dst,
+                                   config.hdrf_lambda)
+                : PlacePggSharded(shard, w, graph, e.src, e.dst, setu, setv,
+                                  intersection, all);
+        result.partitioning.edge_to_partition[e.id] = target;
+      }
+      cursor[w] = end;
+      work_left |= cursor[w] < substreams[w].size();
+    }
+    // Barrier: each placed-edge record (and the replica/degree updates it
+    // implies) reaches the other workers.
+    ++result.sync_rounds;
+    for (uint32_t w = 0; w < s; ++w) {
+      result.sync_messages += round_placed[w] * (s - 1);
+      round_placed[w] = 0;
+    }
+    shard.Publish();
+  }
+
+  DeriveMasterPlacement(graph, &result.partitioning);
+  result.partitioning.state_bytes = shard.SynopsisBytes();
+  result.partitioning.partitioning_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+std::string_view ParallelAlgoName(ParallelAlgo algo) {
+  switch (algo) {
+    case ParallelAlgo::kLdg:
+      return "LDG";
+    case ParallelAlgo::kFennel:
+      return "FNL";
+    case ParallelAlgo::kHdrf:
+      return "HDRF";
+    case ParallelAlgo::kPgg:
+      return "PGG";
+  }
+  return "unknown";
+}
+
+ParallelStreamResult RunParallelStreaming(const Graph& graph,
+                                          const PartitionConfig& config,
+                                          const ParallelStreamOptions& options,
+                                          ParallelAlgo algo) {
+  SGP_CHECK(config.k > 0);
+  SGP_CHECK(options.num_streams >= 1);
+  SGP_CHECK(options.sync_interval >= 1);
+  switch (algo) {
+    case ParallelAlgo::kLdg:
+    case ParallelAlgo::kFennel:
+      return RunParallelVertexStream(graph, config, options, algo);
+    case ParallelAlgo::kHdrf:
+    case ParallelAlgo::kPgg:
+      return RunParallelEdgeStream(graph, config, options, algo);
+  }
+  SGP_CHECK(false && "unknown parallel algorithm");
+  return {};
+}
+
+ParallelStreamResult ParallelStreamingLdg(
+    const Graph& graph, const PartitionConfig& config,
+    const ParallelStreamOptions& options) {
+  return RunParallelStreaming(graph, config, options, ParallelAlgo::kLdg);
 }
 
 }  // namespace sgp

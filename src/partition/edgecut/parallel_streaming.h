@@ -2,6 +2,7 @@
 #define SGP_PARTITION_EDGECUT_PARALLEL_STREAMING_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "graph/graph.h"
 #include "partition/partitioning.h"
@@ -36,13 +37,37 @@ struct ParallelStreamResult {
   uint64_t sync_messages = 0;
 };
 
-/// Deterministic simulation of parallel streaming LDG: `num_streams`
-/// ingest workers consume the vertex stream round-robin; each worker sees
-/// the globally *published* assignments (last barrier) plus its own
-/// un-published placements, so between barriers it works with stale
-/// neighbor history and stale partition sizes. Shows how partitioning
-/// quality decays as synchronization gets cheaper — the trade-off that
-/// makes hash partitioning attractive for parallel loaders.
+/// Algorithms the parallel driver can run. LDG and FENNEL consume the
+/// vertex stream (edge-cut); HDRF and PGG consume the edge stream
+/// (vertex-cut), sharing partial degrees and replica sets A(u) through
+/// the same published-state/delta mechanism — the "distributed table"
+/// the paper says greedy vertex-cut methods must synchronize.
+enum class ParallelAlgo {
+  kLdg,
+  kFennel,
+  kHdrf,
+  kPgg,
+};
+
+/// Short uppercase name ("LDG", "FNL", "HDRF", "PGG") for bench output.
+std::string_view ParallelAlgoName(ParallelAlgo algo);
+
+/// Deterministic simulation of parallel streaming ingest: `num_streams`
+/// workers consume the stream round-robin; each worker sees the globally
+/// *published* synopsis (as of the last barrier) plus its own unpublished
+/// delta, so between barriers it scores against stale neighbor history,
+/// stale loads, stale degrees and stale replica sets. Shows how
+/// partitioning quality decays as synchronization gets cheaper — the
+/// trade-off that makes hash partitioning attractive for parallel
+/// loaders. With one stream the result is exactly the sequential
+/// algorithm's.
+ParallelStreamResult RunParallelStreaming(const Graph& graph,
+                                          const PartitionConfig& config,
+                                          const ParallelStreamOptions& options,
+                                          ParallelAlgo algo);
+
+/// LDG via RunParallelStreaming — kept as the named entry point the
+/// ablation benches and tests built against.
 ParallelStreamResult ParallelStreamingLdg(
     const Graph& graph, const PartitionConfig& config,
     const ParallelStreamOptions& options);

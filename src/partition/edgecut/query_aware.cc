@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "stream/source.h"
 
 namespace sgp {
 
@@ -28,15 +28,16 @@ Partitioning QueryAwareStreamingPartition(
   const double capacity = std::max(
       1.0, options.balance_slack * total_cost / static_cast<double>(k));
 
-  std::vector<VertexId> stream =
-      MakeVertexStream(graph, options.order, options.seed);
+  InMemoryVertexSource source(graph, options.order, options.seed);
 
   std::vector<PartitionId> assignment(n, kInvalidPartition);
+  // Loads here are fractional access weights, not vertex counts, so this
+  // partitioner keeps its own load vector instead of a PartitionState.
   std::vector<double> load(k, 0.0);
   std::vector<double> traversal_gain(k, 0.0);
   std::vector<PartitionId> touched;
 
-  for (VertexId u : stream) {
+  ForEachStreamItem(source, [&](VertexId u) {
     for (VertexId v : graph.Neighbors(u)) {
       PartitionId p = assignment[v];
       if (p == kInvalidPartition) continue;
@@ -65,7 +66,7 @@ Partitioning QueryAwareStreamingPartition(
     load[best] += cost[u];
     for (PartitionId p : touched) traversal_gain[p] = 0.0;
     touched.clear();
-  }
+  });
 
   Partitioning result;
   result.model = CutModel::kEdgeCut;

@@ -7,7 +7,8 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "stream/source.h"
 
 namespace sgp {
 
@@ -37,14 +38,18 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
   result.vertex_to_partition.assign(n, kInvalidPartition);
   result.edge_to_partition.resize(m);
 
-  const CapacityAwareHasher hasher(config);
+  // Synopsis: vertex loads (primary) + edge loads (secondary), balanced
+  // jointly per Equation (8).
+  PartitionState state(config);
+  state.InitSecondaryLoads();
+  const CapacityAwareHasher hasher(state);
   auto hash_part = [&](VertexId u) {
     return hasher.Pick(HashU64Seeded(u, config.seed));
   };
-  const std::vector<double> cap_weights = NormalizedCapacities(config);
+  const std::vector<double>& cap_weights = state.weights();
+  const std::vector<uint64_t>& vertex_load = state.loads();
+  const std::vector<uint64_t>& edge_load = state.secondary_loads();
 
-  std::vector<uint64_t> vertex_load(k, 0);
-  std::vector<uint64_t> edge_load(k, 0);
   std::vector<uint32_t> neighbor_counts(k, 0);
   std::vector<PartitionId> touched;
   const double vertices_per_edge =
@@ -68,11 +73,13 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
         graph.directed() ? graph.InDegree(v) : graph.Degree(v);
     return in_degree > config.hybrid_threshold;
   };
-  for (VertexId v : MakeVertexStream(graph, config.order, config.seed)) {
+  InMemoryVertexSource source(graph, config.order, config.seed,
+                              config.ingest_chunk_size);
+  ForEachStreamItem(source, [&](VertexId v) {
     if (is_high_degree(v)) {
       result.vertex_to_partition[v] = hash_part(v);
-      ++vertex_load[result.vertex_to_partition[v]];
-      continue;
+      state.AddLoad(result.vertex_to_partition[v]);
+      return;
     }
     // Low-degree: Equation (8) over already-placed neighbors.
     for (VertexId u : graph.Neighbors(v)) {
@@ -118,9 +125,9 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
     touched.clear();
 
     result.vertex_to_partition[v] = best;
-    ++vertex_load[best];
-    edge_load[best] += in_offsets[v + 1] - in_offsets[v];
-  }
+    state.AddLoad(best);
+    state.AddSecondaryLoad(best, in_offsets[v + 1] - in_offsets[v]);
+  });
 
   // --- Phase 2: place edges. The in-edges of a low-degree vertex follow
   // its master (edge-cut locality); the in-edges of a high-degree vertex
@@ -132,9 +139,9 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
         is_high_degree(edge.dst) ? result.vertex_to_partition[edge.src]
                                  : result.vertex_to_partition[edge.dst];
   }
-  result.state_bytes =
-      static_cast<uint64_t>(n) * sizeof(PartitionId) +
-      static_cast<uint64_t>(k) * 2 * sizeof(uint64_t);
+  state.NoteAuxiliaryBytes(static_cast<uint64_t>(n) * sizeof(PartitionId) +
+                           static_cast<uint64_t>(k) * sizeof(uint32_t));
+  result.state_bytes = state.SynopsisBytes();
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/state.h"
 
 namespace sgp {
 
@@ -17,7 +18,8 @@ Partitioning HybridRandomPartitioner::Run(
   result.vertex_to_partition.resize(graph.num_vertices());
   result.edge_to_partition.resize(graph.num_edges());
 
-  const CapacityAwareHasher hasher(config);
+  PartitionState state(config);
+  const CapacityAwareHasher hasher(state);
   auto hash_part = [&](VertexId u) {
     return hasher.Pick(HashU64Seeded(u, config.seed));
   };
@@ -36,7 +38,8 @@ Partitioning HybridRandomPartitioner::Run(
                                       ? hash_part(edge.dst)
                                       : hash_part(edge.src);
   }
-  result.state_bytes = k * sizeof(double);  // capacity table only
+  // O(k) synopsis: capacity weights for the hasher only.
+  result.state_bytes = state.SynopsisBytes();
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;
 }

@@ -7,45 +7,6 @@
 
 namespace sgp {
 
-std::vector<double> NormalizedCapacities(const PartitionConfig& config) {
-  if (config.capacity_weights.empty()) {
-    return std::vector<double>(config.k, 1.0);
-  }
-  SGP_CHECK(config.capacity_weights.size() == config.k);
-  double sum = 0;
-  for (double w : config.capacity_weights) {
-    SGP_CHECK(w > 0);
-    sum += w;
-  }
-  std::vector<double> out(config.capacity_weights);
-  const double scale = static_cast<double>(config.k) / sum;
-  for (double& w : out) w *= scale;
-  return out;
-}
-
-CapacityAwareHasher::CapacityAwareHasher(const PartitionConfig& config)
-    : k_(config.k) {
-  SGP_CHECK(k_ > 0);
-  if (config.capacity_weights.empty()) return;
-  std::vector<double> norm = NormalizedCapacities(config);
-  cumulative_.resize(k_);
-  double acc = 0;
-  for (PartitionId i = 0; i < k_; ++i) {
-    acc += norm[i];
-    cumulative_[i] = acc;
-  }
-  cumulative_.back() = static_cast<double>(k_);  // guard rounding
-}
-
-PartitionId CapacityAwareHasher::Pick(uint64_t hash) const {
-  if (cumulative_.empty()) return static_cast<PartitionId>(hash % k_);
-  const double u = static_cast<double>(hash >> 11) * 0x1.0p-53 *
-                   static_cast<double>(k_);
-  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
-  if (it == cumulative_.end()) --it;
-  return static_cast<PartitionId>(it - cumulative_.begin());
-}
-
 std::string_view CutModelName(CutModel model) {
   switch (model) {
     case CutModel::kEdgeCut:

@@ -64,27 +64,14 @@ struct PartitionConfig {
   /// When set (size k), every algorithm balances *effective* load —
   /// raw load divided by normalized capacity — instead of raw load, and
   /// hash-based algorithms draw partitions proportionally to capacity.
+  /// Normalization lives in PartitionState (partition/state.h).
   std::vector<double> capacity_weights;
-};
 
-/// Mean-1 normalized capacity weights: empty input (homogeneous) yields
-/// all-ones; otherwise weights scaled so they average 1. Aborts if a
-/// non-empty vector has the wrong size or non-positive entries.
-std::vector<double> NormalizedCapacities(const PartitionConfig& config);
-
-/// Maps hash values to partitions, proportionally to capacities on
-/// heterogeneous clusters and as plain `hash mod k` on homogeneous ones
-/// (so homogeneous results are unchanged by this feature).
-class CapacityAwareHasher {
- public:
-  explicit CapacityAwareHasher(const PartitionConfig& config);
-
-  /// Deterministic partition pick for a (well-mixed) hash value.
-  PartitionId Pick(uint64_t hash) const;
-
- private:
-  PartitionId k_;
-  std::vector<double> cumulative_;  // empty on homogeneous clusters
+  /// Elements per ingest chunk pulled from the stream sources
+  /// (stream/source.h). 0 serves the whole stream as a single chunk — the
+  /// fast path for in-core graphs. Chunk boundaries never change the
+  /// element sequence, so results are independent of this value.
+  uint64_t ingest_chunk_size = 0;
 };
 
 /// Result of any partitioning algorithm, unified across cut models.

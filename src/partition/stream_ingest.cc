@@ -1,0 +1,170 @@
+#include "partition/stream_ingest.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/timer.h"
+#include "partition/state.h"
+#include "partition/vertexcut/hdrf_core.h"
+
+namespace sgp {
+
+namespace {
+
+// Streaming master derivation: per-vertex sparse (partition, incident
+// edge count) lists, exactly the accounting DeriveMasterPlacement does on
+// a materialized graph. The winner rule (max count, ties toward the lower
+// partition id) is order-independent, so streaming arrival order yields
+// the same masters.
+class MasterTracker {
+ public:
+  void Note(VertexId v, PartitionId part) {
+    if (v >= counts_.size()) counts_.resize(static_cast<size_t>(v) + 1);
+    auto& vec = counts_[v];
+    auto it = std::find_if(vec.begin(), vec.end(),
+                           [part](const auto& pr) { return pr.first == part; });
+    if (it == vec.end()) {
+      vec.emplace_back(part, 1u);
+      ++total_entries_;
+    } else {
+      ++it->second;
+    }
+  }
+
+  // Masters for [0, n): most incident edges, ties toward the lower
+  // partition id; ids with no edges are hashed like DeriveMasterPlacement.
+  std::vector<PartitionId> Derive(VertexId n, PartitionId k) const {
+    std::vector<PartitionId> masters(n, kInvalidPartition);
+    for (VertexId u = 0; u < n; ++u) {
+      if (u >= counts_.size() || counts_[u].empty()) {
+        masters[u] = static_cast<PartitionId>(HashU64(u) % k);
+        continue;
+      }
+      auto best = counts_[u].front();
+      for (const auto& pr : counts_[u]) {
+        if (pr.second > best.second ||
+            (pr.second == best.second && pr.first < best.first)) {
+          best = pr;
+        }
+      }
+      masters[u] = best.first;
+    }
+    return masters;
+  }
+
+  uint64_t SynopsisBytes() const {
+    return counts_.capacity() * sizeof(counts_[0]) +
+           total_entries_ * (sizeof(PartitionId) + sizeof(uint32_t));
+  }
+
+ private:
+  std::vector<std::vector<std::pair<PartitionId, uint32_t>>> counts_;
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace
+
+bool ParseStreamIngestAlgo(std::string_view name, StreamIngestAlgo* algo) {
+  if (name == "vcr") {
+    *algo = StreamIngestAlgo::kHashVertexCut;
+  } else if (name == "dbh") {
+    *algo = StreamIngestAlgo::kDbh;
+  } else if (name == "hdrf") {
+    *algo = StreamIngestAlgo::kHdrf;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+StreamIngestResult PartitionEdgeStream(EdgeStreamSource& source,
+                                       StreamIngestAlgo algo,
+                                       const PartitionConfig& config) {
+  SGP_CHECK(config.k > 0);
+  Timer timer;
+  StreamIngestResult out;
+  out.partitioning.model = CutModel::kVertexCut;
+  out.partitioning.k = config.k;
+
+  PartitionState state(config);
+  const CapacityAwareHasher hasher(state);
+  MasterTracker masters;
+  VertexId max_bound = 0;
+
+  // DBH pre-pass: stream occurrence counts stand in for degrees (equal to
+  // graph degrees on duplicate-free undirected inputs).
+  std::vector<uint32_t> stream_degree;
+  if (algo == StreamIngestAlgo::kDbh) {
+    ForEachStreamItem(source, [&](const StreamEdge& e) {
+      const VertexId hi = std::max(e.src, e.dst);
+      if (hi >= stream_degree.size()) {
+        stream_degree.resize(static_cast<size_t>(hi) + 1, 0);
+      }
+      ++stream_degree[e.src];
+      ++stream_degree[e.dst];
+    });
+    if (!source.ok()) {
+      out.ok = false;
+      out.error = source.error();
+      return out;
+    }
+    source.Reset();
+  }
+
+  if (algo == StreamIngestAlgo::kHdrf) {
+    state.InitDegreeTable(0);
+    state.InitEffectiveLoads();
+    state.InitReplicas(0);
+  }
+
+  internal_vertexcut::HdrfStats hdrf_stats;
+  ForEachStreamItem(source, [&](const StreamEdge& e) {
+    max_bound = std::max({max_bound, e.src + 1, e.dst + 1});
+    PartitionId target;
+    switch (algo) {
+      case StreamIngestAlgo::kHashVertexCut: {
+        uint64_t h = HashCombine(HashU64Seeded(e.src, config.seed),
+                                 HashU64Seeded(e.dst, config.seed));
+        target = hasher.Pick(h);
+        break;
+      }
+      case StreamIngestAlgo::kDbh: {
+        VertexId pivot = stream_degree[e.src] <= stream_degree[e.dst]
+                             ? e.src
+                             : e.dst;
+        target = hasher.Pick(HashU64Seeded(pivot, config.seed));
+        break;
+      }
+      case StreamIngestAlgo::kHdrf: {
+        state.EnsureVertex(std::max(e.src, e.dst));
+        target = internal_vertexcut::PlaceHdrfEdge(state, e.src, e.dst,
+                                                   config.hdrf_lambda,
+                                                   hdrf_stats);
+        break;
+      }
+    }
+    out.partitioning.edge_to_partition.push_back(target);
+    masters.Note(e.src, target);
+    masters.Note(e.dst, target);
+    ++out.num_edges;
+  });
+  if (!source.ok()) {
+    out.ok = false;
+    out.error = source.error();
+    return out;
+  }
+
+  out.num_vertices = max_bound;
+  out.partitioning.vertex_to_partition =
+      masters.Derive(out.num_vertices, config.k);
+  state.NoteAuxiliaryBytes(masters.SynopsisBytes() +
+                           stream_degree.capacity() * sizeof(uint32_t));
+  out.partitioning.state_bytes = state.SynopsisBytes();
+  out.partitioning.partitioning_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace sgp

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/state.h"
 
 namespace sgp {
 
@@ -14,7 +15,8 @@ Partitioning DbhPartitioner::Run(const Graph& graph,
   result.model = CutModel::kVertexCut;
   result.k = config.k;
   result.edge_to_partition.resize(graph.num_edges());
-  const CapacityAwareHasher hasher(config);
+  PartitionState state(config);
+  const CapacityAwareHasher hasher(state);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     const Edge& edge = graph.edges()[e];
     VertexId pivot = graph.Degree(edge.src) <= graph.Degree(edge.dst)
@@ -23,7 +25,8 @@ Partitioning DbhPartitioner::Run(const Graph& graph,
     result.edge_to_partition[e] =
         hasher.Pick(HashU64Seeded(pivot, config.seed));
   }
-  result.state_bytes = config.k * sizeof(double);  // hash table of cumulative capacities only
+  // O(k) synopsis: capacity weights for the hasher, nothing per edge.
+  result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

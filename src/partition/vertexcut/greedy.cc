@@ -1,32 +1,13 @@
 #include "partition/vertexcut/greedy.h"
 
-#include <span>
 #include <vector>
 
 #include "common/check.h"
 #include "common/timer.h"
-#include "partition/vertexcut/replica_state.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "stream/source.h"
 
 namespace sgp {
-
-namespace {
-
-// Least-loaded partition among `candidates` in capacity-normalized load
-// (ties toward lower id).
-PartitionId LeastLoaded(std::span<const PartitionId> candidates,
-                        const std::vector<uint64_t>& loads,
-                        const std::vector<double>& weights) {
-  PartitionId best = candidates[0];
-  for (PartitionId p : candidates) {
-    const double lp = static_cast<double>(loads[p]) / weights[p];
-    const double lb = static_cast<double>(loads[best]) / weights[best];
-    if (lp < lb || (lp == lb && p < best)) best = p;
-  }
-  return best;
-}
-
-}  // namespace
 
 Partitioning PowerGraphGreedyPartitioner::Run(
     const Graph& graph, const PartitionConfig& config) const {
@@ -39,18 +20,21 @@ Partitioning PowerGraphGreedyPartitioner::Run(
   result.k = k;
   result.edge_to_partition.resize(graph.num_edges());
 
-  ReplicaState replicas(graph.num_vertices());
-  std::vector<uint32_t> placed_degree(graph.num_vertices(), 0);
-  std::vector<uint64_t> loads(k, 0);
-  const std::vector<double> weights = NormalizedCapacities(config);
+  // Synopsis: replica sets A(u), placed degrees (how many incident edges
+  // of each vertex were already assigned) and edge loads.
+  PartitionState state(config);
+  state.InitReplicas(graph.num_vertices());
+  state.InitDegreeTable(graph.num_vertices());
+  ReplicaState& replicas = state.replicas();
   std::vector<PartitionId> all(k);
   for (PartitionId i = 0; i < k; ++i) all[i] = i;
   std::vector<PartitionId> intersection;
 
-  for (EdgeId e : MakeEdgeStream(graph, config.order, config.seed)) {
-    const Edge& edge = graph.edges()[e];
-    const VertexId u = edge.src;
-    const VertexId v = edge.dst;
+  InMemoryEdgeSource source(graph, config.order, config.seed,
+                            config.ingest_chunk_size);
+  ForEachStreamItem(source, [&](const StreamEdge& se) {
+    const VertexId u = se.src;
+    const VertexId v = se.dst;
     auto setu = replicas.Of(u);
     auto setv = replicas.Of(v);
 
@@ -61,38 +45,31 @@ Partitioning PowerGraphGreedyPartitioner::Run(
         if (replicas.Contains(v, p)) intersection.push_back(p);
       }
       if (!intersection.empty()) {
-        target = LeastLoaded(intersection, loads, weights);
+        target = state.LeastLoaded(intersection);
       } else {
         // Disjoint replica sets: spread the endpoint with more remaining
         // edges, i.e. place with the replicas of the busier vertex.
         const bool u_busier =
-            static_cast<int64_t>(graph.Degree(u)) - placed_degree[u] >=
-            static_cast<int64_t>(graph.Degree(v)) - placed_degree[v];
-        target = LeastLoaded(u_busier ? setu : setv, loads, weights);
+            static_cast<int64_t>(graph.Degree(u)) - state.degree(u) >=
+            static_cast<int64_t>(graph.Degree(v)) - state.degree(v);
+        target = state.LeastLoaded(u_busier ? setu : setv);
       }
     } else if (!setu.empty()) {
-      target = LeastLoaded(setu, loads, weights);
+      target = state.LeastLoaded(setu);
     } else if (!setv.empty()) {
-      target = LeastLoaded(setv, loads, weights);
+      target = state.LeastLoaded(setv);
     } else {
-      target = LeastLoaded(all, loads, weights);
+      target = state.LeastLoaded(all);
     }
 
-    result.edge_to_partition[e] = target;
-    ++loads[target];
-    ++placed_degree[u];
-    ++placed_degree[v];
+    result.edge_to_partition[se.id] = target;
+    state.AddLoad(target);
+    state.IncrementDegree(u);
+    state.IncrementDegree(v);
     replicas.Add(u, target);
     replicas.Add(v, target);
-  }
-  uint64_t replica_entries = 0;
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    replica_entries += replicas.Of(v).size();
-  }
-  result.state_bytes =
-      replica_entries * sizeof(PartitionId) +
-      static_cast<uint64_t>(graph.num_vertices()) * sizeof(uint32_t) +
-      static_cast<uint64_t>(k) * sizeof(uint64_t);
+  });
+  result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

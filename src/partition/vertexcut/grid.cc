@@ -6,7 +6,8 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "stream/source.h"
 
 namespace sgp {
 
@@ -42,13 +43,15 @@ Partitioning GridPartitioner::Run(const Graph& graph,
   result.model = CutModel::kVertexCut;
   result.k = k;
   result.edge_to_partition.resize(graph.num_edges());
-  const std::vector<double> weights = NormalizedCapacities(config);
-  std::vector<uint64_t> loads(k, 0);
+  PartitionState state(config);
+  const std::vector<double>& weights = state.weights();
+  const std::vector<uint64_t>& loads = state.loads();
   std::vector<PartitionId> candidates;
   candidates.reserve(rows + cols);
 
-  for (EdgeId e : MakeEdgeStream(graph, config.order, config.seed)) {
-    const Edge& edge = graph.edges()[e];
+  InMemoryEdgeSource source(graph, config.order, config.seed,
+                            config.ingest_chunk_size);
+  ForEachStreamItem(source, [&](const StreamEdge& edge) {
     PartitionId home_u = static_cast<PartitionId>(
         HashU64Seeded(edge.src, config.seed) % k);
     PartitionId home_v = static_cast<PartitionId>(
@@ -69,6 +72,8 @@ Partitioning GridPartitioner::Run(const Graph& graph,
       }
     }
     SGP_DCHECK(!candidates.empty());
+    // First-seen candidate wins ties (the candidate order is part of the
+    // Grid construction), so this cannot use state.LeastLoaded().
     PartitionId best = candidates[0];
     for (PartitionId p : candidates) {
       if (static_cast<double>(loads[p]) / weights[p] <
@@ -76,10 +81,10 @@ Partitioning GridPartitioner::Run(const Graph& graph,
         best = p;
       }
     }
-    result.edge_to_partition[e] = best;
-    ++loads[best];
-  }
-  result.state_bytes = static_cast<uint64_t>(k) * sizeof(uint64_t);
+    result.edge_to_partition[edge.id] = best;
+    state.AddLoad(best);
+  });
+  result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/state.h"
 
 namespace sgp {
 
@@ -14,14 +15,16 @@ Partitioning HashVertexCutPartitioner::Run(
   result.model = CutModel::kVertexCut;
   result.k = config.k;
   result.edge_to_partition.resize(graph.num_edges());
-  const CapacityAwareHasher hasher(config);
+  PartitionState state(config);
+  const CapacityAwareHasher hasher(state);
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     const Edge& edge = graph.edges()[e];
     uint64_t h = HashCombine(HashU64Seeded(edge.src, config.seed),
                              HashU64Seeded(edge.dst, config.seed));
     result.edge_to_partition[e] = hasher.Pick(h);
   }
-  result.state_bytes = config.k * sizeof(double);  // hash table of cumulative capacities only
+  // O(k) synopsis: capacity weights for the hasher, nothing per edge.
+  result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

@@ -1,13 +1,11 @@
 #include "partition/vertexcut/hdrf.h"
 
-#include <limits>
-#include <vector>
-
 #include "common/check.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
-#include "partition/vertexcut/replica_state.h"
-#include "stream/stream.h"
+#include "partition/state.h"
+#include "partition/vertexcut/hdrf_core.h"
+#include "stream/source.h"
 
 namespace sgp {
 
@@ -43,88 +41,33 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
                                   const PartitionConfig& config) const {
   SGP_CHECK(config.k > 0);
   Timer timer;
-  const PartitionId k = config.k;
   const double lambda = config.hdrf_lambda;
 
   Partitioning result;
   result.model = CutModel::kVertexCut;
-  result.k = k;
+  result.k = config.k;
   result.edge_to_partition.resize(graph.num_edges());
 
   HdrfMetrics& metrics = HdrfMetrics::Get();
   ScopedTimer assign_timer(metrics.assign_wall);
-  uint64_t local_degree_hits = 0;
-  uint64_t local_tie_breaks = 0;
 
-  ReplicaState replicas(graph.num_vertices());
-  std::vector<uint32_t> partial_degree(graph.num_vertices(), 0);
-  std::vector<uint64_t> loads(k, 0);
-  const std::vector<double> weights = NormalizedCapacities(config);
-  std::vector<double> effective(k, 0.0);
+  PartitionState state(config);
+  state.InitDegreeTable(graph.num_vertices());
+  state.InitEffectiveLoads();
+  state.InitReplicas(graph.num_vertices());
 
-  for (EdgeId e : MakeEdgeStream(graph, config.order, config.seed)) {
-    const Edge& edge = graph.edges()[e];
-    const VertexId u = edge.src;
-    const VertexId v = edge.dst;
-    // Partial degrees observed so far, normalized (Section 4.2.2). An
-    // endpoint already in the table is a "hit" — the synopsis had state
-    // for it from an earlier edge.
-    local_degree_hits += (partial_degree[u] > 0) + (partial_degree[v] > 0);
-    ++partial_degree[u];
-    ++partial_degree[v];
-    const double du = partial_degree[u];
-    const double dv = partial_degree[v];
-    const double theta_u = du / (du + dv);
-    const double theta_v = 1.0 - theta_u;
-
-    // Balance term in the normalized form of the HDRF paper:
-    // λ · (maxsize − |Pi|)/(ε + maxsize − minsize). Equation (7) of the
-    // survey abbreviates this as λ(1 − |e(Pi)|/C); the normalized form is
-    // what keeps the algorithm balanced under adversarial (BFS) orders.
-    double max_load = 0;
-    double min_load = effective[0];
-    for (PartitionId i = 0; i < k; ++i) {
-      max_load = std::max(max_load, effective[i]);
-      min_load = std::min(min_load, effective[i]);
-    }
-    const double spread = 1.0 + (max_load - min_load);  // ε = 1
-
-    PartitionId best = 0;
-    double best_score = -std::numeric_limits<double>::infinity();
-    for (PartitionId i = 0; i < k; ++i) {
-      double g = 0;
-      // g(x, Pi) = (1 + (1 − θ(x))) · 1_{A(x)}(Pi): replicating the
-      // higher-degree endpoint scores lower, so its locality is
-      // sacrificed first.
-      if (replicas.Contains(u, i)) g += 1.0 + theta_v;
-      if (replicas.Contains(v, i)) g += 1.0 + theta_u;
-      double score = g + lambda * (max_load - effective[i]) / spread;
-      if (score > best_score) {
-        best_score = score;
-        best = i;
-      } else if (score == best_score && loads[i] < loads[best]) {
-        ++local_tie_breaks;  // equal score resolved by the lighter part
-        best = i;
-      }
-    }
-    result.edge_to_partition[e] = best;
-    ++loads[best];
-    effective[best] = static_cast<double>(loads[best]) / weights[best];
-    replicas.Add(u, best);
-    replicas.Add(v, best);
-  }
+  InMemoryEdgeSource source(graph, config.order, config.seed,
+                            config.ingest_chunk_size);
+  internal_vertexcut::HdrfStats stats;
+  ForEachStreamItem(source, [&](const StreamEdge& edge) {
+    result.edge_to_partition[edge.id] = internal_vertexcut::PlaceHdrfEdge(
+        state, edge.src, edge.dst, lambda, stats);
+  });
   metrics.edges_assigned->Increment(graph.num_edges());
-  metrics.degree_table_hits->Increment(local_degree_hits);
-  metrics.tie_breaks->Increment(local_tie_breaks);
+  metrics.degree_table_hits->Increment(stats.degree_hits);
+  metrics.tie_breaks->Increment(stats.tie_breaks);
 
-  uint64_t replica_entries = 0;
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    replica_entries += replicas.Of(v).size();
-  }
-  result.state_bytes =
-      replica_entries * sizeof(PartitionId) +
-      static_cast<uint64_t>(graph.num_vertices()) * sizeof(uint32_t) +
-      static_cast<uint64_t>(k) * 2 * sizeof(uint64_t);
+  result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();
   return result;

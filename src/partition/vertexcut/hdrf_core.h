@@ -1,0 +1,81 @@
+#ifndef SGP_PARTITION_VERTEXCUT_HDRF_CORE_H_
+#define SGP_PARTITION_VERTEXCUT_HDRF_CORE_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "partition/state.h"
+
+namespace sgp::internal_vertexcut {
+
+/// Decision counters of the HDRF scoring loop; callers accumulate in
+/// locals and flush to the metrics registry once per run.
+struct HdrfStats {
+  uint64_t degree_hits = 0;
+  uint64_t tie_breaks = 0;
+};
+
+/// One HDRF edge placement (Section 4.2.2): performs the full state
+/// transition — partial-degree updates, scoring, load + effective-load
+/// update, replica adds — and returns the chosen partition. The state must
+/// have its degree table, effective loads and replica sets initialized and
+/// covering `u` and `v`. Shared by HdrfPartitioner (in-memory graphs) and
+/// the disk ingest path, so both place edges identically.
+inline PartitionId PlaceHdrfEdge(PartitionState& state, VertexId u,
+                                 VertexId v, double lambda,
+                                 HdrfStats& stats) {
+  const PartitionId k = state.k();
+  const std::vector<uint64_t>& loads = state.loads();
+  const std::vector<double>& effective = state.effective();
+  ReplicaState& replicas = state.replicas();
+
+  // Partial degrees observed so far, normalized (Section 4.2.2). An
+  // endpoint already in the table is a "hit" — the synopsis had state
+  // for it from an earlier edge.
+  stats.degree_hits += (state.degree(u) > 0) + (state.degree(v) > 0);
+  state.IncrementDegree(u);
+  state.IncrementDegree(v);
+  const double du = state.degree(u);
+  const double dv = state.degree(v);
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+
+  // Balance term in the normalized form of the HDRF paper:
+  // λ · (maxsize − |Pi|)/(ε + maxsize − minsize). Equation (7) of the
+  // survey abbreviates this as λ(1 − |e(Pi)|/C); the normalized form is
+  // what keeps the algorithm balanced under adversarial (BFS) orders.
+  double max_load = 0;
+  double min_load = effective[0];
+  for (PartitionId i = 0; i < k; ++i) {
+    max_load = std::max(max_load, effective[i]);
+    min_load = std::min(min_load, effective[i]);
+  }
+  const double spread = 1.0 + (max_load - min_load);  // ε = 1
+
+  PartitionId best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (PartitionId i = 0; i < k; ++i) {
+    double g = 0;
+    // g(x, Pi) = (1 + (1 − θ(x))) · 1_{A(x)}(Pi): replicating the
+    // higher-degree endpoint scores lower, so its locality is
+    // sacrificed first.
+    if (replicas.Contains(u, i)) g += 1.0 + theta_v;
+    if (replicas.Contains(v, i)) g += 1.0 + theta_u;
+    double score = g + lambda * (max_load - effective[i]) / spread;
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    } else if (score == best_score && loads[i] < loads[best]) {
+      ++stats.tie_breaks;  // equal score resolved by the lighter part
+      best = i;
+    }
+  }
+  state.AddLoadUpdatingEffective(best);
+  replicas.Add(u, best);
+  replicas.Add(v, best);
+  return best;
+}
+
+}  // namespace sgp::internal_vertexcut
+
+#endif  // SGP_PARTITION_VERTEXCUT_HDRF_CORE_H_

@@ -2,6 +2,7 @@
 #define SGP_PARTITION_VERTEXCUT_REPLICA_STATE_H_
 
 #include <algorithm>
+#include <array>
 #include <span>
 #include <vector>
 
@@ -12,28 +13,101 @@ namespace sgp {
 /// Incrementally maintained replica sets A(u) used by the greedy vertex-cut
 /// partitioners (PowerGraph greedy, HDRF). This is the "distributed table
 /// with the values of A(u)" the paper notes greedy methods must share
-/// among workers (Section 4.2.2). Sets are tiny (≤ k entries), so linear
-/// scans beat any hashed structure.
+/// among workers (Section 4.2.2). Sets are tiny (≤ k entries, overwhelmingly
+/// ≤ 4 in practice), so each set keeps its first kInline entries in place
+/// and only spills to a heap vector beyond that — the hot path performs no
+/// allocation and one short linear scan.
 class ReplicaState {
  public:
+  ReplicaState() = default;
   explicit ReplicaState(VertexId num_vertices) : sets_(num_vertices) {}
+
+  /// Grows the vertex space to cover `u` (sources that discover ids).
+  void EnsureVertex(VertexId u) {
+    if (u >= sets_.size()) sets_.resize(static_cast<size_t>(u) + 1);
+  }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(sets_.size());
+  }
 
   /// True if partition `p` already holds a replica of `u`.
   bool Contains(VertexId u, PartitionId p) const {
-    const auto& s = sets_[u];
+    auto s = sets_[u].Items();
     return std::find(s.begin(), s.end(), p) != s.end();
   }
 
   /// Records that partition `p` now holds a replica of `u` (idempotent).
   void Add(VertexId u, PartitionId p) {
-    if (!Contains(u, p)) sets_[u].push_back(p);
+    if (Contains(u, p)) return;
+    sets_[u].PushBack(p);
+    ++total_entries_;
+    if (sets_[u].size > kInline) {
+      // Spilling moves all kInline+1 entries to the heap at once; later
+      // additions grow the heap set by one.
+      overflow_entries_ += sets_[u].size == kInline + 1 ? kInline + 1 : 1;
+    }
   }
 
-  /// Partitions currently holding a replica of `u` (unsorted).
-  std::span<const PartitionId> Of(VertexId u) const { return sets_[u]; }
+  /// Partitions currently holding a replica of `u`, in insertion order.
+  std::span<const PartitionId> Of(VertexId u) const {
+    return sets_[u].Items();
+  }
+
+  /// Empties the set of `u` (the sharded deltas reset touched vertices
+  /// after each barrier without an O(n) sweep).
+  void Clear(VertexId u) {
+    Set& s = sets_[u];
+    total_entries_ -= s.size;
+    if (s.size > kInline) overflow_entries_ -= s.size;
+    s.size = 0;
+    s.overflow.clear();
+  }
+
+  /// Sum of all set sizes — the replica-table term of SynopsisBytes().
+  uint64_t total_entries() const { return total_entries_; }
+
+  /// Bytes of working state this table holds: the dense array of
+  /// small-buffer sets plus every heap-resident overflow entry.
+  uint64_t SynopsisBytes() const {
+    return sets_.capacity() * sizeof(Set) +
+           overflow_entries_ * sizeof(PartitionId);
+  }
+
+  static constexpr uint32_t kInline = 4;
 
  private:
-  std::vector<std::vector<PartitionId>> sets_;
+
+  // Small-buffer set: entries live in `inline_items` until the set grows
+  // past kInline, at which point all entries move to `overflow` so Items()
+  // can always return one contiguous span.
+  struct Set {
+    std::array<PartitionId, kInline> inline_items;
+    uint32_t size = 0;
+    std::vector<PartitionId> overflow;
+
+    std::span<const PartitionId> Items() const {
+      return size <= kInline
+                 ? std::span<const PartitionId>(inline_items.data(), size)
+                 : std::span<const PartitionId>(overflow);
+    }
+
+    void PushBack(PartitionId p) {
+      if (size < kInline) {
+        inline_items[size] = p;
+      } else {
+        if (size == kInline) {
+          overflow.assign(inline_items.begin(), inline_items.end());
+        }
+        overflow.push_back(p);
+      }
+      ++size;
+    }
+  };
+
+  std::vector<Set> sets_;
+  uint64_t total_entries_ = 0;
+  uint64_t overflow_entries_ = 0;
 };
 
 }  // namespace sgp

@@ -1,0 +1,172 @@
+#ifndef SGP_STREAM_SOURCE_H_
+#define SGP_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/stream.h"
+
+namespace sgp {
+
+/// Pull-based, chunk-batched ingest layer (Section 2: a streaming
+/// partitioner consumes the graph as it arrives and keeps only an O(n+k)
+/// synopsis). Partitioners pull chunks from a source instead of receiving
+/// a fully materialized arrival sequence, which lets the same algorithm
+/// code run over in-memory replays of the four stream orders and over a
+/// bounded-memory disk edge list. Chunk boundaries never change the
+/// element sequence, so results are independent of chunk size.
+
+/// One element of an edge stream: the edge id (the dense EdgeId for
+/// in-memory graphs; the arrival index for disk streams) plus both
+/// endpoints, so consumers need no random access into an edge array.
+struct StreamEdge {
+  EdgeId id = 0;
+  VertexId src = kInvalidVertex;
+  VertexId dst = kInvalidVertex;
+};
+
+/// Pull-based vertex stream: each element is a vertex id; consumers read
+/// the adjacency N(u) from wherever they can (the in-memory adapters pair
+/// with a Graph). An empty chunk signals end of stream.
+class VertexStreamSource {
+ public:
+  virtual ~VertexStreamSource() = default;
+
+  /// Next batch of vertices; empty exactly at end of stream. The returned
+  /// span is valid until the next NextChunk()/Reset() call.
+  virtual std::span<const VertexId> NextChunk() = 0;
+
+  /// Rewinds to the beginning of the stream (multi-pass / re-streaming).
+  virtual void Reset() = 0;
+
+  /// Total elements if known up front; 0 when the source cannot tell
+  /// without consuming itself.
+  virtual uint64_t size_hint() const = 0;
+};
+
+/// Pull-based edge stream. An empty chunk signals end of stream.
+class EdgeStreamSource {
+ public:
+  virtual ~EdgeStreamSource() = default;
+  virtual std::span<const StreamEdge> NextChunk() = 0;
+  virtual void Reset() = 0;
+  virtual uint64_t size_hint() const = 0;
+
+  /// False when the stream failed mid-way (I/O error, malformed input);
+  /// an empty chunk then means "failed", not "done". In-memory sources
+  /// never fail.
+  virtual bool ok() const { return true; }
+  virtual std::string error() const { return {}; }
+};
+
+/// Drains `source` from its current position, invoking `fn` per element.
+template <typename Source, typename Fn>
+void ForEachStreamItem(Source& source, Fn&& fn) {
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    for (const auto& item : chunk) fn(item);
+  }
+}
+
+/// In-memory vertex source: replays MakeVertexStream(graph, order, seed)
+/// chunk by chunk, so the element sequence is bit-identical to the
+/// materialized path for every seed. chunk_size 0 serves the whole stream
+/// as one chunk (the fast path for in-core graphs).
+class InMemoryVertexSource final : public VertexStreamSource {
+ public:
+  InMemoryVertexSource(const Graph& graph, StreamOrder order, uint64_t seed,
+                       uint64_t chunk_size = 0);
+
+  std::span<const VertexId> NextChunk() override;
+  void Reset() override { pos_ = 0; }
+  uint64_t size_hint() const override { return order_.size(); }
+
+ private:
+  std::vector<VertexId> order_;
+  uint64_t chunk_size_;
+  uint64_t pos_ = 0;
+};
+
+/// In-memory edge source: replays MakeEdgeStream(graph, order, seed),
+/// materializing only one chunk of StreamEdge records at a time on top of
+/// the edge-id order (the id order itself is O(m), exactly like the
+/// pre-source materialized path).
+class InMemoryEdgeSource final : public EdgeStreamSource {
+ public:
+  InMemoryEdgeSource(const Graph& graph, StreamOrder order, uint64_t seed,
+                     uint64_t chunk_size = 0);
+
+  std::span<const StreamEdge> NextChunk() override;
+  void Reset() override { pos_ = 0; }
+  uint64_t size_hint() const override { return order_.size(); }
+
+ private:
+  const Graph& graph_;
+  std::vector<EdgeId> order_;
+  std::vector<StreamEdge> buffer_;
+  uint64_t chunk_size_;
+  uint64_t pos_ = 0;
+};
+
+/// Bounded-memory disk edge source: streams a whitespace-separated edge
+/// list ("src dst" per line) through the hardened ParseEdgeListLine
+/// reader, holding only one chunk of edges in memory. Mirrors the
+/// GraphBuilder canonicalization it can afford statelessly: self-loops
+/// are dropped (duplicate suppression would need O(m) state, so inputs
+/// with duplicates simply stream them — ids then diverge from the
+/// deduplicated in-memory Graph). Only natural order is possible without
+/// materializing the file. Malformed lines are skipped and counted;
+/// out-of-range ids put the source in a failed state (ok() == false).
+class EdgeListFileSource final : public EdgeStreamSource {
+ public:
+  struct Options {
+    /// Edges per chunk; must be >= 1.
+    uint64_t chunk_size = 4096;
+
+    /// Exclusive vertex-id bound; 0 grows the id space from the data.
+    VertexId num_vertices = 0;
+  };
+
+  explicit EdgeListFileSource(const std::string& path);
+  EdgeListFileSource(const std::string& path, const Options& options);
+
+  /// False when the file cannot be opened or a line had an out-of-range
+  /// id; `error()` carries the diagnostic. NextChunk() returns empty.
+  bool ok() const override { return ok_; }
+  std::string error() const override { return error_; }
+
+  std::span<const StreamEdge> NextChunk() override;
+
+  /// Re-opens the file (multi-pass, e.g. a degree-counting pre-pass).
+  /// Skipped-line and id-space accounting restart with the pass.
+  void Reset() override;
+
+  uint64_t size_hint() const override { return 0; }
+
+  /// Malformed lines skipped so far (this pass).
+  uint64_t skipped_lines() const { return skipped_lines_; }
+
+  /// Max vertex id accepted + 1 so far (this pass); the id space a
+  /// consumer must have grown to after draining the stream.
+  VertexId max_vertex_bound() const { return max_vertex_bound_; }
+
+ private:
+  std::string path_;
+  Options options_;
+  std::ifstream in_;
+  std::vector<StreamEdge> buffer_;
+  bool ok_ = true;
+  std::string error_;
+  uint64_t line_number_ = 0;
+  uint64_t next_edge_id_ = 0;
+  uint64_t skipped_lines_ = 0;
+  VertexId max_vertex_bound_ = 0;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_STREAM_SOURCE_H_

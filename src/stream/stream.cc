@@ -37,6 +37,19 @@ struct StreamMetrics {
   }
 };
 
+// Identity id sequence, optionally shuffled: the natural/random base
+// order shared by the vertex and edge streams.
+template <typename Id>
+std::vector<Id> BaseOrder(uint64_t count, bool shuffled, uint64_t seed) {
+  std::vector<Id> ids(count);
+  std::iota(ids.begin(), ids.end(), Id{0});
+  if (shuffled) {
+    Rng rng(seed);
+    rng.Shuffle(ids);
+  }
+  return ids;
+}
+
 // Traversal order over the undirected graph, covering every component.
 // `depth_first` selects DFS, otherwise BFS. Component roots are chosen in
 // random order so the traversal does not privilege low vertex ids.
@@ -110,18 +123,9 @@ std::vector<VertexId> MakeVertexStream(const Graph& graph, StreamOrder order,
   metrics.vertex_items->Increment(graph.num_vertices());
   const VertexId n = graph.num_vertices();
   switch (order) {
-    case StreamOrder::kNatural: {
-      std::vector<VertexId> ids(n);
-      std::iota(ids.begin(), ids.end(), 0u);
-      return ids;
-    }
-    case StreamOrder::kRandom: {
-      std::vector<VertexId> ids(n);
-      std::iota(ids.begin(), ids.end(), 0u);
-      Rng rng(seed);
-      rng.Shuffle(ids);
-      return ids;
-    }
+    case StreamOrder::kNatural:
+    case StreamOrder::kRandom:
+      return BaseOrder<VertexId>(n, order == StreamOrder::kRandom, seed);
     case StreamOrder::kBfs:
       return TraversalOrder(graph, /*depth_first=*/false, seed);
     case StreamOrder::kDfs:
@@ -137,16 +141,12 @@ std::vector<EdgeId> MakeEdgeStream(const Graph& graph, StreamOrder order,
   metrics.edge_builds->Increment();
   metrics.edge_items->Increment(graph.num_edges());
   const EdgeId m = graph.num_edges();
-  std::vector<EdgeId> ids(m);
-  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  std::vector<EdgeId> ids =
+      BaseOrder<EdgeId>(m, order == StreamOrder::kRandom, seed);
   switch (order) {
     case StreamOrder::kNatural:
+    case StreamOrder::kRandom:
       return ids;
-    case StreamOrder::kRandom: {
-      Rng rng(seed);
-      rng.Shuffle(ids);
-      return ids;
-    }
     case StreamOrder::kBfs:
     case StreamOrder::kDfs: {
       std::vector<VertexId> vertex_order = TraversalOrder(

@@ -74,6 +74,106 @@ TEST(ParallelStreamingTest, SyncCostFallsWithInterval) {
   EXPECT_EQ(rf.sync_messages, rr.sync_messages);
 }
 
+struct AlgoTwin {
+  ParallelAlgo algo;
+  const char* sequential;  // registry code of the sequential twin
+};
+
+const AlgoTwin kTwins[] = {{ParallelAlgo::kLdg, "LDG"},
+                           {ParallelAlgo::kFennel, "FNL"},
+                           {ParallelAlgo::kHdrf, "HDRF"},
+                           {ParallelAlgo::kPgg, "PGG"}};
+
+// One worker sees exact state at every placement, so the generalized
+// driver must reproduce the sequential algorithm bit for bit — for both
+// vertex-stream (LDG/FNL) and edge-stream (HDRF/PGG) objectives.
+TEST(ParallelStreamingTest, SingleStreamIsExactlySequential) {
+  Graph g = MakeDataset("ldbc", 10);
+  for (const AlgoTwin& twin : kTwins) {
+    PartitionConfig cfg;
+    cfg.k = 8;
+    cfg.seed = 7;
+    ParallelStreamOptions opts;
+    opts.num_streams = 1;
+    opts.sync_interval = 64;
+    ParallelStreamResult r = RunParallelStreaming(g, cfg, opts, twin.algo);
+    Partitioning seq = CreatePartitioner(twin.sequential)->Run(g, cfg);
+    EXPECT_EQ(r.partitioning.vertex_to_partition, seq.vertex_to_partition)
+        << ParallelAlgoName(twin.algo);
+    EXPECT_EQ(r.partitioning.edge_to_partition, seq.edge_to_partition)
+        << ParallelAlgoName(twin.algo);
+    // A single worker has no one to talk to.
+    EXPECT_EQ(r.sync_messages, 0u);
+  }
+}
+
+TEST(ParallelStreamingTest, AllAlgorithmsValidAcrossConfigurations) {
+  Graph g = MakeDataset("twitter", 9);
+  for (const AlgoTwin& twin : kTwins) {
+    for (uint32_t streams : {2u, 8u}) {
+      for (uint32_t interval : {1u, 256u}) {
+        PartitionConfig cfg;
+        cfg.k = 4;
+        ParallelStreamOptions opts;
+        opts.num_streams = streams;
+        opts.sync_interval = interval;
+        ParallelStreamResult r = RunParallelStreaming(g, cfg, opts, twin.algo);
+        ValidatePartitioning(g, r.partitioning);
+        EXPECT_GT(r.sync_rounds, 0u) << ParallelAlgoName(twin.algo);
+        // Every placement record crosses to the s-1 other workers once.
+        const uint64_t items = twin.algo == ParallelAlgo::kLdg ||
+                                       twin.algo == ParallelAlgo::kFennel
+                                   ? g.num_vertices()
+                                   : g.num_edges();
+        EXPECT_EQ(r.sync_messages, items * (streams - 1))
+            << ParallelAlgoName(twin.algo);
+        EXPECT_GT(r.partitioning.state_bytes, 0u);
+      }
+    }
+  }
+}
+
+TEST(ParallelStreamingTest, SyncRoundsFallWithIntervalForEdgeAlgos) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  ParallelStreamOptions frequent;
+  frequent.num_streams = 4;
+  frequent.sync_interval = 1;
+  ParallelStreamOptions rare = frequent;
+  rare.sync_interval = 256;
+  for (ParallelAlgo algo : {ParallelAlgo::kHdrf, ParallelAlgo::kPgg}) {
+    ParallelStreamResult rf = RunParallelStreaming(g, cfg, frequent, algo);
+    ParallelStreamResult rr = RunParallelStreaming(g, cfg, rare, algo);
+    EXPECT_GT(rf.sync_rounds, rr.sync_rounds) << ParallelAlgoName(algo);
+    EXPECT_EQ(rf.sync_messages, rr.sync_messages) << ParallelAlgoName(algo);
+  }
+}
+
+TEST(ParallelStreamingTest, StalenessRaisesReplicationForHdrf) {
+  Graph g = MakeDataset("twitter", 11);
+  PartitionConfig cfg;
+  cfg.k = 8;
+  ParallelStreamOptions fresh;
+  fresh.num_streams = 8;
+  fresh.sync_interval = 1;
+  ParallelStreamOptions stale;
+  stale.num_streams = 8;
+  stale.sync_interval = 1u << 20;  // one sync at the very end
+  double rf_fresh =
+      ComputeMetrics(
+          g, RunParallelStreaming(g, cfg, fresh, ParallelAlgo::kHdrf)
+                 .partitioning)
+          .replication_factor;
+  double rf_stale =
+      ComputeMetrics(
+          g, RunParallelStreaming(g, cfg, stale, ParallelAlgo::kHdrf)
+                 .partitioning)
+          .replication_factor;
+  // Workers that never see each other's replica tables re-replicate.
+  EXPECT_LT(rf_fresh, rf_stale);
+}
+
 TEST(ParallelStreamingTest, StillBeatsHashEvenWhenStale) {
   Graph g = MakeDataset("ldbc", 11);
   PartitionConfig cfg;

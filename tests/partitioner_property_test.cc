@@ -75,6 +75,24 @@ TEST_P(PartitionerPropertyTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a.edge_to_partition, b.edge_to_partition);
 }
 
+TEST_P(PartitionerPropertyTest, ReportsSynopsisAndChunkInvariance) {
+  const auto& [algo, dataset, k] = GetParam();
+  const Graph& g = GetGraph(dataset);
+  auto partitioner = CreatePartitioner(algo);
+  PartitionConfig cfg;
+  cfg.k = k;
+  Partitioning whole = partitioner->Run(g, cfg);
+  // Every algorithm accounts its synopsis through the shared state layer.
+  EXPECT_GT(whole.state_bytes, 0u);
+  // Chunked ingest is a pure batching concern: page-sized chunks must
+  // reproduce the single-chunk fast path exactly.
+  cfg.ingest_chunk_size = 64;
+  Partitioning chunked = partitioner->Run(g, cfg);
+  EXPECT_EQ(whole.vertex_to_partition, chunked.vertex_to_partition);
+  EXPECT_EQ(whole.edge_to_partition, chunked.edge_to_partition);
+  EXPECT_GT(chunked.state_bytes, 0u);
+}
+
 std::vector<PropertyParam> AllCombinations() {
   std::vector<PropertyParam> params;
   for (const std::string& algo : PartitionerNames()) {
