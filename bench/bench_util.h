@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "common/telemetry.h"
 #include "graph/datasets.h"
 #include "graph/graph.h"
@@ -20,6 +22,17 @@ inline uint32_t ScaleFromEnv(uint32_t default_scale = 13) {
   if (env == nullptr) return default_scale;
   int v = std::atoi(env);
   if (v < 6 || v > 24) return default_scale;
+  return static_cast<uint32_t>(v);
+}
+
+/// Grid worker threads for the bench harnesses: export SGP_THREADS to run
+/// experiment-grid cells in parallel (0 = one per hardware thread). The
+/// printed tables are identical for every value — only wall time changes.
+inline uint32_t ThreadsFromEnv(uint32_t default_threads = 1) {
+  const char* env = std::getenv("SGP_THREADS");
+  if (env == nullptr) return default_threads;
+  int v = std::atoi(env);
+  if (v < 0 || v > 1024) return default_threads;
   return static_cast<uint32_t>(v);
 }
 
@@ -80,6 +93,30 @@ inline std::string WriteBenchJson(const char* bench_name, uint32_t scale) {
   }
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
+  std::printf("[metrics] wrote %s\n", path.c_str());
+  return path;
+}
+
+/// Writes grid records to BENCH_<name>.csv next to the JSON dump, using
+/// the same column schema the library's CSV exports use (grid.h is the
+/// source of truth). Honors $SGP_BENCH_JSON_DIR like WriteBenchJson.
+/// Returns the path written, or "" on I/O failure (reported on stderr,
+/// never fatal).
+template <typename Record>
+std::string WriteBenchCsv(const char* bench_name,
+                          const CsvSchema<Record>& schema,
+                          const std::vector<Record>& records) {
+  std::string path = std::string("BENCH_") + bench_name + ".csv";
+  if (const char* dir = std::getenv("SGP_BENCH_JSON_DIR");
+      dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[metrics] cannot write %s\n", path.c_str());
+    return "";
+  }
+  schema.Write(out, records);
   std::printf("[metrics] wrote %s\n", path.c_str());
   return path;
 }

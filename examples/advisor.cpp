@@ -8,7 +8,6 @@
 //   advisor classify <edge-list-file> [directed]
 // Every mode accepts --metrics-out <file> to dump the telemetry registry
 // as JSON.
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -17,6 +16,7 @@
 
 #include "advisor/advisor.h"
 #include "common/telemetry.h"
+#include "flags.h"
 #include "graph/io.h"
 #include "partition/partitioner.h"
 
@@ -28,7 +28,12 @@ int Usage() {
          "  advisor analytics <low-degree|heavy-tailed|power-law>\n"
          "  advisor online <latency|throughput> [high-load]\n"
          "  advisor classify <edge-list-file> [directed]\n"
-         "  (any mode also takes --metrics-out <file>)\n";
+         "  (any mode also takes --metrics-out <file>)\n"
+         "recommendations draw from these algorithms:";
+  for (const std::string& name : sgp::PartitionerNames()) {
+    std::cerr << ' ' << name;
+  }
+  std::cerr << "\n";
   return 1;
 }
 
@@ -38,22 +43,21 @@ void Print(const sgp::Recommendation& r) {
             << "\n";
 }
 
-int RunAdvisor(int argc, char** argv);
+int RunAdvisor(const std::vector<std::string>& args);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // Extract --metrics-out <file> (valid in every mode) before dispatch.
-  std::string metrics_out;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else {
-      args.push_back(argv[i]);
-    }
+  sgp::FlagParser flags(argc, argv);
+  const std::string metrics_out =
+      flags.TakeString("--metrics-out").value_or("");
+  const std::vector<std::string> args = flags.TakePositional();
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n";
+    return 1;
   }
-  const int status = RunAdvisor(static_cast<int>(args.size()), args.data());
+  const int status = RunAdvisor(args);
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
     if (!out) {
@@ -68,15 +72,15 @@ int main(int argc, char** argv) {
 
 namespace {
 
-int RunAdvisor(int argc, char** argv) {
+int RunAdvisor(const std::vector<std::string>& args) {
   using namespace sgp;
-  if (argc < 3) return Usage();
-  const std::string mode = argv[1];
+  if (args.size() < 2) return Usage();
+  const std::string& mode = args[0];
 
   if (mode == "analytics") {
     AdvisorQuery q;
     q.workload = WorkloadClass::kOfflineAnalytics;
-    const std::string degree = argv[2];
+    const std::string& degree = args[1];
     if (degree == "low-degree") {
       q.degree = DegreeDistribution::kLowDegree;
     } else if (degree == "heavy-tailed") {
@@ -92,7 +96,7 @@ int RunAdvisor(int argc, char** argv) {
   if (mode == "online") {
     AdvisorQuery q;
     q.workload = WorkloadClass::kOnlineQueries;
-    const std::string objective = argv[2];
+    const std::string& objective = args[1];
     if (objective == "latency") {
       q.latency_critical = true;
     } else if (objective == "throughput") {
@@ -100,13 +104,13 @@ int RunAdvisor(int argc, char** argv) {
     } else {
       return Usage();
     }
-    q.high_load = argc > 3 && std::strcmp(argv[3], "high-load") == 0;
+    q.high_load = args.size() > 2 && args[2] == "high-load";
     Print(Recommend(q));
     return 0;
   }
   if (mode == "classify") {
-    const bool directed = argc > 3 && std::strcmp(argv[3], "directed") == 0;
-    EdgeListReadResult read = TryReadEdgeListFile(argv[2], directed);
+    const bool directed = args.size() > 2 && args[2] == "directed";
+    EdgeListReadResult read = TryReadEdgeListFile(args[1], directed);
     if (!read.ok) {
       std::cerr << "error: " << read.error << "\n";
       return 1;

@@ -21,7 +21,6 @@
 //   --output <file>       write "vertex partition" lines
 //   --metrics-out <file>  dump the telemetry registry as JSON
 #include <algorithm>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,6 +28,7 @@
 #include <vector>
 
 #include "common/telemetry.h"
+#include "flags.h"
 #include "graph/io.h"
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
@@ -52,36 +52,26 @@ void PrintUsage() {
 int main(int argc, char** argv) {
   using namespace sgp;
   PartitionConfig config;
-  bool directed = false;
-  std::string stream_path;  // --input-edgelist: partition without a Graph
-  uint64_t chunk_size = 0;
-  std::string output;
-  std::string metrics_out;
-  std::vector<std::string> positional;
 
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--input-edgelist") == 0 && i + 1 < argc) {
-      stream_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--directed") == 0) {
-      directed = true;
-    } else if (std::strcmp(argv[i], "--order") == 0 && i + 1 < argc) {
-      config.order = ParseStreamOrder(argv[++i]);
-    } else if (std::strcmp(argv[i], "--chunk-size") == 0 && i + 1 < argc) {
-      chunk_size = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      config.seed = std::stoull(argv[++i]);
-    } else if (std::strcmp(argv[i], "--slack") == 0 && i + 1 < argc) {
-      config.balance_slack = std::stod(argv[++i]);
-    } else if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
-      output = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_out = argv[++i];
-    } else if (argv[i][0] == '-' && argv[i][1] == '-') {
-      std::cerr << "unknown option: " << argv[i] << "\n";
-      return 1;
-    } else {
-      positional.emplace_back(argv[i]);
-    }
+  FlagParser flags(argc, argv);
+  // --input-edgelist: partition without a Graph.
+  const std::string stream_path =
+      flags.TakeString("--input-edgelist").value_or("");
+  const bool directed = flags.TakeBool("--directed");
+  if (auto order = flags.TakeString("--order")) {
+    config.order = ParseStreamOrder(*order);
+  }
+  const uint64_t chunk_size = flags.TakeUint64("--chunk-size").value_or(0);
+  config.seed = flags.TakeUint64("--seed").value_or(config.seed);
+  config.balance_slack =
+      flags.TakeDouble("--slack").value_or(config.balance_slack);
+  const std::string output = flags.TakeString("--output").value_or("");
+  const std::string metrics_out =
+      flags.TakeString("--metrics-out").value_or("");
+  std::vector<std::string> positional = flags.TakePositional();
+  if (!flags.ok()) {
+    std::cerr << flags.error() << "\n";
+    return 1;
   }
 
   // Streaming mode drops the edge-list positional: the file is the flag's
@@ -153,7 +143,16 @@ int main(int argc, char** argv) {
     std::cout << "loaded " << stats.num_vertices << " vertices, "
               << stats.num_edges << " edges\n";
 
-    auto partitioner = CreatePartitioner(algo);
+    auto partitioner = TryCreatePartitioner(algo);
+    if (partitioner == nullptr) {
+      std::cerr << "error: unknown algorithm '" << algo
+                << "'; valid names:";
+      for (const std::string& name : PartitionerNames()) {
+        std::cerr << ' ' << name;
+      }
+      std::cerr << "\n";
+      return 1;
+    }
     partitioning = partitioner->Run(graph, config);
     ValidatePartitioning(graph, partitioning);
     PartitionMetrics metrics = ComputeMetrics(graph, partitioning);

@@ -60,3 +60,21 @@ python3 scripts/bench_diff.py \
   tests/golden/BENCH_ablation_parallel_ingest.json \
   "$JSON_DIR/BENCH_ablation_parallel_ingest.json"
 echo "check.sh: bench goldens match"
+
+# ThreadSanitizer pass over the concurrent subsystems: the worker pool,
+# the sharded ingest path, and the parallel grid runner (its determinism
+# tests drive 4 worker threads through the memoized caches and the
+# per-cell registry merge). TSan is incompatible with ASan, so it gets
+# its own build tree; only the three concurrency suites need rebuilding.
+TSAN_DIR="${BUILD_DIR}-tsan"
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSGP_SANITIZE=thread
+cmake --build "$TSAN_DIR" -j "$(nproc)" \
+  --target thread_pool_test parallel_streaming_test grid_test
+
+export TSAN_OPTIONS="halt_on_error=1"
+"$TSAN_DIR/tests/thread_pool_test"
+"$TSAN_DIR/tests/parallel_streaming_test"
+"$TSAN_DIR/tests/grid_test" --gtest_filter='GridRunnerTest.*'
+echo "check.sh: concurrency tests passed under thread sanitizer"

@@ -1,0 +1,91 @@
+#ifndef SGP_COMMON_CSV_H_
+#define SGP_COMMON_CSV_H_
+
+#include <functional>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgp {
+
+/// Column-schema-driven CSV writing. A record struct declares its columns
+/// once — name plus member pointer — and the header and every row are
+/// rendered from that single declaration, so a field added to the struct
+/// cannot silently drift out of the CSV (or out of sync with its header).
+/// Numeric fields print with the stream's default formatting, matching
+/// the hand-written writers this replaces byte-for-byte.
+
+namespace csv_internal {
+
+inline void PrintField(std::ostream& out, const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) {
+    out << value;
+    return;
+  }
+  out << '"';
+  for (char c : value) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+template <typename T>
+void PrintField(std::ostream& out, const T& value) {
+  out << value;
+}
+
+}  // namespace csv_internal
+
+template <typename Record>
+class CsvSchema {
+ public:
+  struct Column {
+    std::string name;
+    std::function<void(std::ostream&, const Record&)> print;
+  };
+
+  CsvSchema(std::initializer_list<Column> columns) : columns_(columns) {}
+
+  void WriteHeader(std::ostream& out) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out << ',';
+      out << columns_[i].name;
+    }
+    out << '\n';
+  }
+
+  void WriteRow(std::ostream& out, const Record& record) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out << ',';
+      columns_[i].print(out, record);
+    }
+    out << '\n';
+  }
+
+  /// Header plus one row per record.
+  void Write(std::ostream& out, const std::vector<Record>& records) const {
+    WriteHeader(out);
+    for (const Record& record : records) WriteRow(out, record);
+  }
+
+  const std::vector<Column>& columns() const { return columns_; }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Column reading a data member: CsvCol("dataset", &Record::dataset).
+template <typename Record, typename T>
+typename CsvSchema<Record>::Column CsvCol(std::string name,
+                                          T Record::* member) {
+  return {std::move(name), [member](std::ostream& out, const Record& r) {
+            csv_internal::PrintField(out, r.*member);
+          }};
+}
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_CSV_H_

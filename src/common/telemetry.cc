@@ -290,54 +290,106 @@ uint32_t Span::CurrentDepth() {
 // MetricsRegistry
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::atomic<uint64_t> g_next_registry_id{1};
+
+thread_local MetricsRegistry* t_current_registry = nullptr;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
-Counter* MetricsRegistry::GetCounter(std::string_view name,
-                                     const MetricOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+MetricsRegistry& MetricsRegistry::Current() {
+  return t_current_registry != nullptr ? *t_current_registry : Global();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
+    : previous_(t_current_registry) {
+  t_current_registry = registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() {
+  t_current_registry = previous_;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreateLocked(
+    std::string_view name, MetricKind kind, const MetricOptions& options) {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry entry;
-    entry.kind = MetricKind::kCounter;
+    entry.kind = kind;
     entry.wall_time = options.wall_time;
-    entry.counter = std::make_unique<Counter>();
+    switch (kind) {
+      case MetricKind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>(options.histogram);
+        break;
+    }
     it = metrics_.emplace(std::string(name), std::move(entry)).first;
   }
-  SGP_CHECK(it->second.kind == MetricKind::kCounter);
-  return it->second.counter.get();
+  SGP_CHECK(it->second.kind == kind);
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const MetricOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreateLocked(name, MetricKind::kCounter, options)
+      ->counter.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name,
                                  const MetricOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry entry;
-    entry.kind = MetricKind::kGauge;
-    entry.wall_time = options.wall_time;
-    entry.gauge = std::make_unique<Gauge>();
-    it = metrics_.emplace(std::string(name), std::move(entry)).first;
-  }
-  SGP_CHECK(it->second.kind == MetricKind::kGauge);
-  return it->second.gauge.get();
+  return FindOrCreateLocked(name, MetricKind::kGauge, options)->gauge.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          const MetricOptions& options) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry entry;
-    entry.kind = MetricKind::kHistogram;
-    entry.wall_time = options.wall_time;
-    entry.histogram = std::make_unique<Histogram>(options.histogram);
-    it = metrics_.emplace(std::string(name), std::move(entry)).first;
+  return FindOrCreateLocked(name, MetricKind::kHistogram, options)
+      ->histogram.get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  if (&other == this) return;
+  std::scoped_lock lock(mu_, other.mu_);
+  for (const auto& [name, theirs] : other.metrics_) {
+    MetricOptions options;
+    options.wall_time = theirs.wall_time;
+    if (theirs.kind == MetricKind::kHistogram) {
+      options.histogram = theirs.histogram->options();
+    }
+    Entry* mine = FindOrCreateLocked(name, theirs.kind, options);
+    switch (theirs.kind) {
+      case MetricKind::kCounter:
+        mine->counter->Increment(theirs.counter->value());
+        break;
+      case MetricKind::kGauge:
+        mine->gauge->Add(theirs.gauge->value());
+        break;
+      case MetricKind::kHistogram:
+        mine->histogram->MergeFrom(*theirs.histogram);
+        break;
+    }
   }
-  SGP_CHECK(it->second.kind == MetricKind::kHistogram);
-  return it->second.histogram.get();
+  // Trace events keep their producer-side ids; consumers treat id/parent
+  // as meaningful only within one producing registry.
+  for (TraceEvent& event : other.traces_.Snapshot()) {
+    traces_.Append(std::move(event));
+  }
 }
 
 void MetricsRegistry::Reset() {

@@ -328,13 +328,34 @@ struct MetricSample {
 /// identical seeds.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Process-wide registry the library's built-in instrumentation
   /// publishes into.
   static MetricsRegistry& Global();
+
+  /// The calling thread's active registry: the innermost
+  /// ScopedMetricsRegistry on this thread, or Global() when none is
+  /// installed. All built-in instrumentation publishes here, which is how
+  /// the experiment grid isolates per-cell telemetry on worker threads.
+  static MetricsRegistry& Current();
+
+  /// Process-unique id (never 0). Lets callers cache metric pointers per
+  /// registry and detect when the current registry changed (see
+  /// CurrentRegistryMetrics).
+  uint64_t id() const { return id_; }
+
+  /// Folds `other`'s metrics into this registry: counters add, gauges add
+  /// (the library's gauges are all accumulators), histograms merge
+  /// exactly (same bucket layout required), and trace events are
+  /// appended. Metrics missing here are registered with `other`'s kind,
+  /// wall-time flag and bucket layout; a name registered under a
+  /// different kind aborts. Merging the same registries in the same order
+  /// is deterministic, so a serial run and a parallel run joined in
+  /// canonical order export identical deterministic snapshots.
+  void MergeFrom(const MetricsRegistry& other);
 
   /// Returns the metric registered under `name`, creating it on first
   /// use. Registering the same name under a different kind aborts.
@@ -371,10 +392,50 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  // Lock-free lookup-or-create shared by the public Get* entry points and
+  // MergeFrom (which already holds mu_).
+  Entry* FindOrCreateLocked(std::string_view name, MetricKind kind,
+                            const MetricOptions& options);
+
+  const uint64_t id_;
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> metrics_;
   TraceBuffer traces_;
 };
+
+/// RAII override of MetricsRegistry::Current() for the constructing
+/// thread. Scopes nest; destruction restores the previous registry. The
+/// experiment grid installs one per cell task so each cell's telemetry
+/// lands in its own registry and can be merged deterministically at join.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry);
+  ~ScopedMetricsRegistry();
+
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Thread-local cache of a subsystem's metric-pointer struct, bound to
+/// the calling thread's current registry and refreshed whenever that
+/// registry changes. `Metrics` must be default-constructible,
+/// copy-assignable, and constructible from `MetricsRegistry&` (the
+/// registering constructor). The id check is two thread-local reads on
+/// the hot path; registration only happens when a new registry is seen.
+template <typename Metrics>
+Metrics& CurrentRegistryMetrics() {
+  thread_local Metrics metrics;
+  thread_local uint64_t bound_id = 0;  // registry ids are never 0
+  MetricsRegistry& registry = MetricsRegistry::Current();
+  if (bound_id != registry.id()) {
+    metrics = Metrics(registry);
+    bound_id = registry.id();
+  }
+  return metrics;
+}
 
 /// Serializes a snapshot to the "metrics" JSON array (no enclosing
 /// document) — what bench_util.h embeds into BENCH_*.json files.

@@ -1,0 +1,83 @@
+#ifndef SGP_COMMON_THREAD_POOL_H_
+#define SGP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sgp {
+
+/// Fixed-size work-queue thread pool. Tasks submitted through Submit()
+/// run on one of `num_threads` workers and report their result — or the
+/// exception they threw — through the returned std::future. The queue can
+/// be bounded (`max_pending`), in which case Submit blocks the producer
+/// until a slot frees up, giving natural backpressure when tasks are
+/// produced faster than they run.
+///
+/// Shutdown is clean and drains: the destructor stops accepting new work,
+/// lets the workers finish every task still in the queue, and joins them.
+/// Every future obtained from Submit is therefore ready once the
+/// destructor returns.
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker count; 0 means one worker per hardware thread.
+    uint32_t num_threads = 0;
+
+    /// Maximum queued (not yet running) tasks; 0 means unbounded. When
+    /// the bound is reached, Submit blocks until a worker takes a task.
+    size_t max_pending = 0;
+  };
+
+  explicit ThreadPool(uint32_t num_threads)
+      : ThreadPool(Options{num_threads, 0}) {}
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules `fn` and returns the future of its result. The future also
+  /// carries any exception `fn` throws. Submitting to a pool whose
+  /// destructor has started aborts.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Tasks currently queued (excludes tasks already running).
+  size_t pending() const;
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t max_pending_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_THREAD_POOL_H_

@@ -11,40 +11,39 @@ namespace {
 
 // Superstep-level telemetry of the GAS engine. Everything here is derived
 // from the simulated cost model, so the values are deterministic for
-// identical inputs and appear in the deterministic JSON exports.
+// identical inputs and appear in the deterministic JSON exports. Metrics
+// publish into the calling thread's current registry (grid cells install
+// a scoped per-cell registry; everyone else hits the global one).
 struct EngineMetrics {
-  Counter* runs;
-  Counter* supersteps;
-  Counter* gather_messages;
-  Counter* sync_messages;
-  Counter* network_bytes;
-  Counter* checkpoints;
-  Counter* crashes_recovered;
-  Gauge* barrier_wait_seconds;
-  Gauge* simulated_seconds;
-  Gauge* recovery_seconds;
-  Histogram* superstep_cost;
+  Counter* runs = nullptr;
+  Counter* supersteps = nullptr;
+  Counter* gather_messages = nullptr;
+  Counter* sync_messages = nullptr;
+  Counter* network_bytes = nullptr;
+  Counter* checkpoints = nullptr;
+  Counter* crashes_recovered = nullptr;
+  Gauge* barrier_wait_seconds = nullptr;
+  Gauge* simulated_seconds = nullptr;
+  Gauge* recovery_seconds = nullptr;
+  Histogram* superstep_cost = nullptr;
+
+  EngineMetrics() = default;
+  explicit EngineMetrics(MetricsRegistry& reg) {
+    runs = reg.GetCounter("engine.runs");
+    supersteps = reg.GetCounter("engine.supersteps");
+    gather_messages = reg.GetCounter("engine.gather.messages");
+    sync_messages = reg.GetCounter("engine.sync.messages");
+    network_bytes = reg.GetCounter("engine.network.bytes");
+    checkpoints = reg.GetCounter("engine.checkpoints");
+    crashes_recovered = reg.GetCounter("engine.crashes.recovered");
+    barrier_wait_seconds = reg.GetGauge("engine.barrier_wait.sim_seconds");
+    simulated_seconds = reg.GetGauge("engine.simulated.sim_seconds");
+    recovery_seconds = reg.GetGauge("engine.recovery.sim_seconds");
+    superstep_cost = reg.GetHistogram("engine.superstep_cost.sim_seconds");
+  }
 
   static EngineMetrics& Get() {
-    static EngineMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new EngineMetrics();
-      m->runs = reg.GetCounter("engine.runs");
-      m->supersteps = reg.GetCounter("engine.supersteps");
-      m->gather_messages = reg.GetCounter("engine.gather.messages");
-      m->sync_messages = reg.GetCounter("engine.sync.messages");
-      m->network_bytes = reg.GetCounter("engine.network.bytes");
-      m->checkpoints = reg.GetCounter("engine.checkpoints");
-      m->crashes_recovered = reg.GetCounter("engine.crashes.recovered");
-      m->barrier_wait_seconds =
-          reg.GetGauge("engine.barrier_wait.sim_seconds");
-      m->simulated_seconds = reg.GetGauge("engine.simulated.sim_seconds");
-      m->recovery_seconds = reg.GetGauge("engine.recovery.sim_seconds");
-      m->superstep_cost =
-          reg.GetHistogram("engine.superstep_cost.sim_seconds");
-      return m;
-    }();
-    return *metrics;
+    return CurrentRegistryMetrics<EngineMetrics>();
   }
 };
 

@@ -1,0 +1,182 @@
+#ifndef SGP_EXPERIMENTS_CACHE_H_
+#define SGP_EXPERIMENTS_CACHE_H_
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "graph/graph.h"
+#include "graphdb/workload.h"
+#include "partition/metrics.h"
+#include "partition/partitioning.h"
+
+namespace sgp {
+
+/// Memoized, thread-safe caches for the experiment grid's shared build
+/// products: dataset graphs, partitionings (with their structural
+/// metrics) and query workloads. These are the upstream nodes of the grid
+/// runner's cell-task DAG — many cells need the same graph or the same
+/// partitioning, and the caches guarantee each key is computed exactly
+/// once no matter how many worker threads request it concurrently.
+///
+/// Concurrency model (requester-computes): the first thread to request a
+/// key computes the value on its own thread; every other requester blocks
+/// on a shared future until the value is ready. Because the computation
+/// always runs on a thread that is already executing (never on a task
+/// still sitting in a queue), a fixed-size thread pool cannot deadlock on
+/// cache dependencies. Values have stable addresses for the cache's
+/// lifetime, so returned references stay valid across later insertions.
+///
+/// Every satisfied request for an already-present (or in-flight) key
+/// increments `grid.cache_hits` in the requesting thread's current
+/// metrics registry; the total is deterministic (requests minus distinct
+/// keys), regardless of which thread happened to compute each value.
+
+/// Keyed, memoized single-computation cache (see file comment). Key must
+/// be strict-weak-orderable; Value is computed by the builder passed to
+/// Get and stored behind a stable unique_ptr.
+template <typename Key, typename Value>
+class MemoCache {
+ public:
+  /// Returns the value for `key`, invoking `build` (exactly once per key
+  /// across all threads) to create it when absent. `was_hit`, when given,
+  /// reports whether the key was already present or in flight.
+  template <typename Builder>
+  const Value& Get(const Key& key, Builder&& build, bool* was_hit = nullptr);
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+  /// Drops every entry. Callers must ensure no Get is in flight and no
+  /// returned reference is still in use.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::promise<const Value*> promise;
+    std::shared_future<const Value*> future;
+    std::unique_ptr<Value> value;
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+/// A partitioning plus the structural metrics every cell derives from it.
+/// Cached together because ComputeMetrics is pure and shared by all
+/// workloads of a cell.
+struct CachedPartitioning {
+  Partitioning partitioning;
+  PartitionMetrics metrics;
+};
+
+/// Key of one partitioner run inside a grid: the grid always partitions
+/// with a default PartitionConfig apart from k and seed, so these five
+/// fields pin the result exactly.
+struct PartitioningKey {
+  std::string dataset;
+  uint32_t scale = 0;
+  std::string algorithm;
+  PartitionId k = 0;
+  uint64_t seed = 0;
+
+  bool operator<(const PartitioningKey& o) const {
+    return std::tie(dataset, scale, algorithm, k, seed) <
+           std::tie(o.dataset, o.scale, o.algorithm, o.k, o.seed);
+  }
+};
+
+/// Key of one workload build: binding generation depends on the graph,
+/// the query kind, the Zipf skew and the workload seed.
+struct WorkloadKey {
+  std::string dataset;
+  uint32_t scale = 0;
+  QueryKind kind = QueryKind::kOneHop;
+  double skew = 0;
+  uint64_t seed = 0;
+
+  bool operator<(const WorkloadKey& o) const {
+    return std::tie(dataset, scale, kind, skew, seed) <
+           std::tie(o.dataset, o.scale, o.kind, o.skew, o.seed);
+  }
+};
+
+/// The grid's three caches, shared process-wide so repeated grid calls —
+/// and the offline and online grids of one study — reuse each other's
+/// graphs and partitionings.
+class GridCaches {
+ public:
+  /// Process-wide instance used by GridRunner.
+  static GridCaches& Global();
+
+  /// Graph for (dataset, scale), built via MakeDataset on first request.
+  const Graph& GetGraph(const std::string& dataset, uint32_t scale);
+
+  /// Validated partitioning plus metrics for `key`; `graph` must be the
+  /// cached graph of (key.dataset, key.scale).
+  const CachedPartitioning& GetPartitioning(const Graph& graph,
+                                            const PartitioningKey& key);
+
+  /// Workload for `key`; `graph` must match (key.dataset, key.scale).
+  const Workload& GetWorkload(const Graph& graph, const WorkloadKey& key);
+
+  /// Entry counts, exposed for tests.
+  size_t num_graphs() const { return graphs_.size(); }
+  size_t num_partitionings() const { return partitionings_.size(); }
+  size_t num_workloads() const { return workloads_.size(); }
+
+  /// Drops everything (tests / memory reclamation on a quiesced grid).
+  void Clear();
+
+ private:
+  MemoCache<std::pair<std::string, uint32_t>, Graph> graphs_;
+  MemoCache<PartitioningKey, CachedPartitioning> partitionings_;
+  MemoCache<WorkloadKey, Workload> workloads_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementation
+// ---------------------------------------------------------------------------
+
+template <typename Key, typename Value>
+template <typename Builder>
+const Value& MemoCache<Key, Value>::Get(const Key& key, Builder&& build,
+                                        bool* was_hit) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& entry = it->second;
+  if (was_hit != nullptr) *was_hit = !inserted;
+  if (!inserted) {
+    std::shared_future<const Value*> future = entry.future;
+    lock.unlock();
+    return *future.get();  // rethrows if the computing thread failed
+  }
+  entry.future = entry.promise.get_future().share();
+  lock.unlock();
+  try {
+    auto value = std::make_unique<Value>(build());
+    const Value* ptr = value.get();
+    {
+      std::lock_guard<std::mutex> relock(mu_);
+      entry.value = std::move(value);  // std::map: entry address is stable
+    }
+    entry.promise.set_value(ptr);
+    return *ptr;
+  } catch (...) {
+    entry.promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+}  // namespace sgp
+
+#endif  // SGP_EXPERIMENTS_CACHE_H_

@@ -1,12 +1,20 @@
 #include "experiments/grid.h"
 
+#include <algorithm>
+#include <functional>
+#include <future>
 #include <map>
+#include <memory>
 #include <ostream>
+#include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/statistics.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
 #include "engine/programs.h"
-#include "graph/datasets.h"
+#include "experiments/cache.h"
 #include "graphdb/workload.h"
 #include "partition/metrics.h"
 #include "partition/partitioner.h"
@@ -15,20 +23,9 @@ namespace sgp {
 
 namespace {
 
-// Graph cache keyed by (dataset, scale); grids revisit datasets often.
-const Graph& CachedGraph(const std::string& dataset, uint32_t scale) {
-  static auto* cache = new std::map<std::pair<std::string, uint32_t>, Graph>();
-  auto key = std::make_pair(dataset, scale);
-  auto it = cache->find(key);
-  if (it == cache->end()) {
-    it = cache->emplace(key, MakeDataset(dataset, scale)).first;
-  }
-  return it->second;
-}
-
-EngineStats RunWorkload(const AnalyticsEngine& engine,
-                        const std::string& workload, const Graph& graph,
-                        uint32_t pagerank_iterations) {
+EngineStats RunEngineWorkload(const AnalyticsEngine& engine,
+                              const std::string& workload, const Graph& graph,
+                              uint32_t pagerank_iterations) {
   if (workload == "pagerank") {
     return engine.Run(PageRankProgram(pagerank_iterations));
   }
@@ -43,155 +40,257 @@ EngineStats RunWorkload(const AnalyticsEngine& engine,
   return engine.Run(SsspProgram(source));
 }
 
-std::string CsvEscape(const std::string& value) { return value; }
+// One offline cell: a (dataset, algorithm, k) triple. Seeds and workloads
+// run sequentially inside the cell — their accumulation order is part of
+// the records' bit pattern — while distinct cells are independent.
+std::vector<OfflineRunRecord> RunOfflineCell(const OfflineGridSpec& spec,
+                                             const std::string& dataset,
+                                             const std::string& algorithm,
+                                             PartitionId k) {
+  GridCaches& caches = GridCaches::Global();
+  const Graph& graph = caches.GetGraph(dataset, spec.scale);
+  const uint32_t seeds = std::max(1u, spec.num_seeds);
+  std::map<std::string, std::vector<double>> times;
+  std::vector<double> rfs;
+  std::map<std::string, OfflineRunRecord> cell;
+  for (uint32_t s = 0; s < seeds; ++s) {
+    const CachedPartitioning& cached = caches.GetPartitioning(
+        graph,
+        PartitioningKey{dataset, spec.scale, algorithm, k, spec.seed + s});
+    const Partitioning& partitioning = cached.partitioning;
+    const PartitionMetrics& metrics = cached.metrics;
+    rfs.push_back(metrics.replication_factor);
+    AnalyticsEngine engine(graph, partitioning, spec.cost_model);
+    for (const std::string& workload : spec.workloads) {
+      EngineStats stats = RunEngineWorkload(engine, workload, graph,
+                                            spec.pagerank_iterations);
+      times[workload].push_back(stats.simulated_seconds);
+      OfflineRunRecord& r = cell[workload];
+      const double w = 1.0 / seeds;
+      if (s == 0) {
+        r.dataset = dataset;
+        r.algorithm = algorithm;
+        r.workload = workload;
+        r.k = k;
+        r.iterations = stats.iterations;
+      }
+      r.replication_factor += metrics.replication_factor * w;
+      r.edge_cut_ratio += metrics.edge_cut_ratio * w;
+      r.vertex_imbalance += metrics.vertex_imbalance * w;
+      r.edge_imbalance += metrics.edge_imbalance * w;
+      r.network_bytes += static_cast<uint64_t>(
+          static_cast<double>(stats.total_network_bytes) * w);
+      r.compute_imbalance +=
+          Summarize(stats.compute_seconds_per_worker).ImbalanceFactor() * w;
+      r.simulated_seconds += stats.simulated_seconds * w;
+      r.partitioning_seconds += partitioning.partitioning_seconds * w;
+      r.partitioner_state_bytes += static_cast<uint64_t>(
+          static_cast<double>(partitioning.state_bytes) * w);
+    }
+  }
+  std::vector<OfflineRunRecord> records;
+  records.reserve(spec.workloads.size());
+  for (const std::string& workload : spec.workloads) {
+    OfflineRunRecord r = cell[workload];
+    if (seeds > 1) {
+      r.simulated_seconds_stddev = Summarize(times[workload]).stddev;
+      r.replication_factor_stddev = Summarize(rfs).stddev;
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// One online cell: a (dataset, workload kind, algorithm, k) tuple; the
+// load levels share its database instance and run sequentially.
+std::vector<OnlineRunRecord> RunOnlineCell(const OnlineGridSpec& spec,
+                                           const std::string& dataset,
+                                           QueryKind kind,
+                                           const std::string& algorithm,
+                                           PartitionId k) {
+  GridCaches& caches = GridCaches::Global();
+  const Graph& graph = caches.GetGraph(dataset, spec.scale);
+  const Workload& workload = caches.GetWorkload(
+      graph, WorkloadKey{dataset, spec.scale, kind, spec.workload_skew,
+                         spec.workload_seed.value_or(spec.seed)});
+  const CachedPartitioning& cached = caches.GetPartitioning(
+      graph, PartitioningKey{dataset, spec.scale, algorithm, k, spec.seed});
+  GraphDatabase db(graph, cached.partitioning, spec.cost_model);
+  const bool absolute = !spec.total_clients.empty();
+  const std::vector<uint32_t>& loads =
+      absolute ? spec.total_clients : spec.clients_per_worker;
+  std::vector<OnlineRunRecord> records;
+  records.reserve(loads.size());
+  for (uint32_t load : loads) {
+    SimConfig sim;
+    sim.clients = absolute ? load : load * k;
+    sim.num_queries = spec.queries_per_run;
+    sim.seed = spec.sim_seed.value_or(spec.seed);
+    SimResult result = SimulateClosedLoop(db, workload, sim);
+    OnlineRunRecord r;
+    r.dataset = dataset;
+    r.algorithm = algorithm;
+    r.workload = std::string(QueryKindName(kind));
+    r.k = k;
+    r.clients = sim.clients;
+    r.edge_cut_ratio = cached.metrics.edge_cut_ratio;
+    r.throughput_qps = result.throughput_qps;
+    r.mean_latency_seconds = result.latency.mean;
+    r.p99_latency_seconds = result.latency.p99;
+    r.read_rsd = Summarize(result.reads_per_worker).RelativeStdDev();
+    r.network_bytes = result.total_network_bytes;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// Runs every cell task, serially or on a thread pool, with an isolated
+// metrics registry per cell. Results and telemetry join in canonical
+// (submission) order: each cell registry is merged into the caller's
+// registry and `grid.cells_done` ticks once per cell, so merged totals
+// and record order do not depend on the thread count or on which worker
+// ran which cell.
+template <typename Record>
+std::vector<Record> RunCells(
+    uint32_t threads,
+    std::vector<std::function<std::vector<Record>()>> cells) {
+  MetricsRegistry& parent = MetricsRegistry::Current();
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
+  registries.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    registries.push_back(std::make_unique<MetricsRegistry>());
+  }
+  std::vector<std::vector<Record>> results(cells.size());
+  if (threads <= 1 || cells.size() <= 1) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      ScopedMetricsRegistry scoped(registries[i].get());
+      results[i] = cells[i]();
+    }
+  } else {
+    ThreadPool pool(threads);
+    std::vector<std::future<std::vector<Record>>> futures;
+    futures.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      futures.push_back(pool.Submit([&cells, &registries, i] {
+        ScopedMetricsRegistry scoped(registries[i].get());
+        return cells[i]();
+      }));
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      results[i] = futures[i].get();
+    }
+  }
+  Counter* cells_done = parent.GetCounter("grid.cells_done");
+  std::vector<Record> flat;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    parent.MergeFrom(*registries[i]);
+    cells_done->Increment();
+    for (Record& record : results[i]) {
+      flat.push_back(std::move(record));
+    }
+  }
+  return flat;
+}
 
 }  // namespace
 
-std::vector<OfflineRunRecord> RunOfflineGrid(const OfflineGridSpec& spec) {
-  std::vector<OfflineRunRecord> records;
-  std::vector<std::string> algorithms =
+GridRunner::GridRunner(const GridOptions& options)
+    : threads_(options.threads != 0
+                   ? options.threads
+                   : std::max(1u, std::thread::hardware_concurrency())) {}
+
+std::vector<OfflineRunRecord> GridRunner::Run(const OfflineGridSpec& spec) {
+  const std::vector<std::string> algorithms =
       spec.algorithms.empty() ? PartitionerNames() : spec.algorithms;
+  std::vector<std::function<std::vector<OfflineRunRecord>()>> cells;
   for (const std::string& dataset : spec.datasets) {
-    const Graph& graph = CachedGraph(dataset, spec.scale);
     for (const std::string& algorithm : algorithms) {
-      auto partitioner = CreatePartitioner(algorithm);
       for (PartitionId k : spec.cluster_sizes) {
-        // One record per workload, averaged across seeds.
-        const uint32_t seeds = std::max(1u, spec.num_seeds);
-        std::map<std::string, std::vector<double>> times;
-        std::vector<double> rfs;
-        std::map<std::string, OfflineRunRecord> cell;
-        for (uint32_t s = 0; s < seeds; ++s) {
-          PartitionConfig config;
-          config.k = k;
-          config.seed = spec.seed + s;
-          Partitioning partitioning = partitioner->Run(graph, config);
-          ValidatePartitioning(graph, partitioning);
-          PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
-          rfs.push_back(metrics.replication_factor);
-          AnalyticsEngine engine(graph, partitioning, spec.cost_model);
-          for (const std::string& workload : spec.workloads) {
-            EngineStats stats = RunWorkload(engine, workload, graph,
-                                            spec.pagerank_iterations);
-            times[workload].push_back(stats.simulated_seconds);
-            OfflineRunRecord& r = cell[workload];
-            const double w = 1.0 / seeds;
-            if (s == 0) {
-              r.dataset = dataset;
-              r.algorithm = algorithm;
-              r.workload = workload;
-              r.k = k;
-              r.iterations = stats.iterations;
-            }
-            r.replication_factor += metrics.replication_factor * w;
-            r.edge_cut_ratio += metrics.edge_cut_ratio * w;
-            r.vertex_imbalance += metrics.vertex_imbalance * w;
-            r.edge_imbalance += metrics.edge_imbalance * w;
-            r.network_bytes += static_cast<uint64_t>(
-                static_cast<double>(stats.total_network_bytes) * w);
-            r.compute_imbalance +=
-                Summarize(stats.compute_seconds_per_worker)
-                    .ImbalanceFactor() *
-                w;
-            r.simulated_seconds += stats.simulated_seconds * w;
-            r.partitioning_seconds +=
-                partitioning.partitioning_seconds * w;
-            r.partitioner_state_bytes += static_cast<uint64_t>(
-                static_cast<double>(partitioning.state_bytes) * w);
-          }
-        }
-        for (const std::string& workload : spec.workloads) {
-          OfflineRunRecord r = cell[workload];
-          if (seeds > 1) {
-            r.simulated_seconds_stddev = Summarize(times[workload]).stddev;
-            r.replication_factor_stddev = Summarize(rfs).stddev;
-          }
-          records.push_back(std::move(r));
+        cells.push_back([&spec, dataset, algorithm, k] {
+          return RunOfflineCell(spec, dataset, algorithm, k);
+        });
+      }
+    }
+  }
+  return RunCells(threads_, std::move(cells));
+}
+
+std::vector<OnlineRunRecord> GridRunner::Run(const OnlineGridSpec& spec) {
+  std::vector<std::function<std::vector<OnlineRunRecord>()>> cells;
+  for (const std::string& dataset : spec.datasets) {
+    for (QueryKind kind : spec.workloads) {
+      for (const std::string& algorithm : spec.algorithms) {
+        for (PartitionId k : spec.cluster_sizes) {
+          cells.push_back([&spec, dataset, kind, algorithm, k] {
+            return RunOnlineCell(spec, dataset, kind, algorithm, k);
+          });
         }
       }
     }
   }
-  return records;
+  return RunCells(threads_, std::move(cells));
+}
+
+std::vector<OfflineRunRecord> RunOfflineGrid(const OfflineGridSpec& spec,
+                                             const GridOptions& options) {
+  return GridRunner(options).Run(spec);
+}
+
+std::vector<OnlineRunRecord> RunOnlineGrid(const OnlineGridSpec& spec,
+                                           const GridOptions& options) {
+  return GridRunner(options).Run(spec);
+}
+
+const CsvSchema<OfflineRunRecord>& OfflineCsvSchema() {
+  static const auto* schema = new CsvSchema<OfflineRunRecord>({
+      CsvCol("dataset", &OfflineRunRecord::dataset),
+      CsvCol("algorithm", &OfflineRunRecord::algorithm),
+      CsvCol("workload", &OfflineRunRecord::workload),
+      CsvCol("k", &OfflineRunRecord::k),
+      CsvCol("replication_factor", &OfflineRunRecord::replication_factor),
+      CsvCol("edge_cut_ratio", &OfflineRunRecord::edge_cut_ratio),
+      CsvCol("vertex_imbalance", &OfflineRunRecord::vertex_imbalance),
+      CsvCol("edge_imbalance", &OfflineRunRecord::edge_imbalance),
+      CsvCol("iterations", &OfflineRunRecord::iterations),
+      CsvCol("network_bytes", &OfflineRunRecord::network_bytes),
+      CsvCol("compute_imbalance", &OfflineRunRecord::compute_imbalance),
+      CsvCol("simulated_seconds", &OfflineRunRecord::simulated_seconds),
+      CsvCol("partitioning_seconds", &OfflineRunRecord::partitioning_seconds),
+      CsvCol("partitioner_state_bytes",
+             &OfflineRunRecord::partitioner_state_bytes),
+      CsvCol("simulated_seconds_stddev",
+             &OfflineRunRecord::simulated_seconds_stddev),
+      CsvCol("replication_factor_stddev",
+             &OfflineRunRecord::replication_factor_stddev),
+  });
+  return *schema;
+}
+
+const CsvSchema<OnlineRunRecord>& OnlineCsvSchema() {
+  static const auto* schema = new CsvSchema<OnlineRunRecord>({
+      CsvCol("dataset", &OnlineRunRecord::dataset),
+      CsvCol("algorithm", &OnlineRunRecord::algorithm),
+      CsvCol("workload", &OnlineRunRecord::workload),
+      CsvCol("k", &OnlineRunRecord::k),
+      CsvCol("clients", &OnlineRunRecord::clients),
+      CsvCol("edge_cut_ratio", &OnlineRunRecord::edge_cut_ratio),
+      CsvCol("throughput_qps", &OnlineRunRecord::throughput_qps),
+      CsvCol("mean_latency_seconds", &OnlineRunRecord::mean_latency_seconds),
+      CsvCol("p99_latency_seconds", &OnlineRunRecord::p99_latency_seconds),
+      CsvCol("read_rsd", &OnlineRunRecord::read_rsd),
+      CsvCol("network_bytes", &OnlineRunRecord::network_bytes),
+  });
+  return *schema;
 }
 
 void WriteOfflineCsv(const std::vector<OfflineRunRecord>& records,
                      std::ostream& out) {
-  out << "dataset,algorithm,workload,k,replication_factor,edge_cut_ratio,"
-         "vertex_imbalance,edge_imbalance,iterations,network_bytes,"
-         "compute_imbalance,simulated_seconds,partitioning_seconds,"
-         "partitioner_state_bytes,simulated_seconds_stddev,"
-         "replication_factor_stddev\n";
-  for (const OfflineRunRecord& r : records) {
-    out << CsvEscape(r.dataset) << ',' << CsvEscape(r.algorithm) << ','
-        << CsvEscape(r.workload) << ',' << r.k << ','
-        << r.replication_factor << ',' << r.edge_cut_ratio << ','
-        << r.vertex_imbalance << ',' << r.edge_imbalance << ','
-        << r.iterations << ',' << r.network_bytes << ','
-        << r.compute_imbalance << ',' << r.simulated_seconds << ','
-        << r.partitioning_seconds << ',' << r.partitioner_state_bytes
-        << ',' << r.simulated_seconds_stddev << ','
-        << r.replication_factor_stddev << '\n';
-  }
-}
-
-std::vector<OnlineRunRecord> RunOnlineGrid(const OnlineGridSpec& spec) {
-  std::vector<OnlineRunRecord> records;
-  for (const std::string& dataset : spec.datasets) {
-    const Graph& graph = CachedGraph(dataset, spec.scale);
-    for (QueryKind kind : spec.workloads) {
-      WorkloadConfig wcfg;
-      wcfg.kind = kind;
-      wcfg.skew = spec.workload_skew;
-      wcfg.seed = spec.seed;
-      Workload workload(graph, wcfg);
-      for (const std::string& algorithm : spec.algorithms) {
-        auto partitioner = CreatePartitioner(algorithm);
-        for (PartitionId k : spec.cluster_sizes) {
-          PartitionConfig config;
-          config.k = k;
-          config.seed = spec.seed;
-          Partitioning partitioning = partitioner->Run(graph, config);
-          PartitionMetrics metrics = ComputeMetrics(graph, partitioning);
-          GraphDatabase db(graph, partitioning, spec.cost_model);
-          for (uint32_t cpw : spec.clients_per_worker) {
-            SimConfig sim;
-            sim.clients = cpw * k;
-            sim.num_queries = spec.queries_per_run;
-            sim.seed = spec.seed;
-            SimResult result = SimulateClosedLoop(db, workload, sim);
-            OnlineRunRecord r;
-            r.dataset = dataset;
-            r.algorithm = algorithm;
-            r.workload = std::string(QueryKindName(kind));
-            r.k = k;
-            r.clients = sim.clients;
-            r.edge_cut_ratio = metrics.edge_cut_ratio;
-            r.throughput_qps = result.throughput_qps;
-            r.mean_latency_seconds = result.latency.mean;
-            r.p99_latency_seconds = result.latency.p99;
-            r.read_rsd = Summarize(result.reads_per_worker).RelativeStdDev();
-            r.network_bytes = result.total_network_bytes;
-            records.push_back(std::move(r));
-          }
-        }
-      }
-    }
-  }
-  return records;
+  OfflineCsvSchema().Write(out, records);
 }
 
 void WriteOnlineCsv(const std::vector<OnlineRunRecord>& records,
                     std::ostream& out) {
-  out << "dataset,algorithm,workload,k,clients,edge_cut_ratio,"
-         "throughput_qps,mean_latency_seconds,p99_latency_seconds,"
-         "read_rsd,network_bytes\n";
-  for (const OnlineRunRecord& r : records) {
-    out << CsvEscape(r.dataset) << ',' << CsvEscape(r.algorithm) << ','
-        << CsvEscape(r.workload) << ',' << r.k << ',' << r.clients << ','
-        << r.edge_cut_ratio << ',' << r.throughput_qps << ','
-        << r.mean_latency_seconds << ',' << r.p99_latency_seconds << ','
-        << r.read_rsd << ',' << r.network_bytes << '\n';
-  }
+  OnlineCsvSchema().Write(out, records);
 }
 
 }  // namespace sgp

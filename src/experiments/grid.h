@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/csv.h"
 #include "engine/engine.h"
 #include "graphdb/event_sim.h"
 #include "partition/partitioning.h"
@@ -16,6 +18,15 @@ namespace sgp {
 /// a library. The bench binaries print individual tables; these runners
 /// return structured records (and CSV) so downstream analysis — plotting,
 /// regression tracking, new studies — does not have to scrape stdout.
+///
+/// Execution model (docs/EXPERIMENTS.md): a grid is decomposed into
+/// independent cell tasks — one per (dataset, algorithm, k) offline, one
+/// per (dataset, workload, algorithm, k) online — that pull their graph,
+/// partitioning and workload dependencies from process-wide memoized
+/// caches. Cells run on a shared thread pool when GridOptions::threads
+/// > 1; results and per-cell telemetry are joined in canonical
+/// (specification) order, so record order, CSV bytes and merged metric
+/// totals are independent of the thread count.
 
 /// One offline-analytics configuration's results (Sections 5.1.4/6.2).
 struct OfflineRunRecord {
@@ -63,15 +74,6 @@ struct OfflineGridSpec {
   EngineCostModel cost_model;
 };
 
-/// Runs every (dataset × algorithm × k × workload) combination. Graphs
-/// and partitionings are cached within the call, so the cost is one
-/// partitioning per (dataset, algorithm, k) plus one engine run per cell.
-std::vector<OfflineRunRecord> RunOfflineGrid(const OfflineGridSpec& spec);
-
-/// CSV with a header row; columns in OfflineRunRecord order.
-void WriteOfflineCsv(const std::vector<OfflineRunRecord>& records,
-                     std::ostream& out);
-
 /// One online-queries configuration's results (Sections 5.2.4/6.3).
 struct OnlineRunRecord {
   std::string dataset;
@@ -95,15 +97,75 @@ struct OnlineGridSpec {
   std::vector<PartitionId> cluster_sizes{4, 8, 16, 32};
   std::vector<QueryKind> workloads{QueryKind::kOneHop, QueryKind::kTwoHop};
   std::vector<uint32_t> clients_per_worker{12, 24};  // medium, high load
+
+  /// Absolute client counts. When non-empty this replaces
+  /// clients_per_worker: each entry is used as-is for every k, which is
+  /// what a scale-out study needs — fixed total load while the cluster
+  /// grows (Figure 12).
+  std::vector<uint32_t> total_clients;
+
   uint32_t scale = 13;
   uint64_t queries_per_run = 15000;
   double workload_skew = 0.8;
   uint64_t seed = 42;
+
+  /// Seed overrides for workload generation and the closed-loop
+  /// simulator. Unset means `seed` is used for both (the grid's
+  /// historical behavior); the bench figures pin these to the defaults
+  /// their hand-rolled loops used before moving onto the grid.
+  std::optional<uint64_t> workload_seed;
+  std::optional<uint64_t> sim_seed;
+
   DbCostModel cost_model;
 };
 
-/// Runs every (dataset × algorithm × k × workload × load) combination.
-std::vector<OnlineRunRecord> RunOnlineGrid(const OnlineGridSpec& spec);
+/// Grid execution knobs, shared by the offline and online runners.
+struct GridOptions {
+  /// Worker threads for cell execution. 1 (default) runs every cell
+  /// serially in the calling thread; 0 means one worker per hardware
+  /// thread. Any value yields identical records — parallelism only
+  /// changes wall-clock time.
+  uint32_t threads = 1;
+};
+
+/// Unified runner for both grid flavors. Cells execute on a shared
+/// thread pool (see GridOptions::threads); every run increments
+/// `grid.cells_done` per completed cell and `grid.cache_hits` per
+/// memoized dependency reuse in the caller's current metrics registry.
+class GridRunner {
+ public:
+  explicit GridRunner(const GridOptions& options = {});
+
+  /// Runs every (dataset × algorithm × k × workload) combination.
+  /// Graphs and partitionings are cached process-wide, so the cost is
+  /// one partitioning per (dataset, algorithm, k, seed) plus one engine
+  /// run per cell — across repeated Run calls.
+  std::vector<OfflineRunRecord> Run(const OfflineGridSpec& spec);
+
+  /// Runs every (dataset × algorithm × k × workload × load) combination.
+  std::vector<OnlineRunRecord> Run(const OnlineGridSpec& spec);
+
+  /// Resolved worker-thread count (never 0).
+  uint32_t threads() const { return threads_; }
+
+ private:
+  uint32_t threads_;
+};
+
+/// Convenience wrappers around GridRunner.
+std::vector<OfflineRunRecord> RunOfflineGrid(const OfflineGridSpec& spec,
+                                             const GridOptions& options = {});
+std::vector<OnlineRunRecord> RunOnlineGrid(const OnlineGridSpec& spec,
+                                           const GridOptions& options = {});
+
+/// Column schemas — the single source of truth for the grids' CSV
+/// layout, shared by the writers below and the bench binaries.
+const CsvSchema<OfflineRunRecord>& OfflineCsvSchema();
+const CsvSchema<OnlineRunRecord>& OnlineCsvSchema();
+
+/// CSV with a header row; columns in OfflineRunRecord order.
+void WriteOfflineCsv(const std::vector<OfflineRunRecord>& records,
+                     std::ostream& out);
 
 /// CSV with a header row; columns in OnlineRunRecord order.
 void WriteOnlineCsv(const std::vector<OnlineRunRecord>& records,

@@ -48,43 +48,40 @@ struct InFlight {
 enum class Outcome : uint8_t { kSuccess, kFailed, kTimedOut };
 
 // Per-query-kind latency histograms (simulated clock — deterministic)
-// plus fault / retry counters of the online simulator.
+// plus fault / retry counters of the online simulator. Published into the
+// calling thread's current registry (see ScopedMetricsRegistry).
 struct SimMetrics {
-  Histogram* latency_by_kind[3];
-  Counter* sims;
-  Counter* queries_completed;
-  Counter* retries;
-  Counter* failed;
-  Counter* timed_out;
-  Counter* lost_messages;
-  Counter* degraded_reads;
-  Counter* network_bytes;
-  Counter* remote_messages;
+  Histogram* latency_by_kind[3] = {nullptr, nullptr, nullptr};
+  Counter* sims = nullptr;
+  Counter* queries_completed = nullptr;
+  Counter* retries = nullptr;
+  Counter* failed = nullptr;
+  Counter* timed_out = nullptr;
+  Counter* lost_messages = nullptr;
+  Counter* degraded_reads = nullptr;
+  Counter* network_bytes = nullptr;
+  Counter* remote_messages = nullptr;
 
-  static SimMetrics& Get() {
-    static SimMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new SimMetrics();
-      m->latency_by_kind[static_cast<int>(QueryKind::kOneHop)] =
-          reg.GetHistogram("graphdb.query_latency.one_hop.sim_seconds");
-      m->latency_by_kind[static_cast<int>(QueryKind::kTwoHop)] =
-          reg.GetHistogram("graphdb.query_latency.two_hop.sim_seconds");
-      m->latency_by_kind[static_cast<int>(QueryKind::kShortestPath)] =
-          reg.GetHistogram(
-              "graphdb.query_latency.shortest_path.sim_seconds");
-      m->sims = reg.GetCounter("graphdb.sim.runs");
-      m->queries_completed = reg.GetCounter("graphdb.sim.queries.completed");
-      m->retries = reg.GetCounter("graphdb.sim.retries");
-      m->failed = reg.GetCounter("graphdb.sim.queries.failed");
-      m->timed_out = reg.GetCounter("graphdb.sim.queries.timed_out");
-      m->lost_messages = reg.GetCounter("graphdb.sim.messages.lost");
-      m->degraded_reads = reg.GetCounter("graphdb.sim.reads.degraded");
-      m->network_bytes = reg.GetCounter("graphdb.sim.network.bytes");
-      m->remote_messages = reg.GetCounter("graphdb.sim.messages.remote");
-      return m;
-    }();
-    return *metrics;
+  SimMetrics() = default;
+  explicit SimMetrics(MetricsRegistry& reg) {
+    latency_by_kind[static_cast<int>(QueryKind::kOneHop)] =
+        reg.GetHistogram("graphdb.query_latency.one_hop.sim_seconds");
+    latency_by_kind[static_cast<int>(QueryKind::kTwoHop)] =
+        reg.GetHistogram("graphdb.query_latency.two_hop.sim_seconds");
+    latency_by_kind[static_cast<int>(QueryKind::kShortestPath)] =
+        reg.GetHistogram("graphdb.query_latency.shortest_path.sim_seconds");
+    sims = reg.GetCounter("graphdb.sim.runs");
+    queries_completed = reg.GetCounter("graphdb.sim.queries.completed");
+    retries = reg.GetCounter("graphdb.sim.retries");
+    failed = reg.GetCounter("graphdb.sim.queries.failed");
+    timed_out = reg.GetCounter("graphdb.sim.queries.timed_out");
+    lost_messages = reg.GetCounter("graphdb.sim.messages.lost");
+    degraded_reads = reg.GetCounter("graphdb.sim.reads.degraded");
+    network_bytes = reg.GetCounter("graphdb.sim.network.bytes");
+    remote_messages = reg.GetCounter("graphdb.sim.messages.remote");
   }
+
+  static SimMetrics& Get() { return CurrentRegistryMetrics<SimMetrics>(); }
 };
 
 }  // namespace

@@ -19,30 +19,30 @@ namespace {
 // here, so the scoring loop carries no atomic traffic (the <2% overhead
 // budget of bench_partitioner_speed).
 struct GreedyMetrics {
-  Counter* vertices_assigned;
-  Counter* neighbor_scans;
-  Counter* tie_breaks;
-  Counter* capacity_fallbacks;
-  Histogram* stream_build_wall;
-  Histogram* score_assign_wall;
+  Counter* vertices_assigned = nullptr;
+  Counter* neighbor_scans = nullptr;
+  Counter* tie_breaks = nullptr;
+  Counter* capacity_fallbacks = nullptr;
+  Histogram* stream_build_wall = nullptr;
+  Histogram* score_assign_wall = nullptr;
+
+  GreedyMetrics() = default;
+  explicit GreedyMetrics(MetricsRegistry& reg) {
+    vertices_assigned = reg.GetCounter("partition.greedy.vertices.assigned");
+    neighbor_scans = reg.GetCounter("partition.greedy.neighbor.scans");
+    tie_breaks = reg.GetCounter("partition.greedy.tie_breaks");
+    capacity_fallbacks =
+        reg.GetCounter("partition.greedy.capacity_fallbacks");
+    stream_build_wall =
+        reg.GetHistogram("partition.greedy.stream_build.wall_seconds",
+                         MetricOptions::WallClock());
+    score_assign_wall =
+        reg.GetHistogram("partition.greedy.score_assign.wall_seconds",
+                         MetricOptions::WallClock());
+  }
 
   static GreedyMetrics& Get() {
-    static GreedyMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new GreedyMetrics();
-      m->vertices_assigned =
-          reg.GetCounter("partition.greedy.vertices.assigned");
-      m->neighbor_scans = reg.GetCounter("partition.greedy.neighbor.scans");
-      m->tie_breaks = reg.GetCounter("partition.greedy.tie_breaks");
-      m->capacity_fallbacks =
-          reg.GetCounter("partition.greedy.capacity_fallbacks");
-      m->stream_build_wall = reg.GetHistogram(
-          "partition.greedy.stream_build.wall_seconds", MetricOptions::WallClock());
-      m->score_assign_wall = reg.GetHistogram(
-          "partition.greedy.score_assign.wall_seconds", MetricOptions::WallClock());
-      return m;
-    }();
-    return *metrics;
+    return CurrentRegistryMetrics<GreedyMetrics>();
   }
 };
 

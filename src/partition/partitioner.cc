@@ -20,7 +20,7 @@
 
 namespace sgp {
 
-std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name) {
+std::unique_ptr<Partitioner> TryCreatePartitioner(std::string_view name) {
   std::string upper(name);
   std::transform(upper.begin(), upper.end(), upper.begin(),
                  [](unsigned char c) { return std::toupper(c); });
@@ -46,8 +46,13 @@ std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name) {
   if (upper == "MTS" || upper == "METIS") {
     return std::make_unique<MetisLikePartitioner>();
   }
-  SGP_CHECK(false && "unknown partitioner name");
   return nullptr;
+}
+
+std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name) {
+  std::unique_ptr<Partitioner> partitioner = TryCreatePartitioner(name);
+  SGP_CHECK(partitioner != nullptr && "unknown partitioner name");
+  return partitioner;
 }
 
 std::vector<std::string> PartitionerNames() {

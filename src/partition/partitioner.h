@@ -40,6 +40,10 @@ class Partitioner {
 /// Aborts on an unknown name.
 std::unique_ptr<Partitioner> CreatePartitioner(std::string_view name);
 
+/// Like CreatePartitioner, but returns nullptr on an unknown name so
+/// tools that take user input can report valid names instead of aborting.
+std::unique_ptr<Partitioner> TryCreatePartitioner(std::string_view name);
+
 /// All partitioner codes, in the paper's Table 2 order.
 std::vector<std::string> PartitionerNames();
 

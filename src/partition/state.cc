@@ -15,15 +15,15 @@ namespace {
 // finish, via Partitioning::state_bytes, so the registry only counts
 // constructions here.
 struct StateMetrics {
-  Counter* builds;
+  Counter* builds = nullptr;
+
+  StateMetrics() = default;
+  explicit StateMetrics(MetricsRegistry& reg) {
+    builds = reg.GetCounter("partition.state.builds");
+  }
 
   static StateMetrics& Get() {
-    static StateMetrics* metrics = [] {
-      auto* m = new StateMetrics();
-      m->builds = MetricsRegistry::Global().GetCounter("partition.state.builds");
-      return m;
-    }();
-    return *metrics;
+    return CurrentRegistryMetrics<StateMetrics>();
   }
 };
 

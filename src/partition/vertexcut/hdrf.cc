@@ -14,25 +14,21 @@ namespace {
 // Decision counters of the HDRF scoring loop, accumulated in locals and
 // flushed once per Run (no atomics on the per-edge path).
 struct HdrfMetrics {
-  Counter* edges_assigned;
-  Counter* degree_table_hits;
-  Counter* tie_breaks;
-  Histogram* assign_wall;
+  Counter* edges_assigned = nullptr;
+  Counter* degree_table_hits = nullptr;
+  Counter* tie_breaks = nullptr;
+  Histogram* assign_wall = nullptr;
 
-  static HdrfMetrics& Get() {
-    static HdrfMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new HdrfMetrics();
-      m->edges_assigned = reg.GetCounter("partition.hdrf.edges.assigned");
-      m->degree_table_hits =
-          reg.GetCounter("partition.hdrf.degree_table.hits");
-      m->tie_breaks = reg.GetCounter("partition.hdrf.tie_breaks");
-      m->assign_wall = reg.GetHistogram("partition.hdrf.assign.wall_seconds",
-                                        MetricOptions::WallClock());
-      return m;
-    }();
-    return *metrics;
+  HdrfMetrics() = default;
+  explicit HdrfMetrics(MetricsRegistry& reg) {
+    edges_assigned = reg.GetCounter("partition.hdrf.edges.assigned");
+    degree_table_hits = reg.GetCounter("partition.hdrf.degree_table.hits");
+    tie_breaks = reg.GetCounter("partition.hdrf.tie_breaks");
+    assign_wall = reg.GetHistogram("partition.hdrf.assign.wall_seconds",
+                                   MetricOptions::WallClock());
   }
+
+  static HdrfMetrics& Get() { return CurrentRegistryMetrics<HdrfMetrics>(); }
 };
 
 }  // namespace

@@ -16,23 +16,22 @@ namespace {
 // `stream.refill_nanos` is wall time and registered as such so
 // deterministic exports exclude it (docs/OBSERVABILITY.md).
 struct SourceMetrics {
-  Counter* chunks;
-  Counter* refill_nanos;
-  Counter* disk_edges;
-  Counter* disk_skipped_lines;
+  Counter* chunks = nullptr;
+  Counter* refill_nanos = nullptr;
+  Counter* disk_edges = nullptr;
+  Counter* disk_skipped_lines = nullptr;
+
+  SourceMetrics() = default;
+  explicit SourceMetrics(MetricsRegistry& reg) {
+    chunks = reg.GetCounter("stream.chunks");
+    refill_nanos =
+        reg.GetCounter("stream.refill_nanos", MetricOptions::WallClock());
+    disk_edges = reg.GetCounter("stream.disk.edges");
+    disk_skipped_lines = reg.GetCounter("stream.disk.skipped_lines");
+  }
 
   static SourceMetrics& Get() {
-    static SourceMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new SourceMetrics();
-      m->chunks = reg.GetCounter("stream.chunks");
-      m->refill_nanos =
-          reg.GetCounter("stream.refill_nanos", MetricOptions::WallClock());
-      m->disk_edges = reg.GetCounter("stream.disk.edges");
-      m->disk_skipped_lines = reg.GetCounter("stream.disk.skipped_lines");
-      return m;
-    }();
-    return *metrics;
+    return CurrentRegistryMetrics<SourceMetrics>();
   }
 };
 

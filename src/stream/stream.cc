@@ -15,25 +15,24 @@ namespace {
 // Ingest-rate instrumentation: one flush per stream materialization, no
 // per-element work (stream construction is on the partitioners' hot path).
 struct StreamMetrics {
-  Counter* vertex_builds;
-  Counter* vertex_items;
-  Counter* edge_builds;
-  Counter* edge_items;
-  Histogram* build_wall;
+  Counter* vertex_builds = nullptr;
+  Counter* vertex_items = nullptr;
+  Counter* edge_builds = nullptr;
+  Counter* edge_items = nullptr;
+  Histogram* build_wall = nullptr;
+
+  StreamMetrics() = default;
+  explicit StreamMetrics(MetricsRegistry& reg) {
+    vertex_builds = reg.GetCounter("stream.vertex_stream.builds");
+    vertex_items = reg.GetCounter("stream.vertex_stream.items");
+    edge_builds = reg.GetCounter("stream.edge_stream.builds");
+    edge_items = reg.GetCounter("stream.edge_stream.items");
+    build_wall = reg.GetHistogram("stream.build.wall_seconds",
+                                  MetricOptions::WallClock());
+  }
 
   static StreamMetrics& Get() {
-    static StreamMetrics* metrics = [] {
-      MetricsRegistry& reg = MetricsRegistry::Global();
-      auto* m = new StreamMetrics();
-      m->vertex_builds = reg.GetCounter("stream.vertex_stream.builds");
-      m->vertex_items = reg.GetCounter("stream.vertex_stream.items");
-      m->edge_builds = reg.GetCounter("stream.edge_stream.builds");
-      m->edge_items = reg.GetCounter("stream.edge_stream.items");
-      m->build_wall = reg.GetHistogram("stream.build.wall_seconds",
-                                       MetricOptions::WallClock());
-      return m;
-    }();
-    return *metrics;
+    return CurrentRegistryMetrics<StreamMetrics>();
   }
 };
 

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/telemetry.h"
+#include "experiments/cache.h"
+
 namespace sgp {
 namespace {
 
@@ -92,6 +95,69 @@ TEST(OnlineGridTest, ProducesExpectedCells) {
     EXPECT_GT(r.throughput_qps, 0.0);
     EXPECT_GE(r.p99_latency_seconds, r.mean_latency_seconds);
   }
+}
+
+// The tentpole guarantee of the parallel runner: the thread count changes
+// wall-clock time only. Comparing the rendered CSVs checks every field —
+// including the *_stddev columns — byte for byte.
+TEST(GridRunnerTest, OfflineRecordsIdenticalAcrossThreadCounts) {
+  OfflineGridSpec spec = TinyOffline();
+  spec.num_seeds = 2;  // exercise the across-seed accumulation order too
+  GridOptions serial;
+  GridOptions parallel;
+  parallel.threads = 4;
+  auto a = RunOfflineGrid(spec, serial);
+  auto b = RunOfflineGrid(spec, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  std::ostringstream csv_a, csv_b;
+  WriteOfflineCsv(a, csv_a);
+  WriteOfflineCsv(b, csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+TEST(GridRunnerTest, OnlineRecordsIdenticalAcrossThreadCounts) {
+  OnlineGridSpec spec;
+  spec.algorithms = {"ECR", "LDG", "FNL"};
+  spec.cluster_sizes = {4, 8};
+  spec.workloads = {QueryKind::kOneHop, QueryKind::kTwoHop};
+  spec.clients_per_worker = {4};
+  spec.scale = 9;
+  spec.queries_per_run = 1200;
+  GridOptions parallel;
+  parallel.threads = 4;
+  auto a = RunOnlineGrid(spec, GridOptions{});
+  auto b = RunOnlineGrid(spec, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  std::ostringstream csv_a, csv_b;
+  WriteOnlineCsv(a, csv_a);
+  WriteOnlineCsv(b, csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+TEST(GridRunnerTest, MergesCellTelemetryIntoCallerRegistry) {
+  MetricsRegistry local;
+  ScopedMetricsRegistry scoped(&local);
+  RunOfflineGrid(TinyOffline());  // 2 cells: 2 algos × 1 k × 1 dataset
+  EXPECT_EQ(local.GetCounter("grid.cells_done")->value(), 2u);
+  // Cell work is metered in per-cell registries and merged at join: the
+  // engine ran 2 cells × 2 workloads times, and each run supersteps.
+  EXPECT_GT(local.GetCounter("engine.supersteps")->value(), 0u);
+  // Both cells asked for the same graph; at most one request can miss.
+  EXPECT_GE(local.GetCounter("grid.cache_hits")->value(), 1u);
+}
+
+TEST(GridRunnerTest, TotalClientsOverridesPerWorkerScaling) {
+  OnlineGridSpec spec;
+  spec.algorithms = {"ECR"};
+  spec.cluster_sizes = {4, 8};
+  spec.workloads = {QueryKind::kOneHop};
+  spec.total_clients = {24};
+  spec.scale = 9;
+  spec.queries_per_run = 800;
+  auto records = RunOnlineGrid(spec);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].clients, 24u);  // fixed load at every k
+  EXPECT_EQ(records[1].clients, 24u);
 }
 
 TEST(OnlineGridTest, CsvRoundTripShape) {

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sgp {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsVoidTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingTasks) {
+  // Destroying the pool while tasks are still queued must run every one
+  // of them: a grid join relies on all submitted cells completing.
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    // The first task blocks the only worker so the rest pile up in the
+    // queue until destruction begins.
+    futures.push_back(pool.Submit([opened] { opened.wait(); }));
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.Submit([&count] { ++count; }));
+    }
+    gate.set_value();
+  }  // ~ThreadPool drains the queue, then joins
+  EXPECT_EQ(count.load(), 16);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto boom = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The worker that ran the throwing task is still usable.
+  EXPECT_EQ(pool.Submit([] { return 8; }).get(), 8);
+}
+
+TEST(ThreadPoolTest, BoundedQueueNeverExceedsLimit) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.max_pending = 2;
+  ThreadPool pool(options);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::vector<std::future<void>> futures;
+  std::atomic<bool> producer_done{false};
+  // One task occupies the worker; a producer thread then pushes six more,
+  // blocking in Submit whenever the queue holds max_pending tasks.
+  futures.push_back(pool.Submit([opened] { opened.wait(); }));
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(pool.Submit([] {}));
+      EXPECT_LE(pool.pending(), 2u);
+    }
+    producer_done = true;
+  });
+  // With the worker parked, the producer cannot finish all six submits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(producer_done.load());
+  EXPECT_LE(pool.pending(), 2u);
+  gate.set_value();
+  producer.join();
+  EXPECT_TRUE(producer_done.load());
+  for (auto& f : futures) f.get();
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 3; }).get(), 3);
+}
+
+}  // namespace
+}  // namespace sgp
