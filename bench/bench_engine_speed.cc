@@ -1,0 +1,121 @@
+// Engine superstep-kernel speed: wall-clock cost of the analytics engine's
+// specialized kernels vs the generic virtual-dispatch path, for PageRank
+// (all-active) and SSSP (frontier-driven) on the R-MAT "twitter" graph
+// across cluster sizes. The two paths produce byte-identical EngineStats
+// (tests/engine_kernel_test.cc), so the ratio is pure kernel overhead:
+// virtual calls per gather edge, per-superstep direction resolution and
+// speed division, and O(n) frontier resets.
+//
+// ns/edge/superstep normalizes wall time by iterations × |E| — for the
+// frontier-driven SSSP most supersteps touch few edges, so treat its
+// number as a normalized rate, not a per-edge cost.
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "engine/programs.h"
+#include "partition/partitioner.h"
+
+namespace {
+
+// Fixed repetition count keeps every engine.* counter in the deterministic
+// JSON section a pure function of the inputs (adaptive rep counts would
+// leak wall time into it).
+constexpr int kReps = 3;
+
+struct KernelTiming {
+  double ns_per_edge_step = 0;
+  uint32_t iterations = 0;
+};
+
+template <typename RunFn>
+KernelTiming TimeKernel(const sgp::Graph& g, RunFn&& run) {
+  double best_nanos = 0;
+  sgp::EngineStats stats;
+  for (int rep = 0; rep < kReps; ++rep) {
+    sgp::Timer timer;
+    stats = run();
+    const double nanos = static_cast<double>(timer.ElapsedNanos());
+    if (rep == 0 || nanos < best_nanos) best_nanos = nanos;
+  }
+  KernelTiming t;
+  t.iterations = stats.iterations;
+  const double edge_steps = static_cast<double>(stats.iterations) *
+                            static_cast<double>(g.num_edges());
+  t.ns_per_edge_step = edge_steps == 0 ? 0 : best_nanos / edge_steps;
+  return t;
+}
+
+void RecordWallGauge(const std::string& name, double value) {
+  sgp::MetricsRegistry::Global()
+      .GetGauge(name, sgp::MetricOptions::WallClock())
+      ->Set(value);
+}
+
+}  // namespace
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner(
+      "Engine kernel speed",
+      "Wall-clock ns/edge/superstep of the specialized GAS kernels vs the "
+      "generic virtual path (byte-identical results)",
+      scale);
+  Graph g = MakeDataset("twitter", scale);
+  VertexId source = 0;
+  while (g.Degree(source) == 0) ++source;
+
+  TablePrinter table({"Program", "k", "generic ns/edge", "specialized ns/edge",
+                      "speedup", "supersteps"});
+  for (PartitionId k : {8u, 32u, 128u}) {
+    PartitionConfig cfg;
+    cfg.k = k;
+    Partitioning p = CreatePartitioner("HDRF")->Run(g, cfg);
+    AnalyticsEngine engine(g, p);
+
+    for (int which : {0, 1}) {
+      const char* prog_name = which == 0 ? "PageRank" : "SSSP";
+      PageRankProgram pagerank(20);
+      SsspProgram sssp(source);
+      const VertexProgram& program =
+          which == 0 ? static_cast<const VertexProgram&>(pagerank)
+                     : static_cast<const VertexProgram&>(sssp);
+      GenericProgramView generic(program);
+
+      const KernelTiming spec =
+          TimeKernel(g, [&] { return engine.Run(program); });
+      const KernelTiming gen =
+          TimeKernel(g, [&] { return engine.Run(generic); });
+      const double speedup = spec.ns_per_edge_step == 0
+                                 ? 0
+                                 : gen.ns_per_edge_step / spec.ns_per_edge_step;
+
+      const std::string prefix = std::string("engine_speed.") + prog_name +
+                                 ".k" + std::to_string(k);
+      RecordWallGauge(prefix + ".generic.ns_per_edge.wall", gen.ns_per_edge_step);
+      RecordWallGauge(prefix + ".specialized.ns_per_edge.wall",
+                      spec.ns_per_edge_step);
+      RecordWallGauge(prefix + ".speedup.wall", speedup);
+
+      table.AddRow({prog_name, std::to_string(k),
+                    FormatDouble(gen.ns_per_edge_step, 2),
+                    FormatDouble(spec.ns_per_edge_step, 2),
+                    FormatDouble(speedup, 2) + "x",
+                    std::to_string(spec.iterations)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: the specialized all-active PageRank kernel runs\n"
+         ">=2x faster than the generic path (devirtualized gather, replica\n"
+         "cost tables, superstep-invariant accounting); SSSP gains most at\n"
+         "small frontiers where the epoch-stamped frontier replaces O(n)\n"
+         "resets. The engine.* counters below are identical for both paths\n"
+         "except engine.kernel.{specialized,generic}.\n";
+  sgp::bench::WriteBenchJson("engine_speed", scale);
+  return 0;
+}

@@ -41,7 +41,8 @@ echo "check.sh: source_equivalence_test passed standalone under sanitizers"
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
-             bench_partitioner_speed bench_ablation_parallel_ingest; do
+             bench_partitioner_speed bench_ablation_parallel_ingest \
+             bench_engine_speed; do
   SGP_SCALE=8 SGP_BENCH_JSON_DIR="$JSON_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null
 done
@@ -59,6 +60,13 @@ echo "check.sh: bench JSON snapshots validated"
 python3 scripts/bench_diff.py \
   tests/golden/BENCH_ablation_parallel_ingest.json \
   "$JSON_DIR/BENCH_ablation_parallel_ingest.json"
+
+# Same gate for the engine kernel bench: its deterministic section is
+# every engine.* counter the specialized and generic paths produce, so a
+# divergence here means the kernels are no longer byte-equivalent.
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_engine_speed.json \
+  "$JSON_DIR/BENCH_engine_speed.json"
 echo "check.sh: bench goldens match"
 
 # ThreadSanitizer pass over the concurrent subsystems: the worker pool,

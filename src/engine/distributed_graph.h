@@ -34,12 +34,18 @@ class DistributedGraph {
   /// Partition of the vertex's master copy.
   PartitionId Master(VertexId v) const { return master_[v]; }
 
-  /// All copies of `v` (master first), one entry per partition where the
-  /// vertex is present.
+  /// All copies of `v`, one entry per partition where the vertex is
+  /// present. The master copy is always the first entry (pinned by
+  /// DistributedGraphTest.MasterIsAlwaysFrontReplica); mirrors follow in
+  /// first-touch order of the edge scan.
   std::span<const Replica> Replicas(VertexId v) const {
     return {replicas_.data() + offsets_[v],
             replicas_.data() + offsets_[v + 1]};
   }
+
+  /// Total number of vertex copies across all partitions (== n times the
+  /// replication factor). The engine's replica cost tables reserve off it.
+  uint64_t num_replicas() const { return replicas_.size(); }
 
   /// Edges assigned to each partition.
   const std::vector<uint64_t>& edges_per_partition() const {

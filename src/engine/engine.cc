@@ -4,67 +4,13 @@
 
 #include "common/check.h"
 #include "common/telemetry.h"
+#include "engine/kernel.h"
+#include "engine/programs.h"
 
 namespace sgp {
 
-namespace {
-
-// Superstep-level telemetry of the GAS engine. Everything here is derived
-// from the simulated cost model, so the values are deterministic for
-// identical inputs and appear in the deterministic JSON exports. Metrics
-// publish into the calling thread's current registry (grid cells install
-// a scoped per-cell registry; everyone else hits the global one).
-struct EngineMetrics {
-  Counter* runs = nullptr;
-  Counter* supersteps = nullptr;
-  Counter* gather_messages = nullptr;
-  Counter* sync_messages = nullptr;
-  Counter* network_bytes = nullptr;
-  Counter* checkpoints = nullptr;
-  Counter* crashes_recovered = nullptr;
-  Gauge* barrier_wait_seconds = nullptr;
-  Gauge* simulated_seconds = nullptr;
-  Gauge* recovery_seconds = nullptr;
-  Histogram* superstep_cost = nullptr;
-
-  EngineMetrics() = default;
-  explicit EngineMetrics(MetricsRegistry& reg) {
-    runs = reg.GetCounter("engine.runs");
-    supersteps = reg.GetCounter("engine.supersteps");
-    gather_messages = reg.GetCounter("engine.gather.messages");
-    sync_messages = reg.GetCounter("engine.sync.messages");
-    network_bytes = reg.GetCounter("engine.network.bytes");
-    checkpoints = reg.GetCounter("engine.checkpoints");
-    crashes_recovered = reg.GetCounter("engine.crashes.recovered");
-    barrier_wait_seconds = reg.GetGauge("engine.barrier_wait.sim_seconds");
-    simulated_seconds = reg.GetGauge("engine.simulated.sim_seconds");
-    recovery_seconds = reg.GetGauge("engine.recovery.sim_seconds");
-    superstep_cost = reg.GetHistogram("engine.superstep_cost.sim_seconds");
-  }
-
-  static EngineMetrics& Get() {
-    return CurrentRegistryMetrics<EngineMetrics>();
-  }
-};
-
-// Local gather-direction edge count of one replica. For undirected graphs
-// each incident edge was recorded in both directions, so in_edges already
-// equals the incident count and any direction resolves to it.
-uint32_t DirectedEdgeCount(const DistributedGraph::Replica& r,
-                           EdgeDirection dir, bool graph_directed) {
-  if (!graph_directed) return r.in_edges;
-  switch (dir) {
-    case EdgeDirection::kIn:
-      return r.in_edges;
-    case EdgeDirection::kOut:
-      return r.out_edges;
-    case EdgeDirection::kBoth:
-      return r.in_edges + r.out_edges;
-  }
-  return 0;
-}
-
-}  // namespace
+using engine_detail::DirectedEdgeCount;
+using engine_detail::EngineMetrics;
 
 AnalyticsEngine::AnalyticsEngine(const Graph& graph,
                                  const Partitioning& partitioning,
@@ -73,6 +19,48 @@ AnalyticsEngine::AnalyticsEngine(const Graph& graph,
 
 EngineStats AnalyticsEngine::Run(const VertexProgram& program,
                                  const EngineFaultConfig& faults) const {
+  // Tag dispatch onto the devirtualized kernels. The dynamic_cast guards
+  // against a mislabeled kind(): only an exact program type takes the
+  // specialized path, everything else falls back to the virtual one. The
+  // template arguments restate each program's (gather, scatter, all-active)
+  // overrides, which are fixed because the classes are final.
+  switch (program.kind()) {
+    case ProgramKind::kPageRank:
+      if (auto* p = dynamic_cast<const PageRankProgram*>(&program)) {
+        EngineMetrics::Get().kernel_specialized->Increment();
+        return engine_detail::RunKernel<PageRankProgram, EdgeDirection::kIn,
+                                        EdgeDirection::kOut,
+                                        /*kAllActive=*/true>(
+            *graph_, dgraph_, cost_, *p, faults);
+      }
+      break;
+    case ProgramKind::kWcc:
+      if (auto* p = dynamic_cast<const WccProgram*>(&program)) {
+        EngineMetrics::Get().kernel_specialized->Increment();
+        return engine_detail::RunKernel<WccProgram, EdgeDirection::kBoth,
+                                        EdgeDirection::kBoth,
+                                        /*kAllActive=*/false>(
+            *graph_, dgraph_, cost_, *p, faults);
+      }
+      break;
+    case ProgramKind::kSssp:
+      if (auto* p = dynamic_cast<const SsspProgram*>(&program)) {
+        EngineMetrics::Get().kernel_specialized->Increment();
+        return engine_detail::RunKernel<SsspProgram, EdgeDirection::kIn,
+                                        EdgeDirection::kOut,
+                                        /*kAllActive=*/false>(
+            *graph_, dgraph_, cost_, *p, faults);
+      }
+      break;
+    case ProgramKind::kGeneric:
+      break;
+  }
+  EngineMetrics::Get().kernel_generic->Increment();
+  return RunGeneric(program, faults);
+}
+
+EngineStats AnalyticsEngine::RunGeneric(const VertexProgram& program,
+                                        const EngineFaultConfig& faults) const {
   const Graph& g = *graph_;
   const VertexId n = g.num_vertices();
   const PartitionId k = dgraph_.k();
@@ -80,12 +68,8 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program,
   const EdgeDirection scatter_dir = program.scatter_direction();
   const bool all_active = program.all_active();
 
-  std::vector<double> speeds = cost_.worker_speeds;
-  if (speeds.empty()) {
-    speeds.assign(k, 1.0);
-  }
-  SGP_CHECK(speeds.size() == k);
-  for (double s : speeds) SGP_CHECK(s > 0);
+  const std::vector<double> speeds =
+      engine_detail::ResolveWorkerSpeeds(cost_, k);
 
   EngineStats stats;
   stats.compute_seconds_per_worker.assign(k, 0.0);
@@ -123,16 +107,7 @@ EngineStats AnalyticsEngine::Run(const VertexProgram& program,
   const bool with_faults = !faults.empty();
   double checkpoint_cost = 0;
   if (with_faults) {
-    SGP_CHECK(faults.checkpoint_seconds_per_vertex >= 0);
-    SGP_CHECK(faults.restart_seconds >= 0);
-    std::vector<uint64_t> masters_per_worker(k, 0);
-    for (VertexId v = 0; v < n; ++v) ++masters_per_worker[dgraph_.Master(v)];
-    for (PartitionId p = 0; p < k; ++p) {
-      checkpoint_cost = std::max(
-          checkpoint_cost, static_cast<double>(masters_per_worker[p]) *
-                               faults.checkpoint_seconds_per_vertex /
-                               speeds[p]);
-    }
+    checkpoint_cost = engine_detail::CheckpointCostOf(dgraph_, faults, speeds);
   }
   std::vector<double> step_costs;
   uint32_t last_checkpoint = 0;  // first superstep a recovery must replay

@@ -129,6 +129,13 @@ struct EngineStats {
 ///     each mirror that hosts gather-direction edges;
 ///   - every vertex whose value changed sends one update message to each
 ///     mirror that hosts scatter-direction edges.
+///
+/// Run() routes built-in programs (by ProgramKind tag) onto
+/// compile-time-specialized superstep kernels with precomputed replica
+/// cost tables (src/engine/kernel.h, docs/ENGINE.md); unknown programs
+/// take the generic virtual-dispatch path. Both paths produce
+/// byte-identical EngineStats — which path ran is observable only through
+/// the engine.kernel.{specialized,generic} counters and wall time.
 class AnalyticsEngine {
  public:
   AnalyticsEngine(const Graph& graph, const Partitioning& partitioning,
@@ -145,6 +152,12 @@ class AnalyticsEngine {
   const DistributedGraph& distributed_graph() const { return dgraph_; }
 
  private:
+  /// Generic fallback: virtual dispatch per gather edge, direction
+  /// resolution and speed division per replica per superstep. The oracle
+  /// the specialized kernels are tested against.
+  EngineStats RunGeneric(const VertexProgram& program,
+                         const EngineFaultConfig& faults) const;
+
   const Graph* graph_;
   DistributedGraph dgraph_;
   EngineCostModel cost_;

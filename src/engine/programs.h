@@ -12,6 +12,12 @@ namespace sgp {
 /// communication workload.
 class PageRankProgram final : public VertexProgram {
  public:
+  /// GatherContribution depends only on the source vertex (value_u and
+  /// OutDegree(u), never on v), so the all-active kernel may hoist the
+  /// per-source contribution out of the per-edge loop — computing it once
+  /// per source per superstep is bit-identical to recomputing it per edge.
+  static constexpr bool kSourceOnlyGather = true;
+
   explicit PageRankProgram(uint32_t iterations = 20, double damping = 0.85)
       : iterations_(iterations), damping_(damping) {}
 
@@ -35,6 +41,7 @@ class PageRankProgram final : public VertexProgram {
   }
   bool all_active() const override { return true; }
   uint32_t max_iterations() const override { return iterations_; }
+  ProgramKind kind() const override { return ProgramKind::kPageRank; }
 
  private:
   uint32_t iterations_;
@@ -77,6 +84,7 @@ class WccProgram final : public VertexProgram {
     for (VertexId v = 0; v < graph.num_vertices(); ++v) all[v] = v;
     return all;
   }
+  ProgramKind kind() const override { return ProgramKind::kWcc; }
 };
 
 /// Single-Source Shortest Path, unit edge weights (Section 5.1.3):
@@ -118,6 +126,7 @@ class SsspProgram final : public VertexProgram {
   std::vector<VertexId> InitialFrontier(const Graph&) const override {
     return {source_};
   }
+  ProgramKind kind() const override { return ProgramKind::kSssp; }
 
   VertexId source() const { return source_; }
 

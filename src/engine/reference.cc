@@ -1,6 +1,5 @@
 #include "engine/reference.h"
 
-#include <deque>
 #include <limits>
 
 #include "common/check.h"
@@ -28,15 +27,18 @@ std::vector<double> ReferencePageRank(const Graph& graph,
 std::vector<double> ReferenceWcc(const Graph& graph) {
   const VertexId n = graph.num_vertices();
   std::vector<double> label(n, -1.0);
-  std::deque<VertexId> queue;
+  // FIFO queue as a vector with a read cursor: every vertex enters at
+  // most once, so the backing array never exceeds n and never reallocates.
+  std::vector<VertexId> queue;
+  queue.reserve(n);
   for (VertexId root = 0; root < n; ++root) {
     if (label[root] >= 0) continue;
     // `root` is the smallest unvisited id, hence the component minimum.
     label[root] = static_cast<double>(root);
+    queue.clear();
     queue.push_back(root);
-    while (!queue.empty()) {
-      VertexId u = queue.front();
-      queue.pop_front();
+    for (size_t head = 0; head < queue.size(); ++head) {
+      VertexId u = queue[head];
       for (VertexId v : graph.Neighbors(u)) {
         if (label[v] < 0) {
           label[v] = static_cast<double>(root);
@@ -53,10 +55,10 @@ std::vector<double> ReferenceSssp(const Graph& graph, VertexId source) {
   const VertexId n = graph.num_vertices();
   std::vector<double> dist(n, std::numeric_limits<double>::infinity());
   dist[source] = 0;
-  std::deque<VertexId> queue{source};
-  while (!queue.empty()) {
-    VertexId u = queue.front();
-    queue.pop_front();
+  std::vector<VertexId> queue{source};
+  queue.reserve(n);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    VertexId u = queue[head];
     for (VertexId v : graph.OutNeighbors(u)) {
       if (dist[v] == std::numeric_limits<double>::infinity()) {
         dist[v] = dist[u] + 1.0;

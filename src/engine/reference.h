@@ -9,7 +9,9 @@ namespace sgp {
 
 /// Single-machine reference implementations of the three workloads, used
 /// by tests to validate the invariant that engine results are independent
-/// of partitioning.
+/// of partitioning. The traversals run BFS over a cursor-indexed vector
+/// frontier (each vertex enqueues at most once), so every reference is
+/// O(n + m) with no per-step allocation.
 
 /// Synchronous (Jacobi) PageRank; matches the engine's update rule
 /// value = (1 − d) + d · Σ value(u)/outdeg(u) exactly.

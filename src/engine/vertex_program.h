@@ -16,6 +16,19 @@ enum class EdgeDirection {
   kBoth,  // undirected semantics
 };
 
+/// Dispatch tag of a vertex program. The engine pattern-matches on this to
+/// route built-in programs onto compile-time-specialized superstep kernels
+/// (virtual calls removed from the per-edge hot path); kGeneric — the
+/// default for user-defined programs — selects the virtual fallback path.
+/// The two paths produce byte-identical EngineStats (pinned by
+/// tests/engine_kernel_test.cc), so the tag is purely a speed hint.
+enum class ProgramKind {
+  kGeneric,
+  kPageRank,
+  kWcc,
+  kSssp,
+};
+
 /// Synchronous Gather-Apply-Scatter vertex program (the PowerGraph /
 /// PowerLyra computation model, Section 2). Vertex state is a double; the
 /// gather aggregate must be commutative and associative so mirrors can
@@ -70,6 +83,54 @@ class VertexProgram {
   virtual bool Changed(double old_value, double new_value) const {
     return old_value != new_value;
   }
+
+  /// Kernel-dispatch tag (see ProgramKind). Built-in programs override
+  /// this; the engine falls back to the virtual path for kGeneric and for
+  /// any tag whose dynamic type does not match.
+  virtual ProgramKind kind() const { return ProgramKind::kGeneric; }
+};
+
+/// Forwarding view of a program that reports ProgramKind::kGeneric, pinning
+/// the engine to the virtual fallback kernel. Used by the equivalence tests
+/// and bench_engine_speed to compare the specialized kernels against the
+/// generic path on the same program instance.
+class GenericProgramView final : public VertexProgram {
+ public:
+  explicit GenericProgramView(const VertexProgram& inner) : inner_(&inner) {}
+
+  std::string_view name() const override { return inner_->name(); }
+  double InitialValue(VertexId v, const Graph& g) const override {
+    return inner_->InitialValue(v, g);
+  }
+  double GatherNeutral() const override { return inner_->GatherNeutral(); }
+  double GatherContribution(VertexId u, VertexId v, double value_u,
+                            const Graph& g) const override {
+    return inner_->GatherContribution(u, v, value_u, g);
+  }
+  double Combine(double a, double b) const override {
+    return inner_->Combine(a, b);
+  }
+  double Apply(VertexId v, double old_value, double gathered,
+               uint64_t num_contributions, const Graph& g) const override {
+    return inner_->Apply(v, old_value, gathered, num_contributions, g);
+  }
+  EdgeDirection gather_direction() const override {
+    return inner_->gather_direction();
+  }
+  EdgeDirection scatter_direction() const override {
+    return inner_->scatter_direction();
+  }
+  bool all_active() const override { return inner_->all_active(); }
+  uint32_t max_iterations() const override { return inner_->max_iterations(); }
+  std::vector<VertexId> InitialFrontier(const Graph& g) const override {
+    return inner_->InitialFrontier(g);
+  }
+  bool Changed(double old_value, double new_value) const override {
+    return inner_->Changed(old_value, new_value);
+  }
+
+ private:
+  const VertexProgram* inner_;
 };
 
 }  // namespace sgp

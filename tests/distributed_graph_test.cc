@@ -1,7 +1,11 @@
 #include "engine/distributed_graph.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
+#include "graph/datasets.h"
 #include "partition/metrics.h"
+#include "partition/partitioner.h"
 #include "tests/test_util.h"
 
 namespace sgp {
@@ -62,6 +66,70 @@ TEST(DistributedGraphTest, UndirectedEdgesCountBothWays) {
       }
     }
   }
+}
+
+// Regression for the two-pass counting build: the "master first" contract
+// must hold for every vertex under real partitioner output — including
+// masters that hold no incident edge — and a vertex must never have two
+// replicas on the same partition. Edge counts must add back up to the
+// direction-resolved degrees.
+TEST(DistributedGraphTest, MasterIsAlwaysFrontReplica) {
+  for (const char* dataset : {"twitter", "usaroad"}) {
+    Graph g = MakeDataset(dataset, 8);
+    for (const char* algo : {"HDRF", "LDG", "VCR"}) {
+      PartitionConfig cfg;
+      cfg.k = 8;
+      Partitioning p = CreatePartitioner(algo)->Run(g, cfg);
+      DistributedGraph dg(g, p);
+      uint64_t total_replicas = 0;
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        auto replicas = dg.Replicas(v);
+        ASSERT_FALSE(replicas.empty()) << algo << " v=" << v;
+        EXPECT_EQ(replicas.front().partition, dg.Master(v))
+            << algo << " v=" << v;
+        std::set<PartitionId> partitions;
+        uint64_t in_sum = 0;
+        uint64_t out_sum = 0;
+        for (const auto& r : replicas) {
+          EXPECT_TRUE(partitions.insert(r.partition).second)
+              << algo << " v=" << v << " duplicate partition " << r.partition;
+          in_sum += r.in_edges;
+          out_sum += r.out_edges;
+        }
+        if (g.directed()) {
+          EXPECT_EQ(in_sum, g.InDegree(v)) << algo << " v=" << v;
+          EXPECT_EQ(out_sum, g.OutDegree(v)) << algo << " v=" << v;
+        } else {
+          // Undirected: every incident edge counts in both directions, and
+          // the graph's canonical edge list stores each edge once.
+          EXPECT_EQ(in_sum, out_sum) << algo << " v=" << v;
+        }
+        total_replicas += replicas.size();
+      }
+      EXPECT_EQ(dg.num_replicas(), total_replicas);
+    }
+  }
+}
+
+TEST(DistributedGraphTest, MasterWithoutEdgesGetsEmptyFrontReplica) {
+  // Vertex 2's master is partition 1, but both its incident edges live on
+  // partition 0: the build must materialize an edgeless master replica and
+  // still put it first.
+  Graph g = testing::MakeGraph(3, /*directed=*/true, {{0, 2}, {2, 1}});
+  Partitioning p;
+  p.model = CutModel::kVertexCut;
+  p.k = 2;
+  p.vertex_to_partition = {0, 0, 1};
+  p.edge_to_partition = {0, 0};
+  DistributedGraph dg(g, p);
+  auto replicas = dg.Replicas(2);
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].partition, 1u);
+  EXPECT_EQ(replicas[0].in_edges, 0u);
+  EXPECT_EQ(replicas[0].out_edges, 0u);
+  EXPECT_EQ(replicas[1].partition, 0u);
+  EXPECT_EQ(replicas[1].in_edges, 1u);
+  EXPECT_EQ(replicas[1].out_edges, 1u);
 }
 
 TEST(DistributedGraphTest, EdgesPerPartitionSumsToTotal) {
