@@ -1,0 +1,118 @@
+// Ablation: elastic resharding under traffic. Sweeps when the reshard is
+// triggered (early vs. inside the outage), how much it moves per batch,
+// and whether a worker outage lands mid-reshard, for one edge-cut and one
+// vertex-cut placement and both reshape kinds. Measures what the paper's
+// static view cannot: availability and tail latency through the
+// transition, wire volume of the migration, and how often the controller
+// had to retry, re-plan or cancel around the fault.
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/faults.h"
+#include "common/table_printer.h"
+#include "graphdb/event_sim.h"
+#include "partition/dynamic/reshard.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv(12);
+  const PartitionId k = 8;
+  bench::PrintBanner("Ablation: elastic resharding",
+                     "Split/merge under traffic: trigger point x batch "
+                     "size x fault plan (k=8)",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  Workload w(g, {});
+
+  // Default retry posture (3 attempts, 50 ms deadline): clients park on a
+  // query whose data is unreachable for at most one deadline, so the
+  // during-reshard window keeps a mix of outcomes instead of stalling.
+  SimConfig base;
+  base.clients = 32;
+  base.num_queries = 6000;
+
+  // Healthy calibration run: size the trigger points and the outage
+  // window as fractions of the run so every cell sees the same geometry
+  // regardless of scale.
+  double span = 0;
+  {
+    PartitionConfig cfg;
+    cfg.k = k;
+    GraphDatabase db(g, CreatePartitioner("LDG")->Run(g, cfg));
+    span = SimulateClosedLoop(db, w, base).window_seconds / 0.9;
+  }
+  // The outage covers [30%, 50%] of the run on the reshape's target
+  // worker. An early trigger mostly finishes before it; a late trigger
+  // starts inside it and must retry / re-plan its way out.
+  const std::vector<std::pair<const char*, double>> triggers = {
+      {"early", 0.15}, {"late", 0.40}};
+  const std::vector<uint32_t> batch_sizes = {16, 128};
+  const std::vector<std::pair<const char*, ReshardOpKind>> ops = {
+      {"split", ReshardOpKind::kSplit}, {"merge", ReshardOpKind::kMerge}};
+
+  TablePrinter table({"Algorithm", "Op", "Trigger", "Batch", "Faults",
+                      "Phase", "Moved", "Mig KB", "Retries", "Replanned",
+                      "Cancelled", "Fwd reads", "Avail", "Avail during",
+                      "p99 during (ms)"});
+  for (const std::string& algo : {std::string("LDG"), std::string("HDRF")}) {
+    PartitionConfig cfg;
+    cfg.k = k;
+    GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+    for (const auto& [op_name, op_kind] : ops) {
+      // Merge drains partition 1; split halves partition 2. The outage
+      // hits the reshape's own target worker — the hardest placement of
+      // the fault relative to the migration.
+      const PartitionId target = op_kind == ReshardOpKind::kMerge ? 1 : 2;
+      for (const auto& [trig_name, trig_frac] : triggers) {
+        for (uint32_t batch : batch_sizes) {
+          for (const char* fault_mode : {"none", "outage", "crash"}) {
+            SimConfig sim = base;
+            sim.reshard.op = {op_kind, target};
+            sim.reshard.start_time = trig_frac * span;
+            sim.reshard.config.batch_vertices = batch;
+            sim.reshard.config.retry = base.retry;
+            if (fault_mode[0] == 'o') {
+              // Transient outage of the reshape's target worker.
+              sim.faults =
+                  FaultPlan::SingleOutage(target, 0.3 * span, 0.2 * span);
+            } else if (fault_mode[0] == 'c') {
+              // Worker 2 crash-stops for good: the split loses its source
+              // (moves cancelled), the merge loses a destination (moves
+              // re-planned onto survivors).
+              sim.faults.outages.push_back(
+                  {2, 0.3 * span,
+                   std::numeric_limits<double>::infinity()});
+            }
+            SimResult r = SimulateClosedLoop(db, w, sim);
+            const ReshardSimStats& rs = r.reshard;
+            table.AddRow(
+                {algo, op_name, trig_name, FormatCount(batch),
+                 fault_mode, ReshardPhaseName(rs.phase),
+                 FormatCount(rs.moved_vertices),
+                 FormatDouble(static_cast<double>(rs.migration_bytes) / 1e3,
+                              1),
+                 FormatCount(rs.batch_retries),
+                 FormatCount(rs.moves_replanned),
+                 FormatCount(rs.moves_cancelled),
+                 FormatCount(rs.forwarded_reads),
+                 FormatDouble(r.availability.availability, 4),
+                 FormatDouble(rs.availability_during, 4),
+                 FormatDouble(rs.latency_during.p99 * 1e3, 3)});
+          }
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nForwarded reads are the price of serving through the "
+               "move (a detour, never\nan error); retries / re-plans "
+               "appear only when the outage overlaps the\ntransition. "
+               "Replicated placements ride it out; edge-cut loses the "
+               "only copy\nof whatever the dead worker still holds.\n";
+  sgp::bench::WriteBenchJson("ablation_resharding", scale);
+  return 0;
+}

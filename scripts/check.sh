@@ -35,6 +35,14 @@ echo "check.sh: telemetry_test passed standalone under sanitizers"
 "$BUILD_DIR/tests/source_equivalence_test"
 echo "check.sh: source_equivalence_test passed standalone under sanitizers"
 
+# The live-resharding suite moves ownership state while queries are in
+# flight; run it and the drain-guard regressions standalone under the
+# sanitizers so a dangling plan pointer or a use-after-move in the batch
+# protocol cannot hide behind a sharded ctest run.
+"$BUILD_DIR/tests/reshard_test"
+"$BUILD_DIR/tests/fault_tolerance_test" --gtest_filter='RecoveryTest.*'
+echo "check.sh: resharding + drain-guard tests passed standalone under sanitizers"
+
 # Machine-readable bench output: run a representative subset at a small
 # scale and verify every BENCH_*.json parses. The benches run sanitized
 # too — they double as an integration pass over the instrumented paths.
@@ -42,7 +50,7 @@ JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
              bench_partitioner_speed bench_ablation_parallel_ingest \
-             bench_engine_speed; do
+             bench_engine_speed bench_ablation_resharding; do
   SGP_SCALE=8 SGP_BENCH_JSON_DIR="$JSON_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null
 done
@@ -67,6 +75,14 @@ python3 scripts/bench_diff.py \
 python3 scripts/bench_diff.py \
   tests/golden/BENCH_engine_speed.json \
   "$JSON_DIR/BENCH_engine_speed.json"
+
+# And for the elastic-resharding ablation: its deterministic section is
+# the whole reshard.* namespace (batches, retries, re-plans, forwarded
+# reads) plus the sim counters, so a divergence means live resharding no
+# longer replays bit-identically under the pinned seeds.
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_ablation_resharding.json \
+  "$JSON_DIR/BENCH_ablation_resharding.json"
 echo "check.sh: bench goldens match"
 
 # ThreadSanitizer pass over the concurrent subsystems: the worker pool,
@@ -79,10 +95,15 @@ cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSGP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target thread_pool_test parallel_streaming_test grid_test
+  --target thread_pool_test parallel_streaming_test grid_test reshard_test
 
 export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/thread_pool_test"
 "$TSAN_DIR/tests/parallel_streaming_test"
 "$TSAN_DIR/tests/grid_test" --gtest_filter='GridRunnerTest.*'
+# The reshard controller's telemetry goes through the same thread-local
+# registry cache the concurrent subsystems use; running the suite under
+# TSan keeps the reshard.* counters honest if resharding ever moves onto
+# the worker pool.
+"$TSAN_DIR/tests/reshard_test"
 echo "check.sh: concurrency tests passed under thread sanitizer"

@@ -31,6 +31,7 @@ double FaultPlan::Slowdown(PartitionId w, double t) const {
 
 bool FaultPlan::AnyOutageOverlaps(double begin, double end) const {
   for (const WorkerOutage& o : outages) {
+    if (o.end <= o.start) continue;  // zero-length windows outage nothing
     if (o.start <= end && begin < o.end) return true;
   }
   return false;
@@ -62,11 +63,14 @@ std::vector<double> FaultPlan::OutageTransitionTimes() const {
 void FaultPlan::Validate(PartitionId k) const {
   for (const WorkerOutage& o : outages) {
     SGP_CHECK(o.worker < k);
-    SGP_CHECK(o.end > o.start);
+    // Zero-length windows (end == start) are legal no-ops: reshard
+    // schedulers shrink planned outages to nothing rather than deleting
+    // entries. Inverted windows are still bugs.
+    SGP_CHECK(o.end >= o.start);
   }
   for (const StragglerWindow& s : stragglers) {
     SGP_CHECK(s.worker < k);
-    SGP_CHECK(s.end > s.start);
+    SGP_CHECK(s.end >= s.start);
     SGP_CHECK(s.slowdown >= 1.0);
   }
   SGP_CHECK(message_loss_probability >= 0.0 &&

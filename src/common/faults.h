@@ -72,8 +72,9 @@ struct FaultPlan {
   /// the set of live workers changes.
   std::vector<double> OutageTransitionTimes() const;
 
-  /// Aborts on malformed plans: worker ids >= k, end <= start,
-  /// slowdown < 1, loss probability outside [0, 1].
+  /// Aborts on malformed plans: worker ids >= k, end < start,
+  /// slowdown < 1, loss probability outside [0, 1]. Zero-length windows
+  /// (end == start) are valid and behave as if absent.
   void Validate(PartitionId k) const;
 
   /// Convenience: a plan with exactly one transient outage.

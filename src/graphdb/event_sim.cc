@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <queue>
+#include <utility>
 
 #include "common/check.h"
 #include "common/random.h"
@@ -13,7 +15,14 @@ namespace sgp {
 
 namespace {
 
-enum class EventType : uint8_t { kIssue, kTaskArrival, kAdvance, kDeadline };
+enum class EventType : uint8_t {
+  kIssue,
+  kTaskArrival,
+  kAdvance,
+  kDeadline,
+  kForward,      // redirected reads of moved vertices (live reshard)
+  kReshardStep,  // advance the ReshardController
+};
 
 struct Event {
   double time = 0;
@@ -24,6 +33,9 @@ struct Event {
   uint32_t task = 0;
   uint32_t gen = 0;      // query generation; stale events are dropped
   uint32_t attempt = 0;  // failed tries of this sub-request so far
+  // kForward only: destination worker and redirected read count.
+  PartitionId worker = 0;
+  uint64_t reads = 0;
 };
 
 struct EventLater {
@@ -43,6 +55,7 @@ struct InFlight {
   double start_time = 0;   // when the client issued the query
   double deadline = std::numeric_limits<double>::infinity();
   uint32_t gen = 0;        // bumped whenever the query finishes
+  bool forwarded = false;  // some read was redirected by the live reshard
 };
 
 enum class Outcome : uint8_t { kSuccess, kFailed, kTimedOut };
@@ -61,6 +74,8 @@ struct SimMetrics {
   Counter* degraded_reads = nullptr;
   Counter* network_bytes = nullptr;
   Counter* remote_messages = nullptr;
+  Counter* forwarded_reads = nullptr;
+  Counter* forwarded_queries = nullptr;
 
   SimMetrics() = default;
   explicit SimMetrics(MetricsRegistry& reg) {
@@ -79,6 +94,8 @@ struct SimMetrics {
     degraded_reads = reg.GetCounter("graphdb.sim.reads.degraded");
     network_bytes = reg.GetCounter("graphdb.sim.network.bytes");
     remote_messages = reg.GetCounter("graphdb.sim.messages.remote");
+    forwarded_reads = reg.GetCounter("reshard.reads.forwarded");
+    forwarded_queries = reg.GetCounter("reshard.queries.forwarded");
   }
 
   static SimMetrics& Get() { return CurrentRegistryMetrics<SimMetrics>(); }
@@ -123,9 +140,31 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   const RetryPolicy& retry = config.retry;
   const bool has_faults = !faults.empty();
   const bool has_outages = !faults.outages.empty();
+  const bool has_reshard = config.reshard.active();
   if (has_faults) {
     faults.Validate(db.k());
     retry.Validate();
+  }
+
+  // Live reshard: the move plan is computed eagerly, then replayed by
+  // kReshardStep events on the simulated clock. `cur_owner` is the live
+  // ownership view the forwarding path re-resolves reads against; query
+  // plans stay stale on purpose (the router learns lazily — a miss is a
+  // redirect, never an error).
+  std::unique_ptr<ReshardController> reshard_ctl;
+  std::vector<PartitionId> cur_owner;
+  PartitionId k_total = db.k();
+  double reshard_end = std::numeric_limits<double>::infinity();
+  if (has_reshard) {
+    SGP_CHECK(config.reshard.start_time >= 0);
+    const VertexId n = db.graph().num_vertices();
+    cur_owner.resize(n);
+    for (VertexId v = 0; v < n; ++v) cur_owner[v] = db.Owner(v);
+    reshard_ctl = std::make_unique<ReshardController>(
+        db.graph(), cur_owner, db.k(), config.reshard.op,
+        config.reshard.config);
+    k_total = reshard_ctl->k_after();
+    result.reads_per_worker.assign(k_total, 0.0);
   }
   // Request + response hop loss folded into one draw per remote attempt.
   const double loss_round_trip =
@@ -141,7 +180,9 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   auto build_table = [&](const std::vector<char>& mask) {
     std::vector<QueryPlan> plans;
     plans.reserve(workload.bindings().size());
-    for (const Query& q : workload.bindings()) plans.push_back(db.Plan(q, mask));
+    for (const Query& q : workload.bindings()) {
+      plans.push_back(db.Plan(q, mask, /*record_vertices=*/has_reshard));
+    }
     return plans;
   };
   plan_tables.push_back(build_table({}));  // healthy table, index 0
@@ -200,7 +241,7 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   };
 
   std::vector<InFlight> inflight(config.clients);
-  std::vector<double> worker_available(db.k(), 0.0);
+  std::vector<double> worker_available(k_total, 0.0);
 
   const uint64_t warmup =
       static_cast<uint64_t>(config.warmup_fraction *
@@ -212,6 +253,7 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   latencies.reserve(config.num_queries - warmup);
   std::vector<double> latencies_outage;
   std::vector<double> latencies_steady;
+  std::vector<double> latencies_reshard;
 
   // Schedules the arrival events of one round; remote tasks pay the
   // request hop.
@@ -238,6 +280,12 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
     ++completed_total;
     last_completion = t;
     if (completed_total == warmup) window_start = t;
+    if (q.forwarded) ++result.reshard.forwarded_queries;
+    // Queries whose lifetime overlapped the reshard transition (from its
+    // start until its last batch settled).
+    const bool through_reshard = has_reshard &&
+                                 t >= config.reshard.start_time &&
+                                 q.start_time < reshard_end;
     if (completed_total > warmup) {
       switch (outcome) {
         case Outcome::kSuccess: {
@@ -254,6 +302,10 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
               latencies_steady.push_back(latency);
             }
           }
+          if (through_reshard) {
+            ++result.reshard.succeeded_during;
+            latencies_reshard.push_back(latency);
+          }
           if (config.collect_traces) {
             TraceEvent trace;
             trace.name = "query";
@@ -269,9 +321,11 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
         }
         case Outcome::kFailed:
           ++result.availability.failed;
+          if (through_reshard) ++result.reshard.failed_during;
           break;
         case Outcome::kTimedOut:
           ++result.availability.timed_out;
+          if (through_reshard) ++result.reshard.timed_out_during;
           break;
       }
     }
@@ -287,6 +341,7 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
     q.binding = binding;
     q.round = 0;
     q.start_time = now;
+    q.forwarded = false;
     q.deadline = has_faults ? now + retry.query_timeout_seconds
                             : std::numeric_limits<double>::infinity();
     if (has_faults && std::isfinite(q.deadline)) {
@@ -309,6 +364,9 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
 
   for (uint32_t c = 0; c < config.clients; ++c) {
     push({0.0, 0, EventType::kIssue, c, 0, 0, 0, 0});
+  }
+  if (has_reshard) {
+    push({config.reshard.start_time, 0, EventType::kReshardStep});
   }
 
   while (!events.empty() && completed_total < config.num_queries) {
@@ -345,25 +403,123 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
           // Otherwise the deadline event fails the query at q.deadline.
           break;
         }
+        // Live reshard: reads whose master record already moved off this
+        // worker miss locally and are redirected to the current owner
+        // (one forward hop per distinct destination). Replica reads
+        // (w != master) still hit their physical copy — migration moves
+        // the master record only.
+        uint64_t local_reads = task.reads;
+        std::vector<std::pair<PartitionId, uint64_t>> redirects;
+        if (has_reshard) {
+          local_reads = 0;
+          for (VertexId v : task.vertices) {
+            const PartitionId live = cur_owner[v];
+            if (w == db.Owner(v) && live != w) {
+              auto it = std::find_if(
+                  redirects.begin(), redirects.end(),
+                  [live](const auto& pr) { return pr.first == live; });
+              if (it == redirects.end()) {
+                redirects.emplace_back(live, 1);
+              } else {
+                ++it->second;
+              }
+            } else {
+              ++local_reads;
+            }
+          }
+          if (!redirects.empty()) {
+            q.forwarded = true;
+            q.remaining_tasks += static_cast<uint32_t>(redirects.size());
+          }
+        }
         // FIFO single-server worker queue. Remote sub-requests pay RPC
         // handling overhead on top of the storage reads; stragglers
         // stretch the whole service time.
         double service =
-            (static_cast<double>(task.reads) * cost.seconds_per_read +
+            (static_cast<double>(local_reads) * cost.seconds_per_read +
              (remote ? cost.seconds_per_remote_task : 0.0)) *
             service_noise();
         if (has_faults) service *= faults.Slowdown(w, e.time);
         double start = std::max(worker_available[w], e.time);
         double done = start + service;
         worker_available[w] = done;
-        result.reads_per_worker[w] += static_cast<double>(task.reads);
+        result.reads_per_worker[w] += static_cast<double>(local_reads);
         result.availability.degraded_reads += task.degraded_reads;
+        // The worker discovers the tombstones while serving, so the
+        // forwards leave when it finishes; each costs a network hop and a
+        // request/response message pair.
+        for (const auto& [dest, cnt] : redirects) {
+          result.total_remote_messages += 2;
+          result.total_network_bytes +=
+              cost.bytes_per_request + cnt * cost.bytes_per_vertex_record;
+          result.reshard.forwarded_reads += cnt;
+          push({done + latency_hop, 0, EventType::kForward, e.client,
+                e.round, 0, e.gen, 0, dest, cnt});
+        }
         // Response hop back to the coordinator for remote tasks.
         double task_end = done + (remote ? latency_hop : 0.0);
         q.round_end = std::max(q.round_end, task_end);
         if (--q.remaining_tasks == 0) {
           push({q.round_end, 0, EventType::kAdvance, e.client, e.round, 0,
                 e.gen, 0});
+        }
+        break;
+      }
+      case EventType::kForward: {
+        // Redirected reads arriving at the vertex's current owner. Same
+        // failure surface as a remote sub-request: message loss and
+        // outages trigger client retries under the same policy.
+        InFlight& q = inflight[e.client];
+        if (e.gen != q.gen) break;
+        const PartitionId w = e.worker;
+        bool lost = loss_round_trip > 0 && rng.Bernoulli(loss_round_trip);
+        if (lost) ++result.availability.lost_messages;
+        if (lost || (has_outages && faults.IsDown(w, e.time))) {
+          const uint32_t failures = e.attempt + 1;
+          if (failures >= retry.max_attempts) {
+            finish_query(e.client, e.time, Outcome::kFailed);
+            break;
+          }
+          const double retry_time =
+              e.time + retry.BackoffSeconds(failures, rng);
+          if (retry_time < q.deadline) {
+            ++result.availability.retries;
+            Event r = e;
+            r.time = retry_time;
+            r.attempt = failures;
+            push(r);
+          }
+          break;
+        }
+        double service =
+            (static_cast<double>(e.reads) * cost.seconds_per_read +
+             cost.seconds_per_remote_task) *
+            service_noise();
+        if (has_faults) service *= faults.Slowdown(w, e.time);
+        double start = std::max(worker_available[w], e.time);
+        double done = start + service;
+        worker_available[w] = done;
+        result.reads_per_worker[w] += static_cast<double>(e.reads);
+        const double task_end = done + latency_hop;  // response hop back
+        q.round_end = std::max(q.round_end, task_end);
+        if (--q.remaining_tasks == 0) {
+          push({q.round_end, 0, EventType::kAdvance, e.client, e.round, 0,
+                e.gen, 0});
+        }
+        break;
+      }
+      case EventType::kReshardStep: {
+        ReshardStepResult step = reshard_ctl->Step(e.time, faults);
+        for (const VertexMove& m : step.applied) cur_owner[m.v] = m.to;
+        if (step.bytes > 0) {
+          // Migration traffic is cluster-internal traffic too.
+          result.total_network_bytes += step.bytes;
+          result.total_remote_messages += 2;
+        }
+        if (step.done || !std::isfinite(step.next_time)) {
+          reshard_end = e.time;
+        } else {
+          push({step.next_time, 0, EventType::kReshardStep});
         }
         break;
       }
@@ -404,6 +560,31 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   avail.latency_during_outage = Summarize(std::move(latencies_outage));
   avail.latency_steady = Summarize(std::move(latencies_steady));
   result.latency = Summarize(std::move(latencies));
+  if (has_reshard) {
+    ReshardSimStats& rs = result.reshard;
+    rs.ran = true;
+    rs.phase = reshard_ctl->phase();
+    rs.start_time = config.reshard.start_time;
+    rs.end_time = std::isfinite(reshard_end) ? reshard_end : 0.0;
+    rs.planned_moves = reshard_ctl->planned_moves().size();
+    const ReshardStats& cs = reshard_ctl->stats();
+    rs.moved_vertices = cs.moved_vertices;
+    rs.migration_bytes = cs.migration_bytes;
+    rs.batches_committed = cs.batches_committed;
+    rs.batch_retries = cs.batch_retries;
+    rs.batches_rolled_back = cs.batches_rolled_back;
+    rs.moves_replanned = cs.moves_replanned;
+    rs.moves_cancelled = cs.moves_cancelled;
+    const uint64_t during =
+        rs.succeeded_during + rs.failed_during + rs.timed_out_during;
+    rs.availability_during =
+        during == 0 ? 1.0
+                    : static_cast<double>(rs.succeeded_during) /
+                          static_cast<double>(during);
+    rs.latency_during = Summarize(std::move(latencies_reshard));
+    metrics.forwarded_reads->Increment(rs.forwarded_reads);
+    metrics.forwarded_queries->Increment(rs.forwarded_queries);
+  }
 
   metrics.queries_completed->Increment(result.completed);
   metrics.retries->Increment(avail.retries);

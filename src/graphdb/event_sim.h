@@ -9,8 +9,23 @@
 #include "common/telemetry.h"
 #include "graphdb/graphdb.h"
 #include "graphdb/workload.h"
+#include "partition/dynamic/reshard.h"
 
 namespace sgp {
+
+/// A live reshard running concurrently with the simulated workload: the
+/// controller starts at `start_time` on the simulated clock and migrates
+/// batches while clients keep issuing queries. Reads of a vertex whose
+/// master already moved are redirected (miss → forward to the new owner,
+/// never an error); SimResult::reshard reports availability, tail latency
+/// and wire volume measured through the transition.
+struct LiveReshardSpec {
+  ReshardOp op;  // kind == kNone leaves the simulation unchanged
+  double start_time = 0;
+  ReshardConfig config;
+
+  bool active() const { return op.kind != ReshardOpKind::kNone; }
+};
 
 /// Closed-loop load-generation configuration (Section 5.2.4): `clients`
 /// concurrent clients each issue the next query as soon as the previous
@@ -44,6 +59,10 @@ struct SimConfig {
   /// How clients react to failed sub-requests when `faults` is non-empty:
   /// capped exponential backoff retries plus a per-query deadline.
   RetryPolicy retry;
+
+  /// Optional live reshard executed during the run (inactive by default —
+  /// an inactive spec reproduces the plain simulation bit-for-bit).
+  LiveReshardSpec reshard;
 };
 
 /// One completed query, when tracing is enabled. This is the decoded view
@@ -91,6 +110,39 @@ struct AvailabilityStats {
   DistributionSummary latency_steady;
 };
 
+/// What the simulator measured about a live reshard that ran concurrently
+/// with the workload (SimConfig::reshard). All fields are deterministic
+/// per seed. "During" counters cover queries in the measurement window
+/// whose lifetime overlapped [start_time, end of the reshard].
+struct ReshardSimStats {
+  bool ran = false;
+  ReshardPhase phase = ReshardPhase::kPlanned;
+  double start_time = 0;
+  double end_time = 0;  // 0 when the run ended before the reshard did
+
+  uint64_t planned_moves = 0;
+  uint64_t moved_vertices = 0;
+  uint64_t migration_bytes = 0;  // MigrationCostModel wire volume
+  uint64_t batches_committed = 0;
+  uint64_t batch_retries = 0;
+  uint64_t batches_rolled_back = 0;
+  uint64_t moves_replanned = 0;
+  uint64_t moves_cancelled = 0;
+
+  /// Reads redirected because their vertex had already moved, and the
+  /// queries (whole run) that needed at least one such redirect.
+  uint64_t forwarded_reads = 0;
+  uint64_t forwarded_queries = 0;
+
+  /// Availability through the transition: outcomes of measured queries
+  /// overlapping the reshard, and their latency distribution.
+  uint64_t succeeded_during = 0;
+  uint64_t failed_during = 0;
+  uint64_t timed_out_during = 0;
+  double availability_during = 1.0;
+  DistributionSummary latency_during;
+};
+
 /// Everything the paper measures about one online-workload run.
 struct SimResult {
   /// Measurement-window duration in simulated seconds.
@@ -120,6 +172,11 @@ struct SimResult {
   /// Availability metrics under the injected FaultPlan (defaults when the
   /// plan is empty).
   AvailabilityStats availability;
+
+  /// Live-reshard metrics (defaults when SimConfig::reshard is inactive).
+  /// When a reshard ran, reads_per_worker covers the post-reshape id
+  /// space (one extra slot after a split).
+  ReshardSimStats reshard;
 
   /// Compatibility accessor: the trace buffer decoded into the classic
   /// per-query records.

@@ -122,24 +122,34 @@ void GraphDatabase::AddFetchRound(std::vector<QueryPlan::Task> round,
 
 bool GraphDatabase::GroupByEffectiveOwner(
     std::span<const VertexId> vertices, const std::vector<char>& down,
-    std::vector<QueryPlan::Task>* out) const {
+    bool record_vertices, std::vector<QueryPlan::Task>* out) const {
   std::vector<uint64_t> reads(k_, 0);
   std::vector<uint64_t> degraded(k_, 0);
+  std::vector<std::vector<VertexId>> members;
+  if (record_vertices) members.resize(k_);
   for (VertexId v : vertices) {
     const PartitionId w = EffectiveOwner(v, down);
     if (w == kInvalidPartition) return false;
     ++reads[w];
     if (w != owner_[v]) ++degraded[w];
+    if (record_vertices) members[w].push_back(v);
   }
   out->clear();
   for (PartitionId w = 0; w < k_; ++w) {
-    if (reads[w] > 0) out->push_back({w, reads[w], degraded[w]});
+    if (reads[w] == 0) continue;
+    QueryPlan::Task task;
+    task.worker = w;
+    task.reads = reads[w];
+    task.degraded_reads = degraded[w];
+    if (record_vertices) task.vertices = std::move(members[w]);
+    out->push_back(std::move(task));
   }
   return true;
 }
 
 QueryPlan GraphDatabase::PlanOneHop(VertexId start,
-                                    const std::vector<char>& down) const {
+                                    const std::vector<char>& down,
+                                    bool record_vertices) const {
   QueryPlan plan;
   plan.coordinator = Coordinator(start, down);
   const VertexId start_list[] = {start};
@@ -148,14 +158,14 @@ QueryPlan GraphDatabase::PlanOneHop(VertexId start,
   // owner — local under the partition-aware router, one remote round
   // otherwise.
   if (plan.coordinator == kInvalidPartition ||
-      !GroupByEffectiveOwner(start_list, down, &round)) {
+      !GroupByEffectiveOwner(start_list, down, record_vertices, &round)) {
     plan.reachable = false;
     return plan;
   }
   AddFetchRound(std::move(round), &plan);
   // Round 1: fetch the neighbor vertex records from their owners.
   auto neighbors = ReadAdjacency(start);
-  if (!GroupByEffectiveOwner(neighbors, down, &round)) {
+  if (!GroupByEffectiveOwner(neighbors, down, record_vertices, &round)) {
     plan.reachable = false;
     return plan;
   }
@@ -165,20 +175,21 @@ QueryPlan GraphDatabase::PlanOneHop(VertexId start,
 }
 
 QueryPlan GraphDatabase::PlanTwoHop(VertexId start,
-                                    const std::vector<char>& down) const {
+                                    const std::vector<char>& down,
+                                    bool record_vertices) const {
   QueryPlan plan;
   plan.coordinator = Coordinator(start, down);
   const VertexId start_list[] = {start};
   std::vector<QueryPlan::Task> round;
   if (plan.coordinator == kInvalidPartition ||
-      !GroupByEffectiveOwner(start_list, down, &round)) {
+      !GroupByEffectiveOwner(start_list, down, record_vertices, &round)) {
     plan.reachable = false;
     return plan;
   }
   AddFetchRound(std::move(round), &plan);
   auto neighbors = ReadAdjacency(start);
   // Round 1: read each neighbor's record and adjacency at its owner.
-  if (!GroupByEffectiveOwner(neighbors, down, &round)) {
+  if (!GroupByEffectiveOwner(neighbors, down, record_vertices, &round)) {
     plan.reachable = false;
     return plan;
   }
@@ -191,7 +202,7 @@ QueryPlan GraphDatabase::PlanTwoHop(VertexId start,
     }
   }
   std::vector<VertexId> two_hop(frontier.begin(), frontier.end());
-  if (!GroupByEffectiveOwner(two_hop, down, &round)) {
+  if (!GroupByEffectiveOwner(two_hop, down, record_vertices, &round)) {
     plan.reachable = false;
     return plan;
   }
@@ -201,7 +212,8 @@ QueryPlan GraphDatabase::PlanTwoHop(VertexId start,
 }
 
 QueryPlan GraphDatabase::PlanShortestPath(
-    VertexId start, VertexId target, const std::vector<char>& down) const {
+    VertexId start, VertexId target, const std::vector<char>& down,
+    bool record_vertices) const {
   QueryPlan plan;
   plan.coordinator = Coordinator(start, down);
   if (plan.coordinator == kInvalidPartition) {
@@ -217,7 +229,7 @@ QueryPlan GraphDatabase::PlanShortestPath(
   while (!frontier.empty() && !found) {
     // One round per BFS level: read the adjacency of every frontier
     // vertex at its owner.
-    if (!GroupByEffectiveOwner(frontier, down, &round)) {
+    if (!GroupByEffectiveOwner(frontier, down, record_vertices, &round)) {
       plan.reachable = false;
       return plan;
     }
@@ -244,15 +256,22 @@ QueryPlan GraphDatabase::Plan(const Query& query) const {
 
 QueryPlan GraphDatabase::Plan(const Query& query,
                               const std::vector<char>& down) const {
+  return Plan(query, down, /*record_vertices=*/false);
+}
+
+QueryPlan GraphDatabase::Plan(const Query& query,
+                              const std::vector<char>& down,
+                              bool record_vertices) const {
   SGP_CHECK(query.start < graph_->num_vertices());
   SGP_CHECK(down.empty() || down.size() == k_);
   switch (query.kind) {
     case QueryKind::kOneHop:
-      return PlanOneHop(query.start, down);
+      return PlanOneHop(query.start, down, record_vertices);
     case QueryKind::kTwoHop:
-      return PlanTwoHop(query.start, down);
+      return PlanTwoHop(query.start, down, record_vertices);
     case QueryKind::kShortestPath:
-      return PlanShortestPath(query.start, query.target, down);
+      return PlanShortestPath(query.start, query.target, down,
+                              record_vertices);
   }
   return {};
 }

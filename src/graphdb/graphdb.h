@@ -87,6 +87,11 @@ struct QueryPlan {
     /// Reads served by a worker other than the vertex's master owner
     /// (replica failover under a down mask); 0 on a healthy cluster.
     uint64_t degraded_reads = 0;
+
+    /// The vertices this task reads, in grouping order — populated only
+    /// when the plan was built with record_vertices (the live resharder
+    /// redirects reads of moved vertices, so it needs per-vertex targets).
+    std::vector<VertexId> vertices;
   };
   /// Rounds execute sequentially; tasks within a round run in parallel on
   /// their workers. Tasks on a worker other than the coordinator cost a
@@ -157,6 +162,14 @@ class GraphDatabase {
   /// copy. With an empty mask this is identical to Plan(query).
   QueryPlan Plan(const Query& query, const std::vector<char>& down) const;
 
+  /// Plan variant that additionally records, per task, which vertices it
+  /// reads (QueryPlan::Task::vertices) so a consumer can re-resolve reads
+  /// against ownership that changed after planning — the event
+  /// simulator's live-resharding mode. With record_vertices == false this
+  /// is identical to Plan(query, down).
+  QueryPlan Plan(const Query& query, const std::vector<char>& down,
+                 bool record_vertices) const;
+
   /// Per-vertex read counts of `query` (start, neighbors, …), used to
   /// build the workload-aware weighted graph of Figure 8. Accumulates
   /// into `counts` (size num_vertices).
@@ -170,15 +183,19 @@ class GraphDatabase {
     std::vector<VertexId> adjacency;
   };
 
-  QueryPlan PlanOneHop(VertexId start, const std::vector<char>& down) const;
-  QueryPlan PlanTwoHop(VertexId start, const std::vector<char>& down) const;
+  QueryPlan PlanOneHop(VertexId start, const std::vector<char>& down,
+                       bool record_vertices) const;
+  QueryPlan PlanTwoHop(VertexId start, const std::vector<char>& down,
+                       bool record_vertices) const;
   QueryPlan PlanShortestPath(VertexId start, VertexId target,
-                             const std::vector<char>& down) const;
+                             const std::vector<char>& down,
+                             bool record_vertices) const;
 
   // Groups one read per vertex by effective owner under `down`. Returns
   // false when some vertex has no live replica.
   bool GroupByEffectiveOwner(std::span<const VertexId> vertices,
                              const std::vector<char>& down,
+                             bool record_vertices,
                              std::vector<QueryPlan::Task>* out) const;
 
   // Appends a fetch round and charges messages/bytes for the remote tasks.

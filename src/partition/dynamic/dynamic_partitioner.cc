@@ -125,6 +125,24 @@ PartitionId DynamicPartitioner::PlaceNew(VertexId v) {
   return best;
 }
 
+uint64_t DynamicPartitioner::MoveVertex(VertexId v, PartitionId to) {
+  const PartitionId from = assignment_[v];
+  state_.RemoveLoad(from);
+  state_.AddLoad(to);
+  assignment_[v] = to;
+  for (VertexId w : adjacency_[v]) {
+    ForgetNeighbor(w, from);
+    NoteNeighbor(w, to);
+  }
+  const uint64_t bytes =
+      options_.migration_cost.bytes_per_vertex_record +
+      adjacency_[v].size() *
+          static_cast<uint64_t>(options_.migration_cost.bytes_per_adjacency_entry);
+  ++total_migrations_;
+  total_migration_bytes_ += bytes;
+  return bytes;
+}
+
 bool DynamicPartitioner::MaybeMigrate(VertexId v) {
   const PartitionId cur = assignment_[v];
   uint32_t cur_count = 0;
@@ -147,15 +165,7 @@ bool DynamicPartitioner::MaybeMigrate(VertexId v) {
     return false;
   }
 
-  // Move v and fix every neighbor's synopsis.
-  state_.RemoveLoad(cur);
-  state_.AddLoad(best);
-  assignment_[v] = best;
-  for (VertexId w : adjacency_[v]) {
-    ForgetNeighbor(w, cur);
-    NoteNeighbor(w, best);
-  }
-  ++total_migrations_;
+  MoveVertex(v, best);
   return true;
 }
 
@@ -188,13 +198,36 @@ uint32_t DynamicPartitioner::AddEdge(VertexId u, VertexId v) {
   return migrations;
 }
 
-uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
-  SGP_CHECK(dead < options_.k);
-  if (disabled_[dead]) return 0;
+const char* ReshapeStatusName(ReshapeStatus status) {
+  switch (status) {
+    case ReshapeStatus::kOk:
+      return "ok";
+    case ReshapeStatus::kInvalidPartition:
+      return "invalid-partition";
+    case ReshapeStatus::kAlreadyDisabled:
+      return "already-disabled";
+    case ReshapeStatus::kLastAlive:
+      return "last-alive";
+  }
+  return "unknown";
+}
+
+DrainReport DynamicPartitioner::DrainPartition(PartitionId dead) {
+  DrainReport report;
+  if (dead >= options_.k) {
+    report.status = ReshapeStatus::kInvalidPartition;
+    return report;
+  }
+  if (disabled_[dead]) {
+    report.status = ReshapeStatus::kAlreadyDisabled;
+    return report;
+  }
+  if (alive_k_ <= 1) {
+    report.status = ReshapeStatus::kLastAlive;
+    return report;
+  }
   disabled_[dead] = 1;
   --alive_k_;
-  SGP_CHECK(alive_k_ > 0);
-  uint64_t moved = 0;
   for (VertexId v = 0; v < assignment_.size(); ++v) {
     if (assignment_[v] != dead) continue;
     // Same placement rule as PlaceNew, restricted to survivors: most
@@ -213,18 +246,82 @@ uint64_t DynamicPartitioner::DrainPartition(PartitionId dead) {
       }
     }
     if (best == kInvalidPartition) best = LeastLoadedAlive();
-    state_.RemoveLoad(dead);
-    state_.AddLoad(best);
-    assignment_[v] = best;
-    for (VertexId w : adjacency_[v]) {
-      ForgetNeighbor(w, dead);
-      NoteNeighbor(w, best);
-    }
-    ++moved;
-    ++total_migrations_;
+    report.migration_bytes += MoveVertex(v, best);
+    ++report.moved_vertices;
   }
   SGP_CHECK(state_.load(dead) == 0);
-  return moved;
+  return report;
+}
+
+PartitionId DynamicPartitioner::AddPartition() {
+  const PartitionId fresh = state_.AddPartition();
+  SGP_CHECK(fresh == options_.k);
+  ++options_.k;
+  disabled_.push_back(0);
+  ++alive_k_;
+  return fresh;
+}
+
+SplitReport DynamicPartitioner::SplitPartition(PartitionId p) {
+  SplitReport report;
+  if (p >= options_.k) {
+    report.status = ReshapeStatus::kInvalidPartition;
+    return report;
+  }
+  if (disabled_[p]) {
+    report.status = ReshapeStatus::kAlreadyDisabled;
+    return report;
+  }
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < assignment_.size(); ++v) {
+    if (assignment_[v] == p) members.push_back(v);
+  }
+  const PartitionId fresh = AddPartition();
+  report.new_partition = fresh;
+  const uint64_t target = members.size() / 2;
+  if (target == 0) return report;  // nothing to halve; fresh slot stays empty
+
+  // Locality-preserving halving: grow BFS regions inside p's induced
+  // subgraph, seeded at the best-connected resident, until half of p has
+  // moved. Disconnected leftovers seed new regions in id order, so the
+  // result is deterministic regardless of insertion history.
+  std::vector<char> moved_flag(assignment_.size(), 0);
+  std::vector<VertexId> queue;
+  queue.reserve(target);
+  size_t head = 0;
+  VertexId seed = members.front();
+  size_t seed_degree = adjacency_[seed].size();
+  for (VertexId v : members) {
+    if (adjacency_[v].size() > seed_degree) {
+      seed = v;
+      seed_degree = adjacency_[v].size();
+    }
+  }
+  size_t next_member = 0;  // fallback scan cursor for disconnected parts
+  queue.push_back(seed);
+  moved_flag[seed] = 1;
+  while (report.moved_vertices < target) {
+    if (head == queue.size()) {
+      while (next_member < members.size() &&
+             (moved_flag[members[next_member]] != 0)) {
+        ++next_member;
+      }
+      if (next_member == members.size()) break;
+      moved_flag[members[next_member]] = 1;
+      queue.push_back(members[next_member]);
+    }
+    const VertexId v = queue[head++];
+    report.migration_bytes += MoveVertex(v, fresh);
+    ++report.moved_vertices;
+    for (VertexId w : adjacency_[v]) {
+      if (w >= moved_flag.size() || moved_flag[w] || assignment_[w] != p) {
+        continue;
+      }
+      moved_flag[w] = 1;
+      queue.push_back(w);
+    }
+  }
+  return report;
 }
 
 uint64_t DynamicPartitioner::SynopsisBytes() const {
@@ -281,11 +378,14 @@ FailoverRepair RepairAfterWorkerLoss(const Graph& graph,
     // the dynamic partitioner's neighbor-majority migration.
     DynamicOptions opts = options;
     opts.k = p.k;
+    opts.migration_cost = cost;
     DynamicPartitioner dp(opts);
     dp.Bootstrap(graph, p);
-    dp.DrainPartition(dead);
+    const DrainReport drain = dp.DrainPartition(dead);
+    SGP_CHECK(drain.ok());
     repair.partitioning = dp.Snapshot(graph);
     repair.partitioning.model = p.model;
+    repair.migration_bytes = drain.migration_bytes;
   } else {
     // Vertex-cut / hybrid: every orphaned master usually has surviving
     // replicas — promote the one holding the most still-live incident
@@ -382,9 +482,17 @@ FailoverRepair RepairAfterWorkerLoss(const Graph& graph,
       ++repair.moved_edges;
     }
   }
-  repair.migration_bytes =
-      repair.copied_vertices * cost.bytes_per_vertex_record +
-      repair.moved_edges * cost.bytes_per_adjacency_entry;
+  if (p.model == CutModel::kEdgeCut) {
+    // Unified MigrationCostModel definition, already accumulated move by
+    // move inside DrainPartition: every moved master ships its record plus
+    // its adjacency. No surviving copies exist on edge-cut, so copied ==
+    // moved.
+    repair.copied_vertices = repair.moved_masters;
+  } else {
+    repair.migration_bytes =
+        repair.copied_vertices * cost.bytes_per_vertex_record +
+        repair.moved_edges * cost.bytes_per_adjacency_entry;
+  }
   return repair;
 }
 

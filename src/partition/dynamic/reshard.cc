@@ -1,0 +1,329 @@
+#include "partition/dynamic/reshard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/telemetry.h"
+
+namespace sgp {
+
+namespace {
+
+// reshard.* namespace (docs/OBSERVABILITY.md): per-operation lifecycle,
+// batch outcomes, plan surgery, and wire volume. Registered once per
+// registry via the thread-local caching pattern.
+struct ReshardMetrics {
+  Counter* ops_started = nullptr;
+  Counter* ops_committed = nullptr;
+  Counter* ops_rolled_back = nullptr;
+  Counter* batches_committed = nullptr;
+  Counter* batches_retried = nullptr;
+  Counter* batches_rolled_back = nullptr;
+  Counter* moves_replanned = nullptr;
+  Counter* moves_cancelled = nullptr;
+  Counter* vertices_moved = nullptr;
+  Counter* bytes_moved = nullptr;
+
+  ReshardMetrics() = default;
+  explicit ReshardMetrics(MetricsRegistry& reg) {
+    ops_started = reg.GetCounter("reshard.ops.started");
+    ops_committed = reg.GetCounter("reshard.ops.committed");
+    ops_rolled_back = reg.GetCounter("reshard.ops.rolled_back");
+    batches_committed = reg.GetCounter("reshard.batches.committed");
+    batches_retried = reg.GetCounter("reshard.batches.retried");
+    batches_rolled_back = reg.GetCounter("reshard.batches.rolled_back");
+    moves_replanned = reg.GetCounter("reshard.moves.replanned");
+    moves_cancelled = reg.GetCounter("reshard.moves.cancelled");
+    vertices_moved = reg.GetCounter("reshard.vertices.moved");
+    bytes_moved = reg.GetCounter("reshard.bytes.moved");
+  }
+
+  static ReshardMetrics& Get() {
+    return CurrentRegistryMetrics<ReshardMetrics>();
+  }
+};
+
+}  // namespace
+
+const char* ReshardPhaseName(ReshardPhase phase) {
+  switch (phase) {
+    case ReshardPhase::kPlanned:
+      return "planned";
+    case ReshardPhase::kRunning:
+      return "running";
+    case ReshardPhase::kPaused:
+      return "paused";
+    case ReshardPhase::kRollingBack:
+      return "rolling-back";
+    case ReshardPhase::kCommitted:
+      return "committed";
+    case ReshardPhase::kRolledBack:
+      return "rolled-back";
+  }
+  return "unknown";
+}
+
+ReshardController::ReshardController(const Graph& graph,
+                                     std::vector<PartitionId> owners,
+                                     PartitionId k, const ReshardOp& op,
+                                     const ReshardConfig& config)
+    : graph_(graph),
+      config_(config),
+      owners_(std::move(owners)),
+      rng_(config.seed ^ 0x4e5a4dULL) {
+  SGP_CHECK(op.kind != ReshardOpKind::kNone);
+  SGP_CHECK(op.target < k);
+  SGP_CHECK(owners_.size() == graph.num_vertices());
+  SGP_CHECK(config_.batch_vertices > 0);
+  SGP_CHECK(config_.bytes_per_second > 0);
+  SGP_CHECK(config_.batch_overhead_seconds >= 0);
+  config_.retry.Validate();
+
+  // The placement half of the reshape: the dynamic partitioner decides
+  // where every vertex ends up, this controller only decides when (and
+  // whether) each move ships.
+  DynamicOptions dopts;
+  dopts.k = k;
+  dopts.migration_cost = config_.cost;
+  DynamicPartitioner dp(dopts);
+  Partitioning before;
+  before.model = CutModel::kEdgeCut;
+  before.k = k;
+  before.vertex_to_partition = owners_;
+  dp.Bootstrap(graph, before);
+  if (op.kind == ReshardOpKind::kSplit) {
+    const SplitReport report = dp.SplitPartition(op.target);
+    SGP_CHECK(report.ok());
+  } else {
+    const DrainReport report = dp.MergePartition(op.target);
+    SGP_CHECK(report.ok());
+  }
+  k_after_ = dp.k();
+
+  partition_sizes_.assign(k_after_, 0);
+  for (PartitionId p : owners_) ++partition_sizes_[p];
+  for (VertexId v = 0; v < owners_.size(); ++v) {
+    const PartitionId to = dp.PartitionOf(v);
+    if (to == owners_[v]) continue;
+    VertexMove m;
+    m.v = v;
+    m.from = owners_[v];
+    m.to = to;
+    m.bytes = config_.cost.bytes_per_vertex_record +
+              graph.Neighbors(v).size() *
+                  static_cast<uint64_t>(config_.cost.bytes_per_adjacency_entry);
+    moves_.push_back(m);
+  }
+  ReshardMetrics::Get().ops_started->Increment();
+}
+
+bool ReshardController::BatchBlocked(const Batch& b, const FaultPlan& faults,
+                                     double now) const {
+  for (uint64_t i = b.begin; i < b.end; ++i) {
+    const VertexMove& m = moves_[i];
+    if (m.from == m.to) continue;  // cancelled
+    if (faults.IsDown(m.from, now) || faults.IsDown(m.to, now)) return true;
+  }
+  return false;
+}
+
+double ReshardController::BatchSeconds(const Batch& b) const {
+  uint64_t bytes = 0;
+  for (uint64_t i = b.begin; i < b.end; ++i) {
+    if (moves_[i].from != moves_[i].to) bytes += moves_[i].bytes;
+  }
+  return config_.batch_overhead_seconds +
+         static_cast<double>(bytes) / config_.bytes_per_second;
+}
+
+void ReshardController::ReplanBatch(const Batch& /*b*/,
+                                    const FaultPlan& faults, double now) {
+  ReshardMetrics& metrics = ReshardMetrics::Get();
+  std::vector<uint32_t> counts(k_after_, 0);
+  for (uint64_t i = committed_; i < moves_.size(); ++i) {
+    VertexMove& m = moves_[i];
+    if (m.from == m.to) continue;
+    if (faults.PermanentlyDown(m.from, now)) {
+      // The source copy is gone for good; shipping it is the fault
+      // layer's repair problem (RepairAfterWorkerLoss), not this
+      // reshape's. Cancel in place so indices stay stable.
+      m.to = m.from;
+      ++stats_.moves_cancelled;
+      metrics.moves_cancelled->Increment();
+      continue;
+    }
+    if (!faults.IsDown(m.to, now)) continue;
+    // Destination is down: retarget to the neighbor-majority partition
+    // among those alive right now, never back into the partition being
+    // vacated; least-loaded fallback. Deterministic (ties to lower id).
+    std::fill(counts.begin(), counts.end(), 0);
+    for (VertexId w : graph_.Neighbors(m.v)) ++counts[owners_[w]];
+    PartitionId best = kInvalidPartition;
+    uint32_t best_count = 0;
+    for (PartitionId p = 0; p < k_after_; ++p) {
+      if (p == m.from || faults.IsDown(p, now)) continue;
+      if (counts[p] > best_count) {
+        best_count = counts[p];
+        best = p;
+      }
+    }
+    if (best == kInvalidPartition) {
+      for (PartitionId p = 0; p < k_after_; ++p) {
+        if (p == m.from || faults.IsDown(p, now)) continue;
+        if (best == kInvalidPartition ||
+            partition_sizes_[p] < partition_sizes_[best]) {
+          best = p;
+        }
+      }
+    }
+    if (best == kInvalidPartition) continue;  // everything down; retry later
+    m.to = best;
+    ++stats_.moves_replanned;
+    metrics.moves_replanned->Increment();
+  }
+}
+
+ReshardStepResult ReshardController::BeginRollback(double now) {
+  ReshardStepResult result;
+  phase_ = ReshardPhase::kRollingBack;
+  inflight_end_ = committed_;
+  attempts_ = 0;
+  if (committed_ == 0) {
+    phase_ = ReshardPhase::kRolledBack;
+    result.done = true;
+    ReshardMetrics::Get().ops_rolled_back->Increment();
+    return result;
+  }
+  const uint64_t n =
+      std::min<uint64_t>(config_.batch_vertices, committed_);
+  result.next_time = now + BatchSeconds({committed_ - n, committed_});
+  return result;
+}
+
+ReshardStepResult ReshardController::Step(double now,
+                                          const FaultPlan& faults) {
+  ReshardMetrics& metrics = ReshardMetrics::Get();
+  ReshardStepResult result;
+  if (done()) {
+    result.done = true;
+    return result;
+  }
+  if (phase_ == ReshardPhase::kPaused) return result;
+
+  if (phase_ == ReshardPhase::kRollingBack) {
+    // Unwind one committed batch, most recent first. Rollback ignores
+    // faults — it ships toward partitions that held the data moments ago
+    // (a deliberate simplification; see docs/SIMULATORS.md).
+    const uint64_t n =
+        std::min<uint64_t>(config_.batch_vertices, committed_);
+    for (uint64_t i = 0; i < n; ++i) {
+      VertexMove m = moves_[committed_ - 1 - i];
+      if (m.from == m.to) continue;  // cancelled move: nothing shipped
+      std::swap(m.from, m.to);
+      owners_[m.v] = m.to;
+      --partition_sizes_[m.from];
+      ++partition_sizes_[m.to];
+      result.applied.push_back(m);
+      result.bytes += m.bytes;
+      ++stats_.moved_vertices;
+      stats_.migration_bytes += m.bytes;
+    }
+    committed_ -= n;
+    ++stats_.batches_rolled_back;
+    metrics.batches_rolled_back->Increment();
+    metrics.vertices_moved->Increment(result.applied.size());
+    metrics.bytes_moved->Increment(result.bytes);
+    if (committed_ == 0) {
+      phase_ = ReshardPhase::kRolledBack;
+      result.done = true;
+      metrics.ops_rolled_back->Increment();
+    } else {
+      const uint64_t next =
+          std::min<uint64_t>(config_.batch_vertices, committed_);
+      result.next_time = now + BatchSeconds({committed_ - next, committed_});
+    }
+    return result;
+  }
+
+  if (inflight_end_ > committed_) {
+    const Batch b{committed_, inflight_end_};
+    if (BatchBlocked(b, faults, now)) {
+      // A source or destination died while the batch was on the wire:
+      // the attempt is void. Back off and retry; after max_attempts,
+      // re-plan around the loss (or abort the whole operation).
+      ++attempts_;
+      ++stats_.batch_retries;
+      metrics.batches_retried->Increment();
+      if (attempts_ >= config_.retry.max_attempts) {
+        if (config_.rollback_on_worker_loss) {
+          return BeginRollback(now);
+        }
+        ReplanBatch(b, faults, now);
+        attempts_ = 0;
+        // Saturated pacing for the replanned attempt: the cluster just
+        // proved itself unhealthy.
+        result.next_time =
+            now + config_.retry.BackoffSeconds(config_.retry.max_attempts,
+                                               rng_) +
+            BatchSeconds(b);
+      } else {
+        result.next_time =
+            now + config_.retry.BackoffSeconds(attempts_, rng_) +
+            BatchSeconds(b);
+      }
+      return result;
+    }
+    for (uint64_t i = b.begin; i < b.end; ++i) {
+      const VertexMove& m = moves_[i];
+      if (m.from == m.to) continue;  // cancelled
+      owners_[m.v] = m.to;
+      --partition_sizes_[m.from];
+      ++partition_sizes_[m.to];
+      result.applied.push_back(m);
+      result.bytes += m.bytes;
+      ++stats_.moved_vertices;
+      stats_.migration_bytes += m.bytes;
+    }
+    committed_ = inflight_end_;
+    attempts_ = 0;
+    ++stats_.batches_committed;
+    metrics.batches_committed->Increment();
+    metrics.vertices_moved->Increment(result.applied.size());
+    metrics.bytes_moved->Increment(result.bytes);
+  }
+
+  if (committed_ == moves_.size()) {
+    phase_ = ReshardPhase::kCommitted;
+    result.done = true;
+    metrics.ops_committed->Increment();
+    return result;
+  }
+  if (pause_requested_) {
+    pause_requested_ = false;
+    phase_ = ReshardPhase::kPaused;
+    return result;
+  }
+  phase_ = ReshardPhase::kRunning;
+  inflight_end_ =
+      std::min<uint64_t>(committed_ + config_.batch_vertices, moves_.size());
+  result.next_time = now + BatchSeconds({committed_, inflight_end_});
+  return result;
+}
+
+double ReshardController::Resume(double now) {
+  SGP_CHECK(phase_ == ReshardPhase::kPaused);
+  phase_ = ReshardPhase::kRunning;
+  return now;
+}
+
+ReshardStepResult ReshardController::Abort(double now) {
+  if (done()) {
+    ReshardStepResult result;
+    result.done = true;
+    return result;
+  }
+  return BeginRollback(now);
+}
+
+}  // namespace sgp

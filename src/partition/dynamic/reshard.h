@@ -1,0 +1,199 @@
+#ifndef SGP_PARTITION_DYNAMIC_RESHARD_H_
+#define SGP_PARTITION_DYNAMIC_RESHARD_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/faults.h"
+#include "common/random.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "partition/dynamic/dynamic_partitioner.h"
+
+namespace sgp {
+
+/// Which elastic reshape the controller executes.
+enum class ReshardOpKind : uint8_t {
+  kNone,
+  kSplit,  // SplitPartition(target) → {target, k}
+  kMerge,  // MergePartition(target): drain into neighbor-majority siblings
+};
+
+struct ReshardOp {
+  ReshardOpKind kind = ReshardOpKind::kNone;
+  PartitionId target = 0;
+};
+
+/// Execution knobs of the live resharder. The transfer-time model is the
+/// simulator's: each batch costs a fixed per-batch overhead plus its wire
+/// bytes over the migration bandwidth, on the same simulated clock the
+/// event simulator runs on.
+struct ReshardConfig {
+  /// Vertices migrated per batch (the commit unit; also the rollback and
+  /// pause granularity).
+  uint32_t batch_vertices = 64;
+
+  /// Migration bandwidth in bytes of MigrationCostModel wire volume per
+  /// simulated second.
+  double bytes_per_second = 256e6;
+
+  /// Fixed coordination cost per batch attempt, seconds.
+  double batch_overhead_seconds = 500e-6;
+
+  /// Per-batch retry pacing when a batch cannot commit because a source or
+  /// destination worker is down. After max_attempts the controller
+  /// re-plans around the loss (or rolls back, below).
+  RetryPolicy retry;
+
+  /// Wire-volume definition shared with DynamicPartitioner / SimResult.
+  MigrationCostModel cost;
+
+  /// Abort-and-rollback instead of re-planning when a batch exhausts its
+  /// retries (the conservative production posture).
+  bool rollback_on_worker_loss = false;
+
+  /// Seed of the retry-jitter stream.
+  uint64_t seed = 17;
+};
+
+/// One vertex migration. `bytes` is the MigrationCostModel wire volume;
+/// rollback moves come back with from/to swapped so consumers always apply
+/// `owner[v] = to`.
+struct VertexMove {
+  VertexId v = 0;
+  PartitionId from = 0;
+  PartitionId to = 0;
+  uint64_t bytes = 0;
+};
+
+enum class ReshardPhase : uint8_t {
+  kPlanned,      // ctor done, no batch issued yet
+  kRunning,      // batches in flight
+  kPaused,       // Pause() took effect at a batch boundary
+  kRollingBack,  // unwinding committed batches in reverse
+  kCommitted,    // every planned move applied
+  kRolledBack,   // every committed move undone
+};
+
+const char* ReshardPhaseName(ReshardPhase phase);
+
+/// Counters of one reshard operation (mirrored into the reshard.*
+/// telemetry namespace; see docs/OBSERVABILITY.md).
+struct ReshardStats {
+  uint64_t batches_committed = 0;
+  uint64_t batch_retries = 0;
+  uint64_t batches_rolled_back = 0;
+  uint64_t moves_replanned = 0;
+  uint64_t moves_cancelled = 0;
+  uint64_t moved_vertices = 0;    // rollback moves count too (they ship bytes)
+  uint64_t migration_bytes = 0;
+};
+
+/// Outcome of one Step/Abort call.
+struct ReshardStepResult {
+  /// Moves that committed during this step, in plan order. Apply as
+  /// `owner[move.v] = move.to`.
+  std::vector<VertexMove> applied;
+
+  /// Wire bytes this step put on the network (committed batch or retried
+  /// attempt's nothing — retries ship no bytes until they commit).
+  uint64_t bytes = 0;
+
+  /// When to call Step next; +infinity when paused or terminal.
+  double next_time = std::numeric_limits<double>::infinity();
+
+  /// Operation reached kCommitted or kRolledBack.
+  bool done = false;
+};
+
+/// Executes one split or merge as a sequence of bounded migration batches
+/// on the event simulator's clock — the live half of the elastic
+/// resharder. The *plan* (which vertex goes where) comes from
+/// DynamicPartitioner::SplitPartition / MergePartition at construction
+/// time; the controller owns pacing, retry/backoff under faults,
+/// re-planning around worker losses, pause/resume, and rollback.
+///
+/// Driving protocol: construct, then call Step(t, faults) at t =
+/// start_time and again at each returned next_time until done. Every
+/// Step first tries to commit the batch whose transfer completes at t
+/// (the source and destination of every move must be up at commit time —
+/// a mid-transfer death voids the attempt), then launches the next batch.
+/// All decisions are deterministic in (plan, config, fault plan).
+class ReshardController {
+ public:
+  /// `owners[v]` is the serving partition of vertex v before the reshape;
+  /// `k` the partition count before the reshape. The plan is computed
+  /// here, eagerly; Step only replays it.
+  ReshardController(const Graph& graph, std::vector<PartitionId> owners,
+                    PartitionId k, const ReshardOp& op,
+                    const ReshardConfig& config);
+
+  /// Advances the operation at simulated time `now` (see class comment).
+  ReshardStepResult Step(double now, const FaultPlan& faults);
+
+  /// Requests a pause; takes effect at the next batch boundary (the
+  /// in-flight batch still commits). Step then returns next_time = +inf.
+  void Pause() { pause_requested_ = true; }
+
+  /// Resumes a paused operation; returns the time to call Step next.
+  double Resume(double now);
+
+  /// Discards the in-flight batch and starts rolling back every committed
+  /// batch in reverse order. The result's next_time schedules the first
+  /// rollback step.
+  ReshardStepResult Abort(double now);
+
+  // ---- observers -------------------------------------------------------
+
+  ReshardPhase phase() const { return phase_; }
+  bool done() const {
+    return phase_ == ReshardPhase::kCommitted ||
+           phase_ == ReshardPhase::kRolledBack;
+  }
+
+  /// Partition-id space after the reshape (merge keeps k: the drained slot
+  /// stays allocated, just empty).
+  PartitionId k_after() const { return k_after_; }
+
+  /// The full move plan, in execution order. Re-planning rewrites the
+  /// destinations of not-yet-committed entries in place.
+  const std::vector<VertexMove>& planned_moves() const { return moves_; }
+
+  /// Moves committed so far (prefix of planned_moves, minus rollbacks).
+  uint64_t committed_moves() const { return committed_; }
+
+  const ReshardStats& stats() const { return stats_; }
+
+ private:
+  struct Batch {
+    uint64_t begin = 0;  // [begin, end) indexes into moves_
+    uint64_t end = 0;
+  };
+
+  bool BatchBlocked(const Batch& b, const FaultPlan& faults,
+                    double now) const;
+  void ReplanBatch(const Batch& b, const FaultPlan& faults, double now);
+  ReshardStepResult BeginRollback(double now);
+  double BatchSeconds(const Batch& b) const;
+  void LaunchNext(double now, ReshardStepResult* result);
+
+  const Graph& graph_;
+  ReshardConfig config_;
+  PartitionId k_after_;
+  std::vector<VertexMove> moves_;
+  std::vector<PartitionId> owners_;       // live view, updated per commit
+  std::vector<uint64_t> partition_sizes_; // live counts for replan fallback
+  ReshardPhase phase_ = ReshardPhase::kPlanned;
+  ReshardStats stats_;
+  Rng rng_;
+  uint64_t committed_ = 0;       // moves_ prefix applied
+  uint64_t inflight_end_ = 0;    // != committed_ while a batch is in flight
+  uint32_t attempts_ = 0;        // failed commit attempts of that batch
+  uint64_t rollback_cursor_ = 0; // moves still to undo when rolling back
+  bool pause_requested_ = false;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_DYNAMIC_RESHARD_H_

@@ -116,6 +116,17 @@ class PartitionState {
   }
 
   // ---------------------------------------------------------------------
+  // Elastic resharding: growing k at runtime.
+  // ---------------------------------------------------------------------
+
+  /// Appends one empty partition (weight 1.0) and returns its id — the
+  /// split path of the elastic resharder. Only supported on homogeneous
+  /// states whose derived per-partition tables (capacities, effective
+  /// loads, secondary loads) are uninitialized; growing those would
+  /// silently change every other partition's normalized weight.
+  PartitionId AddPartition();
+
+  // ---------------------------------------------------------------------
   // Synopsis accounting: Partitioning::state_bytes is computed one way
   // for every algorithm — the bytes of every live component plus whatever
   // auxiliary state the algorithm registered (assignment arrays,

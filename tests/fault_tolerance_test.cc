@@ -93,6 +93,41 @@ TEST(FaultPlanTest, AnyOutageOverlaps) {
   EXPECT_FALSE(plan.AnyOutageOverlaps(4.1, 9.0));
 }
 
+TEST(FaultPlanTest, ZeroLengthOutageWindowIsInert) {
+  // end == start is a valid plan (reshard schedulers legitimately shrink
+  // windows to nothing) and must behave exactly as if the window were
+  // absent everywhere, not just in IsDown.
+  FaultPlan plan;
+  plan.outages.push_back({1, 5.0, 5.0});
+  plan.Validate(4);
+  EXPECT_FALSE(plan.IsDown(1, 5.0));
+  EXPECT_FALSE(plan.IsDown(1, 4.999));
+  EXPECT_TRUE(plan.DownMask(4, 5.0).empty());
+  EXPECT_FALSE(plan.AnyOutageOverlaps(0.0, 10.0));
+  EXPECT_FALSE(plan.PermanentlyDown(1, 6.0));
+}
+
+TEST(FaultPlanTest, OverlappingOutagesOnOneWorkerActAsUnion) {
+  FaultPlan plan;
+  plan.outages.push_back({0, 2.0, 6.0});
+  plan.outages.push_back({0, 4.0, 9.0});
+  plan.Validate(2);
+  EXPECT_FALSE(plan.IsDown(0, 1.999));
+  EXPECT_TRUE(plan.IsDown(0, 3.0));
+  EXPECT_TRUE(plan.IsDown(0, 5.0));   // covered by both windows
+  EXPECT_TRUE(plan.IsDown(0, 8.999));
+  EXPECT_FALSE(plan.IsDown(0, 9.0));
+  std::vector<char> mask = plan.DownMask(2, 5.0);
+  ASSERT_EQ(mask.size(), 2u);
+  EXPECT_TRUE(mask[0]);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_TRUE(plan.AnyOutageOverlaps(6.5, 7.0));  // inside the second only
+  std::vector<double> times = plan.OutageTransitionTimes();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 2.0);
+  EXPECT_DOUBLE_EQ(times[3], 9.0);
+}
+
 TEST(FaultPlanTest, RandomPlanIsDeterministicAndValid) {
   RandomFaultOptions opt;
   opt.crash_probability = 0.8;
@@ -141,6 +176,29 @@ TEST(RetryPolicyTest, JitterStaysInBand) {
     double b = policy.BackoffSeconds(1, rng);
     EXPECT_GE(b, policy.initial_backoff_seconds * 0.8 - 1e-15);
     EXPECT_LE(b, policy.initial_backoff_seconds * 1.2 + 1e-15);
+  }
+}
+
+TEST(RetryPolicyTest, SingleAttemptPolicyIsValid) {
+  // max_attempts == 1 means "no retries, fail on first error" — a valid
+  // posture, not a configuration error.
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  policy.Validate();
+  Rng rng(3);
+  EXPECT_GT(policy.BackoffSeconds(1, rng), 0.0);
+}
+
+TEST(RetryPolicyTest, BackoffSaturationKeepsJitterBand) {
+  // Far past the cap the backoff must stay pinned at max_backoff_seconds
+  // (jittered), never overflow or keep doubling.
+  RetryPolicy policy;
+  policy.jitter_fraction = 0.2;
+  Rng rng(11);
+  for (uint32_t failures : {7u, 50u, 1000u}) {
+    double b = policy.BackoffSeconds(failures, rng);
+    EXPECT_GE(b, policy.max_backoff_seconds * 0.8 - 1e-15);
+    EXPECT_LE(b, policy.max_backoff_seconds * 1.2 + 1e-15);
   }
 }
 
@@ -335,11 +393,17 @@ TEST(RecoveryTest, DrainPartitionEmptiesAndDisables) {
   dp.Bootstrap(g, p);
   uint64_t before_on_dead = dp.partition_sizes()[1];
   ASSERT_GT(before_on_dead, 0u);
-  uint64_t moved = dp.DrainPartition(1);
-  EXPECT_EQ(moved, before_on_dead);
+  DrainReport drain = dp.DrainPartition(1);
+  ASSERT_TRUE(drain.ok());
+  EXPECT_EQ(drain.moved_vertices, before_on_dead);
+  EXPECT_GT(drain.migration_bytes, 0u);
+  EXPECT_EQ(drain.migration_bytes, dp.total_migration_bytes());
   EXPECT_EQ(dp.partition_sizes()[1], 0u);
   EXPECT_TRUE(dp.IsDisabled(1));
-  EXPECT_EQ(dp.DrainPartition(1), 0u);  // idempotent
+  // Idempotent: a second drain is a recoverable rejection, not an abort.
+  DrainReport again = dp.DrainPartition(1);
+  EXPECT_EQ(again.status, ReshapeStatus::kAlreadyDisabled);
+  EXPECT_EQ(again.moved_vertices, 0u);
   for (VertexId v = 0; v < dp.num_vertices(); ++v) {
     EXPECT_NE(dp.PartitionOf(v), 1u);
   }
@@ -351,6 +415,49 @@ TEST(RecoveryTest, DrainPartitionEmptiesAndDisables) {
   for (VertexId i = 0; i < 64; ++i) {
     EXPECT_NE(dp.PartitionOf(base + i), 1u);
   }
+}
+
+TEST(RecoveryTest, DrainPartitionRejectsUnknownPartition) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 4;
+  DynamicOptions opt;
+  opt.k = 4;
+  DynamicPartitioner dp(opt);
+  dp.Bootstrap(g, CreatePartitioner("LDG")->Run(g, pcfg));
+  std::vector<uint64_t> sizes = dp.partition_sizes();
+  // An id outside the partition space is a recoverable caller error, not
+  // an abort — and must leave the placement untouched.
+  DrainReport report = dp.DrainPartition(9);
+  EXPECT_EQ(report.status, ReshapeStatus::kInvalidPartition);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.moved_vertices, 0u);
+  EXPECT_EQ(report.migration_bytes, 0u);
+  EXPECT_EQ(dp.partition_sizes(), sizes);
+  EXPECT_EQ(dp.alive_k(), 4u);
+  // Out-of-range ids read as disabled rather than aborting.
+  EXPECT_TRUE(dp.IsDisabled(9));
+}
+
+TEST(RecoveryTest, DrainPartitionRefusesLastAliveWorker) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig pcfg;
+  pcfg.k = 2;
+  DynamicOptions opt;
+  opt.k = 2;
+  DynamicPartitioner dp(opt);
+  dp.Bootstrap(g, CreatePartitioner("LDG")->Run(g, pcfg));
+  ASSERT_TRUE(dp.DrainPartition(0).ok());
+  EXPECT_EQ(dp.alive_k(), 1u);
+  const uint64_t survivors = dp.partition_sizes()[1];
+  // Draining the last live partition would leave the vertices nowhere to
+  // go; the request is rejected and nothing moves.
+  DrainReport report = dp.DrainPartition(1);
+  EXPECT_EQ(report.status, ReshapeStatus::kLastAlive);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(dp.partition_sizes()[1], survivors);
+  EXPECT_FALSE(dp.IsDisabled(1));
+  EXPECT_EQ(dp.alive_k(), 1u);
 }
 
 TEST(RecoveryTest, RepairEdgeCutPlacement) {
