@@ -1,0 +1,170 @@
+// Ablation: live monitoring of the serving loop. Sweeps the registry
+// sampling interval and the SLO window pair under the PR-1 fault plans,
+// for one edge-cut and one vertex-cut placement. Proves the burn-rate
+// policy end to end: every outage cell must fire at least one alert,
+// every fault-free cell must stay silent, and an identical rerun must
+// reproduce the sampled series, the alert stream and every flight-recorder
+// dump byte for byte. A violated invariant fails the bench (nonzero exit).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "bench/bench_util.h"
+#include "common/faults.h"
+#include "common/monitor.h"
+#include "common/table_printer.h"
+#include "common/telemetry.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+int main() {
+  using namespace sgp;
+  const uint32_t scale = bench::ScaleFromEnv(12);
+  const PartitionId k = 8;
+  bench::PrintBanner("Ablation: live monitoring",
+                     "SLO burn-rate alerts: sampling interval x window "
+                     "pair x fault plan (k=8)",
+                     scale);
+  Graph g = MakeDataset("ldbc", scale);
+  Workload w(g, {});
+
+  SimConfig base;
+  base.clients = 32;
+  base.num_queries = 6000;
+
+  // Golden-pinned alert totals: the committed BENCH json proves outage
+  // cells alert and fault-free cells stay silent at this scale.
+  Counter* alerts_fault_free =
+      MetricsRegistry::Global().GetCounter("bench.monitor.alerts.fault_free");
+  Counter* alerts_outage =
+      MetricsRegistry::Global().GetCounter("bench.monitor.alerts.outage");
+
+  int violations = 0;
+  TablePrinter table({"Algorithm", "Interval", "Windows", "Faults", "Samples",
+                      "Alerts", "First @", "First SLO", "Dumps",
+                      "Recommendation"});
+  for (const std::string& algo : {std::string("LDG"), std::string("HDRF")}) {
+    PartitionConfig cfg;
+    cfg.k = k;
+    GraphDatabase db(g, CreatePartitioner(algo)->Run(g, cfg));
+
+    // Healthy calibration run: measures the span (windows, sampling
+    // intervals and the outage are sized as fractions of it, so every
+    // cell sees the same geometry regardless of scale) and the healthy
+    // latency quantiles the SLO targets derive from. Targets at 2x the
+    // healthy quantile keep a burn near 1.0 — let alone the 2x threshold
+    // — out of reach for fault-free cells.
+    double span = 0;
+    double target_p99 = 0;
+    double target_p999 = 0;
+    {
+      SimResult healthy = SimulateClosedLoop(db, w, base);
+      span = healthy.window_seconds / (1.0 - base.warmup_fraction);
+      target_p99 = 2.0 * healthy.latency.p99;
+      target_p999 = 2.0 * healthy.latency.p999;
+    }
+
+    const std::vector<std::pair<const char*, double>> intervals = {
+        {"fine", span / 200}, {"coarse", span / 50}};
+    const std::vector<std::pair<const char*, std::pair<double, double>>>
+        window_pairs = {{"tight", {0.02 * span, 0.10 * span}},
+                        {"wide", {0.05 * span, 0.25 * span}}};
+    for (const auto& [interval_name, interval] : intervals) {
+      for (const auto& [window_name, windows] : window_pairs) {
+        for (const char* fault_mode : {"none", "outage"}) {
+          SimConfig sim = base;
+          sim.monitor.enabled = true;
+          sim.monitor.sample_interval = interval;
+          auto slo = [&](const char* name, SloKind kind, double objective) {
+            SloConfig s;
+            s.name = name;
+            s.kind = kind;
+            s.objective = objective;
+            s.short_window = windows.first;
+            s.long_window = windows.second;
+            s.burn_threshold = 2.0;
+            return s;
+          };
+          sim.monitor.slos = {
+              slo("availability", SloKind::kAvailability, 0.999),
+              slo("latency-p99", SloKind::kLatencyP99, target_p99),
+              slo("latency-p999", SloKind::kLatencyP999, target_p999)};
+          const bool outage = fault_mode[0] == 'o';
+          if (outage) {
+            // [30%, 50%] of the run without worker 0 — the same geometry
+            // the fault-tolerance and resharding ablations use.
+            sim.faults = FaultPlan::SingleOutage(0, 0.3 * span, 0.2 * span);
+          }
+
+          // Each cell runs under its own scoped registry (the experiment-
+          // grid pattern): sampled quantile series never see another
+          // cell's histogram state.
+          MetricsRegistry cell;
+          SimResult r;
+          {
+            ScopedMetricsRegistry scope(&cell);
+            r = SimulateClosedLoop(db, w, sim);
+          }
+          MetricsRegistry::Global().MergeFrom(cell);
+
+          // Determinism invariant: an identical rerun in a fresh registry
+          // reproduces every monitoring artifact byte for byte.
+          {
+            MetricsRegistry rerun_reg;
+            ScopedMetricsRegistry scope(&rerun_reg);
+            SimResult rerun = SimulateClosedLoop(db, w, sim);
+            if (rerun.time_series != r.time_series ||
+                rerun.blackbox != r.blackbox || !(rerun.alerts == r.alerts)) {
+              std::cerr << "VIOLATION: monitoring artifacts not reproducible ("
+                        << algo << ", " << interval_name << ", " << window_name
+                        << ", " << fault_mode << ")\n";
+              ++violations;
+            }
+          }
+
+          // Alert invariants: outage cells fire, fault-free cells don't.
+          if (outage && r.alerts.empty()) {
+            std::cerr << "VIOLATION: no alert under the outage plan (" << algo
+                      << ", " << interval_name << ", " << window_name << ")\n";
+            ++violations;
+          }
+          if (!outage && !r.alerts.empty()) {
+            std::cerr << "VIOLATION: " << r.alerts.size()
+                      << " alert(s) in a fault-free cell (" << algo << ", "
+                      << interval_name << ", " << window_name << ")\n";
+            ++violations;
+          }
+          (outage ? alerts_outage : alerts_fault_free)
+              ->Increment(r.alerts.size());
+
+          LiveRecommendation rec =
+              RecommendFromTimeSeries(r.monitor_series, r.alerts);
+          table.AddRow(
+              {algo, interval_name, window_name, fault_mode,
+               FormatCount(r.monitor_series.num_samples()),
+               FormatCount(r.alerts.size()),
+               r.alerts.empty()
+                   ? std::string("-")
+                   : FormatDouble(r.alerts.front().time / span, 2),
+               r.alerts.empty() ? std::string("-") : r.alerts.front().slo,
+               FormatCount(r.blackbox.size()), LiveActionName(rec.action)});
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\n\"First @\" is the first alert's fire time as a fraction "
+               "of the run; the\noutage covers [0.30, 0.50]. Tight windows "
+               "catch it earlier, coarse\nsampling delays detection by up "
+               "to one interval; fault-free cells stay\nsilent because the "
+               "latency targets sit at 2x the healthy quantiles.\n";
+  sgp::bench::WriteBenchJson("ablation_monitoring", scale);
+  if (violations > 0) {
+    std::cerr << "\n" << violations << " monitoring invariant(s) violated\n";
+    return 1;
+  }
+  return 0;
+}

@@ -18,8 +18,8 @@ int main() {
   Workload workload(g, wcfg);
   const PartitionId k = 16;
 
-  TablePrinter table({"Algorithm", "Medium Mean", "Medium p99", "High Mean",
-                      "High p99"});
+  TablePrinter table({"Algorithm", "Medium Mean", "Medium p99", "Medium p999",
+                      "High Mean", "High p99", "High p999"});
   for (const std::string& algo : bench::OnlineAlgos()) {
     PartitionConfig cfg;
     cfg.k = k;
@@ -32,6 +32,7 @@ int main() {
       SimResult r = SimulateClosedLoop(db, workload, sim);
       row.push_back(FormatDouble(r.latency.mean * 1e3, 2));
       row.push_back(FormatDouble(r.latency.p99 * 1e3, 2));
+      row.push_back(FormatDouble(r.latency.p999 * 1e3, 2));
     }
     table.AddRow(std::move(row));
   }

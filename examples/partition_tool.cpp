@@ -20,6 +20,7 @@
 //   --slack <b>           balance slack β (default 1.05)
 //   --output <file>       write "vertex partition" lines
 //   --metrics-out <file>  dump the telemetry registry as JSON
+//   --trace-out <file>    dump the registry with traces included
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -44,7 +45,8 @@ void PrintUsage() {
          "       partition_tool --input-edgelist <file> <vcr|dbh|hdrf> <k> "
          "[options]\n"
          "options: [--directed] [--order o] [--chunk-size n] [--seed s]\n"
-         "         [--slack b] [--output file] [--metrics-out file]\n";
+         "         [--slack b] [--output file] [--metrics-out file]\n"
+         "         [--trace-out file]\n";
 }
 
 }  // namespace
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   const std::string output = flags.TakeString("--output").value_or("");
   const std::string metrics_out =
       flags.TakeString("--metrics-out").value_or("");
+  const std::string trace_out = flags.TakeString("--trace-out").value_or("");
   std::vector<std::string> positional = flags.TakePositional();
   if (!flags.ok()) {
     std::cerr << flags.error() << "\n";
@@ -181,6 +184,17 @@ int main(int argc, char** argv) {
     }
     out << MetricsRegistry::Global().ExportJson();
     std::cout << "metrics written to " << metrics_out << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_out << "\n";
+      return 1;
+    }
+    ExportOptions options;
+    options.include_traces = true;
+    out << MetricsRegistry::Global().ExportJson(options);
+    std::cout << "metrics+traces written to " << trace_out << "\n";
   }
   return 0;
 }

@@ -26,7 +26,11 @@ echo "check.sh: all tests passed under address,undefined sanitizers"
 # mutation; give its test an extra dedicated sanitizer pass so a racing
 # counter/histogram bug cannot hide behind a sharded ctest run.
 "$BUILD_DIR/tests/telemetry_test"
-echo "check.sh: telemetry_test passed standalone under sanitizers"
+# The monitor layer samples that same lock-free registry from the
+# simulator loop while workers mutate it; its suite gets the same
+# dedicated pass.
+"$BUILD_DIR/tests/monitor_test"
+echo "check.sh: telemetry_test + monitor_test passed standalone under sanitizers"
 
 # The ingest-equivalence suite is the contract of the chunked source
 # layer (chunk boundaries and the disk reader never change results); run
@@ -50,7 +54,8 @@ JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
              bench_partitioner_speed bench_ablation_parallel_ingest \
-             bench_engine_speed bench_ablation_resharding; do
+             bench_engine_speed bench_ablation_resharding \
+             bench_ablation_monitoring; do
   SGP_SCALE=8 SGP_BENCH_JSON_DIR="$JSON_DIR" \
     "$BUILD_DIR/bench/$bench" > /dev/null
 done
@@ -83,6 +88,14 @@ python3 scripts/bench_diff.py \
 python3 scripts/bench_diff.py \
   tests/golden/BENCH_ablation_resharding.json \
   "$JSON_DIR/BENCH_ablation_resharding.json"
+
+# And for the monitoring ablation: its deterministic section pins the
+# monitor.* namespace plus the per-fault-plan alert totals, so a
+# divergence means burn-rate alerting either went quiet under an outage
+# or started paging on healthy traffic.
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_ablation_monitoring.json \
+  "$JSON_DIR/BENCH_ablation_monitoring.json"
 echo "check.sh: bench goldens match"
 
 # ThreadSanitizer pass over the concurrent subsystems: the worker pool,
@@ -95,7 +108,8 @@ cmake -B "$TSAN_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSGP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
-  --target thread_pool_test parallel_streaming_test grid_test reshard_test
+  --target thread_pool_test parallel_streaming_test grid_test reshard_test \
+  monitor_test
 
 export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/thread_pool_test"
@@ -106,4 +120,8 @@ export TSAN_OPTIONS="halt_on_error=1"
 # TSan keeps the reshard.* counters honest if resharding ever moves onto
 # the worker pool.
 "$TSAN_DIR/tests/reshard_test"
+# Concurrent time-series sampling against live lock-free counter and
+# histogram updates is a real race surface; the monitor suite drives
+# writer threads through the registry while a sampler reads it.
+"$TSAN_DIR/tests/monitor_test"
 echo "check.sh: concurrency tests passed under thread sanitizer"

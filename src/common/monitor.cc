@@ -1,0 +1,332 @@
+#include "common/monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sgp {
+
+// ---------------------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------------------
+
+TimeSeries::TimeSeries(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {}
+
+void TimeSeries::Append(double time, double value) {
+  if (size_ < capacity_) {
+    ring_.push_back({time, value});
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = {time, value};
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+const TimeSeriesPoint& TimeSeries::At(size_t i) const {
+  SGP_CHECK(i < size_);
+  return ring_[(head_ + i) % ring_.size()];
+}
+
+const TimeSeriesPoint& TimeSeries::Back() const {
+  SGP_CHECK(size_ > 0);
+  return At(size_ - 1);
+}
+
+std::vector<TimeSeriesPoint> TimeSeries::Points() const {
+  std::vector<TimeSeriesPoint> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(At(i));
+  return out;
+}
+
+std::vector<TimeSeriesPoint> TimeSeries::Since(double time) const {
+  std::vector<TimeSeriesPoint> out;
+  for (size_t i = 0; i < size_; ++i) {
+    const TimeSeriesPoint& p = At(i);
+    if (p.time >= time) out.push_back(p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesStore
+// ---------------------------------------------------------------------------
+
+TimeSeriesStore::TimeSeriesStore(const TimeSeriesStoreOptions& options)
+    : options_(options) {}
+
+TimeSeries& TimeSeriesStore::SeriesFor(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(options_.capacity_per_series))
+             .first;
+  }
+  return it->second;
+}
+
+void TimeSeriesStore::AppendDelta(const std::string& name, double now,
+                                  double cumulative) {
+  auto [it, inserted] = baselines_.try_emplace(name, cumulative);
+  const double delta = inserted ? 0.0 : cumulative - it->second;
+  it->second = cumulative;
+  SeriesFor(name).Append(now, delta);
+}
+
+void TimeSeriesStore::Sample(const MetricsRegistry& registry, double now) {
+  ExportOptions options;
+  options.filter = options_.filter;
+  for (const MetricSample& s : registry.Snapshot(options)) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        AppendDelta(s.name, now, static_cast<double>(s.counter_value));
+        break;
+      case MetricKind::kGauge:
+        SeriesFor(s.name).Append(now, s.gauge_value);
+        break;
+      case MetricKind::kHistogram:
+        AppendDelta(s.name + ".count", now, static_cast<double>(s.count));
+        SeriesFor(s.name + ".p50").Append(now, s.p50);
+        SeriesFor(s.name + ".p99").Append(now, s.p99);
+        SeriesFor(s.name + ".p999").Append(now, s.p999);
+        break;
+    }
+  }
+  ++num_samples_;
+}
+
+const TimeSeries* TimeSeriesStore::Find(std::string_view name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+void AppendSeriesJson(const std::string& name, uint64_t evicted,
+                      const std::vector<TimeSeriesPoint>& points,
+                      std::string* out) {
+  *out += "{\"name\":";
+  AppendJsonEscaped(name, out);
+  *out += ",\"evicted\":" + std::to_string(evicted);
+  *out += ",\"points\":[";
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) *out += ',';
+    *out += '[' + FormatJsonDouble(points[i].time) + ',' +
+            FormatJsonDouble(points[i].value) + ']';
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+std::string ExportTimeSeriesJson(const TimeSeriesStore& store) {
+  std::string out = "{\"schema\":\"sgp.timeseries.v1\",\"samples\":";
+  out += std::to_string(store.num_samples());
+  out += ",\"series\":[";
+  bool first = true;
+  for (const auto& [name, series] : store.series()) {
+    if (!first) out += ',';
+    first = false;
+    AppendSeriesJson(name, series.evicted(), series.Points(), &out);
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kAvailability:
+      return "availability";
+    case SloKind::kLatencyP99:
+      return "latency_p99";
+    case SloKind::kLatencyP999:
+      return "latency_p999";
+  }
+  return "unknown";
+}
+
+SloTracker::SloTracker(std::vector<SloConfig> slos)
+    : slos_(std::move(slos)), firing_(slos_.size(), 0) {
+  for (const SloConfig& slo : slos_) {
+    SGP_CHECK(slo.short_window > 0 && slo.long_window >= slo.short_window);
+    SGP_CHECK(slo.burn_threshold > 0);
+    max_window_ = std::max(max_window_, slo.long_window);
+  }
+}
+
+void SloTracker::RecordQuery(double now, bool ok, double latency_seconds) {
+  outcomes_.push_back({now, latency_seconds, ok});
+  while (!outcomes_.empty() && outcomes_.front().time < now - max_window_) {
+    outcomes_.pop_front();
+  }
+}
+
+double SloTracker::BurnRate(size_t i, double now, double window) const {
+  SGP_CHECK(i < slos_.size());
+  const SloConfig& slo = slos_[i];
+  const double cutoff = now - window;
+  uint64_t relevant = 0;
+  uint64_t bad = 0;
+  for (const Outcome& o : outcomes_) {
+    if (o.time < cutoff || o.time > now) continue;
+    switch (slo.kind) {
+      case SloKind::kAvailability:
+        ++relevant;
+        if (!o.ok) ++bad;
+        break;
+      case SloKind::kLatencyP99:
+      case SloKind::kLatencyP999:
+        // Latency SLOs cover successful queries; failures are the
+        // availability SLO's problem.
+        if (!o.ok) break;
+        ++relevant;
+        if (o.latency > slo.objective) ++bad;
+        break;
+    }
+  }
+  if (relevant == 0) return 0.0;
+  double budget = 1.0;  // tolerated bad fraction
+  switch (slo.kind) {
+    case SloKind::kAvailability:
+      budget = 1.0 - slo.objective;
+      break;
+    case SloKind::kLatencyP99:
+      budget = 0.01;
+      break;
+    case SloKind::kLatencyP999:
+      budget = 0.001;
+      break;
+  }
+  budget = std::max(budget, 1e-9);
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(relevant);
+  return bad_fraction / budget;
+}
+
+std::vector<Alert> SloTracker::Evaluate(double now, std::string_view detail) {
+  std::vector<Alert> fired;
+  for (size_t i = 0; i < slos_.size(); ++i) {
+    const SloConfig& slo = slos_[i];
+    const double short_burn = BurnRate(i, now, slo.short_window);
+    const double long_burn = BurnRate(i, now, slo.long_window);
+    const bool over =
+        short_burn >= slo.burn_threshold && long_burn >= slo.burn_threshold;
+    if (over && !firing_[i]) {
+      firing_[i] = 1;
+      Alert alert;
+      alert.slo = slo.name;
+      alert.kind = slo.kind;
+      alert.time = now;
+      alert.short_burn = short_burn;
+      alert.long_burn = long_burn;
+      alert.detail = std::string(detail);
+      alerts_.push_back(alert);
+      fired.push_back(std::move(alert));
+    } else if (firing_[i] && short_burn < slo.burn_threshold) {
+      firing_[i] = 0;  // re-arm once the short window recovers
+    }
+  }
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+FlightRecorder::FlightRecorder(const FlightRecorderConfig& config)
+    : config_(config) {}
+
+void FlightRecorder::ArmBaseline(const MetricsRegistry& registry) {
+  baseline_.clear();
+  ExportOptions options;
+  options.filter = MetricFilter::kDeterministicOnly;
+  for (MetricSample& s : registry.Snapshot(options)) {
+    std::string name = s.name;
+    baseline_.emplace(std::move(name), std::move(s));
+  }
+}
+
+std::string FlightRecorder::Dump(std::string_view reason, double now,
+                                 const TimeSeriesStore& store,
+                                 const MetricsRegistry& registry) {
+  if (dumps_.size() >= config_.max_dumps) {
+    ++suppressed_;
+    return {};
+  }
+  std::string out = "{\"schema\":\"sgp.blackbox.v1\",\"reason\":";
+  AppendJsonEscaped(reason, &out);
+  out += ",\"time\":" + FormatJsonDouble(now);
+  out += ",\"lookback_seconds\":" + FormatJsonDouble(config_.lookback_seconds);
+
+  // The last lookback_seconds of every series that has points there.
+  out += ",\"series\":[";
+  bool first = true;
+  for (const auto& [name, series] : store.series()) {
+    std::vector<TimeSeriesPoint> points =
+        series.Since(now - config_.lookback_seconds);
+    if (points.empty()) continue;
+    if (!first) out += ',';
+    first = false;
+    AppendSeriesJson(name, series.evicted(), points, &out);
+  }
+  out += ']';
+
+  // Trace tail: the newest max_trace_events events.
+  std::vector<TraceEvent> traces = registry.traces().Snapshot();
+  if (traces.size() > config_.max_trace_events) {
+    traces.erase(traces.begin(),
+                 traces.end() - static_cast<ptrdiff_t>(config_.max_trace_events));
+  }
+  out += ",\"traces\":" + SerializeTracesJson(traces);
+  out += ",\"dropped_traces\":" + std::to_string(registry.traces().dropped());
+
+  // What moved since ArmBaseline(): counter and histogram-count deltas,
+  // gauge deltas — changed metrics only. Windowed histogram quantiles are
+  // deliberately absent (cumulative quantiles cannot be subtracted); the
+  // series section above carries the quantile history instead.
+  out += ",\"registry_delta\":[";
+  first = true;
+  ExportOptions options;
+  options.filter = MetricFilter::kDeterministicOnly;
+  for (const MetricSample& s : registry.Snapshot(options)) {
+    auto it = baseline_.find(s.name);
+    const MetricSample* base = it == baseline_.end() ? nullptr : &it->second;
+    double delta = 0;
+    const char* kind = "counter";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        delta = static_cast<double>(s.counter_value) -
+                static_cast<double>(base != nullptr ? base->counter_value : 0);
+        break;
+      case MetricKind::kGauge:
+        kind = "gauge";
+        delta = s.gauge_value - (base != nullptr ? base->gauge_value : 0.0);
+        break;
+      case MetricKind::kHistogram:
+        kind = "histogram";
+        delta = static_cast<double>(s.count) -
+                static_cast<double>(base != nullptr ? base->count : 0);
+        break;
+    }
+    if (delta == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonEscaped(s.name, &out);
+    out += ",\"kind\":\"";
+    out += kind;
+    out += "\",\"delta\":" + FormatJsonDouble(delta) + '}';
+  }
+  out += "]}";
+  dumps_.push_back(out);
+  return out;
+}
+
+}  // namespace sgp

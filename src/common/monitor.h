@@ -1,0 +1,255 @@
+#ifndef SGP_COMMON_MONITOR_H_
+#define SGP_COMMON_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/telemetry.h"
+
+namespace sgp {
+
+/// Live-monitoring layer on top of MetricsRegistry. The end-of-run
+/// snapshots of telemetry.h answer "what happened over the whole run";
+/// this header answers "what is happening now": periodic samples of the
+/// registry into bounded time series, SLO burn-rate alerting over sliding
+/// windows, and a flight recorder that serializes a post-mortem the
+/// moment something goes wrong. Every piece is driven by a caller-owned
+/// clock (the simulators pass simulated seconds), so given identical
+/// seeds the sampled series, the alert stream, and every dump are
+/// byte-identical (see docs/OBSERVABILITY.md).
+
+// ---------------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------------
+
+/// One sampled point on the producer's clock.
+struct TimeSeriesPoint {
+  double time = 0;
+  double value = 0;
+
+  bool operator==(const TimeSeriesPoint&) const = default;
+};
+
+/// Bounded ring of points. A monitor wants the freshest window, so —
+/// unlike TraceBuffer, which rejects appends at capacity — appends past
+/// capacity evict the oldest point; evicted() counts the evictions.
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity = 4096);
+
+  void Append(double time, double value);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  uint64_t evicted() const { return evicted_; }
+
+  /// i-th retained point, 0 = oldest.
+  const TimeSeriesPoint& At(size_t i) const;
+
+  /// Most recent point (size() must be > 0).
+  const TimeSeriesPoint& Back() const;
+
+  /// Retained points, oldest first.
+  std::vector<TimeSeriesPoint> Points() const;
+
+  /// Retained points with time >= `time`, oldest first — the flight
+  /// recorder's lookback query.
+  std::vector<TimeSeriesPoint> Since(double time) const;
+
+ private:
+  std::vector<TimeSeriesPoint> ring_;
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest point once the ring is full
+  size_t size_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+struct TimeSeriesStoreOptions {
+  /// Ring capacity of every series.
+  size_t capacity_per_series = 4096;
+
+  /// Which metrics to sample. The default excludes wall-clock metrics so
+  /// sampled series are deterministic per seed.
+  MetricFilter filter = MetricFilter::kDeterministicOnly;
+};
+
+/// Samples a MetricsRegistry into one bounded TimeSeries per signal:
+///  - counter `c`            → series `c` of per-interval deltas
+///  - gauge `g`              → series `g` of sampled values
+///  - histogram `h`          → series `h.count` (per-interval delta of the
+///                             sample count) plus `h.p50` / `h.p99` /
+///                             `h.p999` quantile snapshots
+/// The first observation of a cumulative signal establishes its baseline
+/// and appends a zero delta, so sampling a registry that already carries
+/// state from earlier runs starts every delta series clean.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(const TimeSeriesStoreOptions& options = {});
+
+  /// Takes one sample of `registry` at time `now`.
+  void Sample(const MetricsRegistry& registry, double now);
+
+  /// Number of Sample() calls so far.
+  uint64_t num_samples() const { return num_samples_; }
+
+  /// Series registered under `name`, or nullptr.
+  const TimeSeries* Find(std::string_view name) const;
+
+  /// All series, name-ordered.
+  const std::map<std::string, TimeSeries, std::less<>>& series() const {
+    return series_;
+  }
+
+ private:
+  TimeSeries& SeriesFor(const std::string& name);
+  void AppendDelta(const std::string& name, double now, double cumulative);
+
+  TimeSeriesStoreOptions options_;
+  std::map<std::string, TimeSeries, std::less<>> series_;
+  std::map<std::string, double, std::less<>> baselines_;
+  uint64_t num_samples_ = 0;
+};
+
+/// JSON document {"schema":"sgp.timeseries.v1","samples":N,"series":[...]}
+/// — series name-ordered, every point a [time, value] pair, doubles in
+/// shortest round-trippable form. Byte-identical for identical stores.
+std::string ExportTimeSeriesJson(const TimeSeriesStore& store);
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate alerting
+// ---------------------------------------------------------------------------
+
+/// What an SloConfig objective means:
+///  - kAvailability: `objective` is the target success fraction (0.999 →
+///    an error budget of 0.1% of queries).
+///  - kLatencyP99 / kLatencyP999: `objective` is the latency target in
+///    seconds that 99% / 99.9% of successful queries must meet; queries
+///    over the target spend the (1% / 0.1%) tail budget.
+enum class SloKind : uint8_t { kAvailability, kLatencyP99, kLatencyP999 };
+
+const char* SloKindName(SloKind kind);
+
+struct SloConfig {
+  std::string name;  // alert label, e.g. "availability" or "latency-p999"
+  SloKind kind = SloKind::kAvailability;
+  double objective = 0.999;
+
+  /// Multi-window burn-rate alerting (the SRE-workbook policy): the burn
+  /// rate is (budget-consumption rate) / (sustainable rate), i.e. a burn
+  /// of 1.0 spends exactly the budget. An alert fires only when BOTH the
+  /// short and the long window burn at `burn_threshold` or more — the
+  /// long window proves the problem is sustained, the short window makes
+  /// the alert reset quickly once the problem clears.
+  double short_window = 5.0;  // seconds on the caller's clock
+  double long_window = 60.0;
+  double burn_threshold = 2.0;
+};
+
+/// One fired burn-rate alert.
+struct Alert {
+  std::string slo;  // SloConfig::name
+  SloKind kind = SloKind::kAvailability;
+  double time = 0;
+  double short_burn = 0;
+  double long_burn = 0;
+
+  /// Caller-supplied context captured at fire time (the event simulator
+  /// annotates the active reshard phase, e.g. "reshard=copying").
+  std::string detail;
+
+  bool operator==(const Alert&) const = default;
+};
+
+/// Evaluates a set of SLOs over a sliding window of query outcomes.
+/// Single-threaded by design: the owner feeds it from one clock domain
+/// (the simulator's event loop). An SLO that is firing re-arms when its
+/// short-window burn drops back under the threshold, so a sustained
+/// outage produces one alert, not one per evaluation tick.
+class SloTracker {
+ public:
+  explicit SloTracker(std::vector<SloConfig> slos);
+
+  /// Records one finished query: `ok` is the outcome, `latency_seconds`
+  /// its client-observed latency (used by latency SLOs only when ok).
+  void RecordQuery(double now, bool ok, double latency_seconds);
+
+  /// Evaluates every SLO at `now`. Newly fired alerts (stamped with
+  /// `detail`) are appended to alerts() and returned.
+  std::vector<Alert> Evaluate(double now, std::string_view detail = {});
+
+  /// Burn rate of slos()[i] over the trailing `window` ending at `now`.
+  /// 0 when the window holds no relevant outcome.
+  double BurnRate(size_t i, double now, double window) const;
+
+  const std::vector<SloConfig>& slos() const { return slos_; }
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  struct Outcome {
+    double time = 0;
+    double latency = 0;
+    bool ok = false;
+  };
+
+  std::vector<SloConfig> slos_;
+  std::vector<char> firing_;  // hysteresis state per SLO
+  std::deque<Outcome> outcomes_;
+  double max_window_ = 0;
+  std::vector<Alert> alerts_;
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+struct FlightRecorderConfig {
+  /// How much trailing time series each dump carries.
+  double lookback_seconds = 10.0;
+
+  /// Newest trace events included in a dump (the trace *tail*).
+  size_t max_trace_events = 64;
+
+  /// Hard cap on dumps per recorder; further triggers are counted in
+  /// suppressed() instead of serialized, so a persistent failure cannot
+  /// flood the run with post-mortems.
+  size_t max_dumps = 8;
+};
+
+/// Serializes a deterministic post-mortem ("black box") when something
+/// goes wrong: the last lookback_seconds of every time series, the trace
+/// tail, and the registry delta since ArmBaseline(). Schema
+/// "sgp.blackbox.v1"; see docs/OBSERVABILITY.md for the exact layout.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const FlightRecorderConfig& config = {});
+
+  /// Captures the registry snapshot that subsequent dumps diff against
+  /// (deterministic metrics only). Call once at run start.
+  void ArmBaseline(const MetricsRegistry& registry);
+
+  /// Serializes one dump and retains it in dumps(). Returns the empty
+  /// string (and counts the trigger in suppressed()) once max_dumps is
+  /// reached.
+  std::string Dump(std::string_view reason, double now,
+                   const TimeSeriesStore& store,
+                   const MetricsRegistry& registry);
+
+  const std::vector<std::string>& dumps() const { return dumps_; }
+  uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  FlightRecorderConfig config_;
+  std::map<std::string, MetricSample, std::less<>> baseline_;
+  std::vector<std::string> dumps_;
+  uint64_t suppressed_ = 0;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_MONITOR_H_

@@ -34,6 +34,7 @@ DistributionSummary Summarize(std::vector<double> values) {
   s.median = QuantileSorted(values, 0.50);
   s.p75 = QuantileSorted(values, 0.75);
   s.p99 = QuantileSorted(values, 0.99);
+  s.p999 = QuantileSorted(values, 0.999);
   double sum = 0;
   for (double v : values) sum += v;
   s.mean = sum / static_cast<double>(values.size());

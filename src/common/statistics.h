@@ -16,6 +16,7 @@ struct DistributionSummary {
   double median = 0;
   double p75 = 0;
   double p99 = 0;
+  double p999 = 0;
   double max = 0;
   double mean = 0;
   double stddev = 0;

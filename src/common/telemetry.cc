@@ -443,6 +443,7 @@ std::vector<MetricSample> MetricsRegistry::Snapshot(
         sample.p50 = h.Quantile(0.50);
         sample.p90 = h.Quantile(0.90);
         sample.p99 = h.Quantile(0.99);
+        sample.p999 = h.Quantile(0.999);
         sample.h_min_bound = h.options().min_bound;
         sample.h_max_bound = h.options().max_bound;
         sample.h_buckets_per_decade = h.options().buckets_per_decade;
@@ -459,8 +460,6 @@ std::vector<MetricSample> MetricsRegistry::Snapshot(
 // Serialization
 // ---------------------------------------------------------------------------
 
-namespace {
-
 // Shortest decimal form that round-trips the double exactly, so exports
 // are byte-stable across runs of the same binary.
 std::string FormatJsonDouble(double v) {
@@ -474,7 +473,7 @@ std::string FormatJsonDouble(double v) {
   return buf;
 }
 
-void AppendEscaped(std::string_view s, std::string* out) {
+void AppendJsonEscaped(std::string_view s, std::string* out) {
   out->push_back('"');
   for (char c : s) {
     switch (c) {
@@ -506,6 +505,8 @@ void AppendEscaped(std::string_view s, std::string* out) {
   out->push_back('"');
 }
 
+namespace {
+
 const char* KindName(MetricKind kind) {
   switch (kind) {
     case MetricKind::kCounter:
@@ -520,7 +521,7 @@ const char* KindName(MetricKind kind) {
 
 void AppendSample(const MetricSample& s, std::string* out) {
   *out += "{\"name\":";
-  AppendEscaped(s.name, out);
+  AppendJsonEscaped(s.name, out);
   *out += ",\"kind\":\"";
   *out += KindName(s.kind);
   *out += "\",\"wall_time\":";
@@ -547,6 +548,7 @@ void AppendSample(const MetricSample& s, std::string* out) {
       *out += ",\"p50\":" + FormatJsonDouble(s.p50);
       *out += ",\"p90\":" + FormatJsonDouble(s.p90);
       *out += ",\"p99\":" + FormatJsonDouble(s.p99);
+      *out += ",\"p999\":" + FormatJsonDouble(s.p999);
       *out += ",\"min_bound\":" + FormatJsonDouble(s.h_min_bound);
       *out += ",\"max_bound\":" + FormatJsonDouble(s.h_max_bound);
       std::snprintf(buf, sizeof(buf), ",\"buckets_per_decade\":%u",
@@ -585,7 +587,7 @@ std::string SerializeTracesJson(const std::vector<TraceEvent>& events) {
     const TraceEvent& e = events[i];
     if (i > 0) out += ",\n ";
     out += "{\"name\":";
-    AppendEscaped(e.name, &out);
+    AppendJsonEscaped(e.name, &out);
     out += ",\"start\":" + FormatJsonDouble(e.start);
     out += ",\"end\":" + FormatJsonDouble(e.end);
     std::snprintf(buf, sizeof(buf),
@@ -610,6 +612,9 @@ std::string MetricsRegistry::ExportJson(const ExportOptions& options) const {
   if (options.include_traces) {
     out += ",\"traces\":";
     out += SerializeTracesJson(traces_.Snapshot());
+    // Appends rejected at capacity: without this a capped long-run trace
+    // silently looks complete.
+    out += ",\"dropped_traces\":" + std::to_string(traces_.dropped());
   }
   out += "}";
   return out;
@@ -617,7 +622,7 @@ std::string MetricsRegistry::ExportJson(const ExportOptions& options) const {
 
 std::string MetricsRegistry::ExportCsv(const ExportOptions& options) const {
   std::string out =
-      "name,kind,wall_time,value,count,sum,min,max,mean,p50,p90,p99\n";
+      "name,kind,wall_time,value,count,sum,min,max,mean,p50,p90,p99,p999\n";
   for (const MetricSample& s : Snapshot(options)) {
     out += s.name;
     out += ',';
@@ -640,6 +645,7 @@ std::string MetricsRegistry::ExportCsv(const ExportOptions& options) const {
     out += ',' + FormatJsonDouble(s.p50);
     out += ',' + FormatJsonDouble(s.p90);
     out += ',' + FormatJsonDouble(s.p99);
+    out += ',' + FormatJsonDouble(s.p999);
     out += '\n';
   }
   return out;
@@ -914,6 +920,7 @@ bool ParseMetricsJson(std::string_view text, std::vector<MetricSample>* out) {
       sample.p50 = NumberOr(m.Find("p50"), 0);
       sample.p90 = NumberOr(m.Find("p90"), 0);
       sample.p99 = NumberOr(m.Find("p99"), 0);
+      sample.p999 = NumberOr(m.Find("p999"), 0);
       sample.h_min_bound = NumberOr(m.Find("min_bound"), 0);
       sample.h_max_bound = NumberOr(m.Find("max_bound"), 0);
       sample.h_buckets_per_decade =

@@ -312,6 +312,7 @@ struct MetricSample {
   double p50 = 0;
   double p90 = 0;
   double p99 = 0;
+  double p999 = 0;
   double h_min_bound = 0;
   double h_max_bound = 0;
   uint32_t h_buckets_per_decade = 0;
@@ -376,8 +377,10 @@ class MetricsRegistry {
       const ExportOptions& options = {}) const;
 
   /// JSON document: {"schema":"sgp.metrics.v1","metrics":[...]} plus a
-  /// "traces" array when options.include_traces. Deterministic: metrics
-  /// are name-ordered and doubles print as shortest round-trippable form.
+  /// "traces" array and a "dropped_traces" count (appends the buffer
+  /// rejected at capacity) when options.include_traces. Deterministic:
+  /// metrics are name-ordered and doubles print as shortest
+  /// round-trippable form.
   std::string ExportJson(const ExportOptions& options = {}) const;
 
   /// CSV with a fixed header; one row per metric.
@@ -436,6 +439,15 @@ Metrics& CurrentRegistryMetrics() {
   }
   return metrics;
 }
+
+/// Shortest decimal form that round-trips the double exactly — the one
+/// double formatter every deterministic JSON export in the codebase uses
+/// (byte-stable across runs of the same binary). NaN prints as null,
+/// infinities as ±1e999.
+std::string FormatJsonDouble(double v);
+
+/// Appends `s` as a quoted, escaped JSON string literal.
+void AppendJsonEscaped(std::string_view s, std::string* out);
 
 /// Serializes a snapshot to the "metrics" JSON array (no enclosing
 /// document) — what bench_util.h embeds into BENCH_*.json files.

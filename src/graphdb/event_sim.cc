@@ -20,8 +20,9 @@ enum class EventType : uint8_t {
   kTaskArrival,
   kAdvance,
   kDeadline,
-  kForward,      // redirected reads of moved vertices (live reshard)
-  kReshardStep,  // advance the ReshardController
+  kForward,        // redirected reads of moved vertices (live reshard)
+  kReshardStep,    // advance the ReshardController
+  kMonitorSample,  // periodic live-monitoring tick (SimConfig::monitor)
 };
 
 struct Event {
@@ -76,6 +77,9 @@ struct SimMetrics {
   Counter* remote_messages = nullptr;
   Counter* forwarded_reads = nullptr;
   Counter* forwarded_queries = nullptr;
+  Counter* monitor_samples = nullptr;
+  Counter* monitor_alerts = nullptr;
+  Counter* monitor_dumps = nullptr;
 
   SimMetrics() = default;
   explicit SimMetrics(MetricsRegistry& reg) {
@@ -96,6 +100,9 @@ struct SimMetrics {
     remote_messages = reg.GetCounter("graphdb.sim.messages.remote");
     forwarded_reads = reg.GetCounter("reshard.reads.forwarded");
     forwarded_queries = reg.GetCounter("reshard.queries.forwarded");
+    monitor_samples = reg.GetCounter("monitor.samples");
+    monitor_alerts = reg.GetCounter("monitor.alerts");
+    monitor_dumps = reg.GetCounter("monitor.dumps");
   }
 
   static SimMetrics& Get() { return CurrentRegistryMetrics<SimMetrics>(); }
@@ -216,6 +223,21 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
     return &plan_tables[epoch_table[epoch]][binding];
   };
 
+  // Live monitoring: registry samples, SLO evaluation and flight-recorder
+  // dumps all ride the simulated clock (kMonitorSample events), so every
+  // observation is deterministic per seed. The sampled registry is the
+  // calling thread's current one — the same registry SimMetrics publishes
+  // into, which is how a scoped per-run registry isolates the series.
+  const MonitorSpec& monitor = config.monitor;
+  const bool has_monitor = monitor.enabled && monitor.sample_interval > 0;
+  MetricsRegistry& registry = MetricsRegistry::Current();
+  TimeSeriesStoreOptions store_options;
+  store_options.capacity_per_series = monitor.series_capacity;
+  TimeSeriesStore store(store_options);
+  SloTracker slo_tracker(monitor.slos);
+  FlightRecorder recorder(monitor.recorder);
+  if (has_monitor) recorder.ArmBaseline(registry);
+
   Rng rng(config.seed);
   // Lognormal service-time multiplier with mean 1 and the configured
   // coefficient of variation.
@@ -328,6 +350,15 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
           if (through_reshard) ++result.reshard.timed_out_during;
           break;
       }
+      if (has_monitor) {
+        slo_tracker.RecordQuery(t, outcome == Outcome::kSuccess,
+                                t - q.start_time);
+        if (outcome != Outcome::kSuccess && monitor.dump_on_query_failure) {
+          recorder.Dump(outcome == Outcome::kFailed ? "query_failed"
+                                                    : "query_timed_out",
+                        t, store, registry);
+        }
+      }
     }
     ++q.gen;  // drop stale task / deadline events of this query
     push({t, 0, EventType::kIssue, client, 0, 0, 0, 0});
@@ -367,6 +398,9 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
   }
   if (has_reshard) {
     push({config.reshard.start_time, 0, EventType::kReshardStep});
+  }
+  if (has_monitor) {
+    push({monitor.sample_interval, 0, EventType::kMonitorSample});
   }
 
   while (!events.empty() && completed_total < config.num_queries) {
@@ -523,6 +557,20 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
         }
         break;
       }
+      case EventType::kMonitorSample: {
+        store.Sample(registry, e.time);
+        std::string detail;
+        if (has_reshard && e.time >= config.reshard.start_time &&
+            !std::isfinite(reshard_end)) {
+          detail =
+              std::string("reshard=") + ReshardPhaseName(reshard_ctl->phase());
+        }
+        for (const Alert& a : slo_tracker.Evaluate(e.time, detail)) {
+          recorder.Dump("alert:" + a.slo, e.time, store, registry);
+        }
+        push({e.time + monitor.sample_interval, 0, EventType::kMonitorSample});
+        break;
+      }
       case EventType::kAdvance: {
         InFlight& q = inflight[e.client];
         if (e.gen != q.gen) break;
@@ -584,6 +632,18 @@ SimResult SimulateClosedLoop(const GraphDatabase& db, const Workload& workload,
     rs.latency_during = Summarize(std::move(latencies_reshard));
     metrics.forwarded_reads->Increment(rs.forwarded_reads);
     metrics.forwarded_queries->Increment(rs.forwarded_queries);
+  }
+
+  if (has_monitor) {
+    result.alerts = slo_tracker.alerts();
+    result.time_series = ExportTimeSeriesJson(store);
+    result.blackbox = recorder.dumps();
+    result.monitor_series = store;
+    // Flushed after the last sample, so the monitor never observes its
+    // own counters mid-run.
+    metrics.monitor_samples->Increment(store.num_samples());
+    metrics.monitor_alerts->Increment(result.alerts.size());
+    metrics.monitor_dumps->Increment(result.blackbox.size());
   }
 
   metrics.queries_completed->Increment(result.completed);

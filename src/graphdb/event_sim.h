@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "common/faults.h"
+#include "common/monitor.h"
 #include "common/statistics.h"
 #include "common/telemetry.h"
 #include "graphdb/graphdb.h"
@@ -25,6 +28,36 @@ struct LiveReshardSpec {
   ReshardConfig config;
 
   bool active() const { return op.kind != ReshardOpKind::kNone; }
+};
+
+/// Live monitoring inside the simulation. When enabled, a kMonitorSample
+/// event fires every `sample_interval` simulated seconds: the current
+/// registry is sampled into a TimeSeriesStore, every SLO is evaluated,
+/// and each fired alert (annotated with the active reshard phase when a
+/// live reshard is in flight) triggers a flight-recorder dump. Because
+/// sampling rides the simulated clock — never a wall clock — the sampled
+/// series, the alert stream, and every dump are byte-identical given
+/// identical seeds (and a fresh / scoped MetricsRegistry per run, the
+/// experiment-grid pattern).
+struct MonitorSpec {
+  bool enabled = false;
+
+  /// Simulated seconds between registry samples.
+  double sample_interval = 0.05;
+
+  /// Ring capacity of every sampled series.
+  size_t series_capacity = 4096;
+
+  /// Objectives evaluated at every sample tick. Measured-window query
+  /// outcomes feed the tracker (warmup completions are excluded, like
+  /// every other SimResult statistic).
+  std::vector<SloConfig> slos;
+
+  FlightRecorderConfig recorder;
+
+  /// Also dump on every failed / timed-out query (subject to the
+  /// recorder's max_dumps budget), not just on alerts.
+  bool dump_on_query_failure = false;
 };
 
 /// Closed-loop load-generation configuration (Section 5.2.4): `clients`
@@ -63,6 +96,10 @@ struct SimConfig {
   /// Optional live reshard executed during the run (inactive by default —
   /// an inactive spec reproduces the plain simulation bit-for-bit).
   LiveReshardSpec reshard;
+
+  /// Optional live monitoring (disabled by default — a disabled spec
+  /// reproduces the plain simulation bit-for-bit).
+  MonitorSpec monitor;
 };
 
 /// One completed query, when tracing is enabled. This is the decoded view
@@ -177,6 +214,18 @@ struct SimResult {
   /// When a reshard ran, reads_per_worker covers the post-reshape id
   /// space (one extra slot after a split).
   ReshardSimStats reshard;
+
+  /// Live-monitoring output (all empty unless SimConfig::monitor.enabled).
+  /// `alerts` is every burn-rate alert in fire order; `time_series` is the
+  /// full sgp.timeseries.v1 export of the sampled store; `blackbox` holds
+  /// the sgp.blackbox.v1 flight-recorder dumps in trigger order.
+  std::vector<Alert> alerts;
+  std::string time_series;
+  std::vector<std::string> blackbox;
+
+  /// The sampled store itself — what RecommendFromTimeSeries consumes
+  /// (`time_series` above is its serialized form).
+  TimeSeriesStore monitor_series;
 
   /// Compatibility accessor: the trace buffer decoded into the classic
   /// per-query records.

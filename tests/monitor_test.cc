@@ -1,0 +1,587 @@
+#include "common/monitor.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "advisor/advisor.h"
+#include "common/faults.h"
+#include "graph/datasets.h"
+#include "graphdb/event_sim.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TimeSeries ring buffer
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesTest, AppendsUnderCapacity) {
+  TimeSeries s(4);
+  s.Append(1.0, 10.0);
+  s.Append(2.0, 20.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.evicted(), 0u);
+  EXPECT_EQ(s.At(0).time, 1.0);
+  EXPECT_EQ(s.At(1).value, 20.0);
+  EXPECT_EQ(s.Back().value, 20.0);
+}
+
+TEST(TimeSeriesTest, EvictsOldestAtCapacity) {
+  TimeSeries s(3);
+  for (int i = 0; i < 5; ++i) {
+    s.Append(static_cast<double>(i), static_cast<double>(i * 10));
+  }
+  // Unlike TraceBuffer (drops newest), the ring keeps the freshest window.
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.evicted(), 2u);
+  EXPECT_EQ(s.At(0).time, 2.0);
+  EXPECT_EQ(s.Back().time, 4.0);
+  std::vector<TimeSeriesPoint> points = s.Points();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].value, 20.0);
+  EXPECT_EQ(points[2].value, 40.0);
+}
+
+TEST(TimeSeriesTest, SinceReturnsTrailingWindow) {
+  TimeSeries s(16);
+  for (int i = 0; i < 10; ++i) s.Append(static_cast<double>(i), 1.0);
+  std::vector<TimeSeriesPoint> tail = s.Since(7.0);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].time, 7.0);
+  EXPECT_TRUE(s.Since(100.0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesStore
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeriesStoreTest, CounterDeltasStartAtZeroBaseline) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("test.events");
+  c->Increment(100);  // pre-existing state from "an earlier run"
+  TimeSeriesStore store;
+  store.Sample(reg, 1.0);
+  c->Increment(7);
+  store.Sample(reg, 2.0);
+  const TimeSeries* s = store.Find("test.events");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->size(), 2u);
+  // First observation establishes the baseline: the pre-existing 100
+  // never leaks into the series.
+  EXPECT_EQ(s->At(0).value, 0.0);
+  EXPECT_EQ(s->At(1).value, 7.0);
+}
+
+TEST(TimeSeriesStoreTest, SamplesGaugesAndHistogramQuantiles) {
+  MetricsRegistry reg;
+  reg.GetGauge("test.gauge")->Set(3.5);
+  Histogram* h = reg.GetHistogram("test.latency");
+  for (int i = 1; i <= 1000; ++i) h->Record(i * 1e-3);
+  TimeSeriesStore store;
+  store.Sample(reg, 1.0);
+  const TimeSeries* gauge = store.Find("test.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->Back().value, 3.5);
+  ASSERT_NE(store.Find("test.latency.count"), nullptr);
+  const TimeSeries* p50 = store.Find("test.latency.p50");
+  const TimeSeries* p99 = store.Find("test.latency.p99");
+  const TimeSeries* p999 = store.Find("test.latency.p999");
+  ASSERT_NE(p50, nullptr);
+  ASSERT_NE(p99, nullptr);
+  ASSERT_NE(p999, nullptr);
+  EXPECT_GT(p99->Back().value, p50->Back().value);
+  EXPECT_GE(p999->Back().value, p99->Back().value);
+  // Histogram count series is a delta series too.
+  EXPECT_EQ(store.Find("test.latency.count")->Back().value, 0.0);
+  h->Record(5.0);
+  store.Sample(reg, 2.0);
+  EXPECT_EQ(store.Find("test.latency.count")->Back().value, 1.0);
+}
+
+TEST(TimeSeriesStoreTest, ExportIsDeterministicAndParses) {
+  auto run = [] {
+    MetricsRegistry reg;
+    Counter* c = reg.GetCounter("a.count");
+    Histogram* h = reg.GetHistogram("b.latency");
+    TimeSeriesStore store;
+    for (int t = 1; t <= 5; ++t) {
+      c->Increment(static_cast<uint64_t>(t));
+      h->Record(t * 0.01);
+      store.Sample(reg, t * 0.5);
+    }
+    return ExportTimeSeriesJson(store);
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_EQ(a, b);  // byte-identical across runs
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(a, &doc));
+  const minijson::Value* schema = doc.Find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "sgp.timeseries.v1");
+  const minijson::Value* series = doc.Find("series");
+  ASSERT_NE(series, nullptr);
+  // Name-ordered: a.count before every b.latency.* series.
+  ASSERT_GE(series->array.size(), 5u);
+  EXPECT_EQ(series->array[0].Find("name")->string, "a.count");
+  const minijson::Value* samples = doc.Find("samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_EQ(samples->number, 5.0);
+}
+
+TEST(TimeSeriesStoreTest, WallTimeMetricsAreExcludedByDefault) {
+  MetricsRegistry reg;
+  reg.GetCounter("wall.only", MetricOptions::WallClock())->Increment();
+  reg.GetCounter("det.only")->Increment();
+  TimeSeriesStore store;
+  store.Sample(reg, 1.0);
+  EXPECT_EQ(store.Find("wall.only"), nullptr);
+  EXPECT_NE(store.Find("det.only"), nullptr);
+}
+
+// Concurrent sampling vs. lock-free metric updates: writers hammer the
+// registry's relaxed atomics while a monitor thread samples it. Run under
+// TSan by scripts/check.sh — the race surface this PR adds.
+TEST(TimeSeriesStoreTest, ConcurrentSamplingWhileMetricsUpdate) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hot.counter");
+  Histogram* h = reg.GetHistogram("hot.latency");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c->Increment();
+        h->Record(0.001);
+      }
+    });
+  }
+  TimeSeriesStore store;
+  for (int i = 0; i < 200; ++i) store.Sample(reg, static_cast<double>(i));
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  const TimeSeries* s = store.Find("hot.counter");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->size(), 200u);
+  double total = 0;
+  for (size_t i = 0; i < s->size(); ++i) {
+    EXPECT_GE(s->At(i).value, 0.0);  // counter deltas never go backwards
+    total += s->At(i).value;
+  }
+  EXPECT_LE(total, static_cast<double>(c->value()));
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------------
+
+SloConfig AvailabilitySlo(double objective = 0.99, double short_w = 1.0,
+                          double long_w = 4.0, double threshold = 2.0) {
+  SloConfig slo;
+  slo.name = "availability";
+  slo.kind = SloKind::kAvailability;
+  slo.objective = objective;
+  slo.short_window = short_w;
+  slo.long_window = long_w;
+  slo.burn_threshold = threshold;
+  return slo;
+}
+
+TEST(SloTrackerTest, SilentWhileWithinBudget) {
+  SloTracker tracker({AvailabilitySlo()});
+  for (int i = 0; i < 1000; ++i) {
+    tracker.RecordQuery(i * 0.004, /*ok=*/true, 0.01);
+  }
+  EXPECT_TRUE(tracker.Evaluate(4.0).empty());
+  EXPECT_EQ(tracker.BurnRate(0, 4.0, 1.0), 0.0);
+}
+
+TEST(SloTrackerTest, FiresWhenBothWindowsBurn) {
+  SloTracker tracker({AvailabilitySlo()});
+  // 10% failures against a 1% budget: burn 10 in every window.
+  for (int i = 0; i < 1000; ++i) {
+    tracker.RecordQuery(i * 0.004, /*ok=*/i % 10 != 0, 0.01);
+  }
+  std::vector<Alert> fired = tracker.Evaluate(4.0, "detail-string");
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].slo, "availability");
+  EXPECT_EQ(fired[0].kind, SloKind::kAvailability);
+  EXPECT_EQ(fired[0].time, 4.0);
+  EXPECT_EQ(fired[0].detail, "detail-string");
+  EXPECT_GE(fired[0].short_burn, 2.0);
+  EXPECT_GE(fired[0].long_burn, 2.0);
+  EXPECT_EQ(tracker.alerts().size(), 1u);
+}
+
+TEST(SloTrackerTest, ShortWindowAloneDoesNotFire) {
+  SloTracker tracker({AvailabilitySlo()});
+  // 4 seconds of clean traffic, then a 0.2 s half-failing blip: the
+  // short window burns but the long window still holds.
+  for (int i = 0; i < 8000; ++i) tracker.RecordQuery(i * 0.0005, true, 0.01);
+  for (int i = 0; i < 200; ++i) {
+    tracker.RecordQuery(4.0 + i * 0.001, i % 2 == 0, 0.01);
+  }
+  EXPECT_GE(tracker.BurnRate(0, 4.2, 1.0), 2.0);
+  EXPECT_LT(tracker.BurnRate(0, 4.2, 4.0), 2.0);
+  EXPECT_TRUE(tracker.Evaluate(4.2).empty());
+}
+
+TEST(SloTrackerTest, HysteresisFiresOncePerEpisodeAndRearms) {
+  SloTracker tracker({AvailabilitySlo()});
+  auto fail_burst = [&](double start) {
+    for (int i = 0; i < 1000; ++i) {
+      tracker.RecordQuery(start + i * 0.004, i % 10 != 0, 0.01);
+    }
+  };
+  fail_burst(0.0);
+  EXPECT_EQ(tracker.Evaluate(4.0).size(), 1u);
+  // Still burning: no duplicate alert.
+  EXPECT_TRUE(tracker.Evaluate(4.001).empty());
+  // Recovery: a clean short window re-arms the SLO...
+  for (int i = 0; i < 2000; ++i) {
+    tracker.RecordQuery(4.0 + i * 0.001, true, 0.01);
+  }
+  EXPECT_TRUE(tracker.Evaluate(6.0).empty());
+  // ...so the next episode fires again.
+  fail_burst(10.0);
+  EXPECT_EQ(tracker.Evaluate(14.0).size(), 1u);
+  EXPECT_EQ(tracker.alerts().size(), 2u);
+}
+
+TEST(SloTrackerTest, LatencySloCountsTailExceedances) {
+  SloConfig slo;
+  slo.name = "latency-p99";
+  slo.kind = SloKind::kLatencyP99;
+  slo.objective = 0.1;  // seconds
+  slo.short_window = 1.0;
+  slo.long_window = 2.0;
+  slo.burn_threshold = 2.0;
+  SloTracker tracker({slo});
+  // 5% of successful queries over the 100 ms target: burn 5 against the
+  // 1% tail budget. Failed queries are ignored by the latency SLO.
+  for (int i = 0; i < 1000; ++i) {
+    tracker.RecordQuery(i * 0.002, true, i % 20 == 0 ? 0.5 : 0.01);
+    tracker.RecordQuery(i * 0.002, false, 99.0);
+  }
+  std::vector<Alert> fired = tracker.Evaluate(2.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, SloKind::kLatencyP99);
+  EXPECT_NEAR(fired[0].short_burn, 5.0, 0.5);
+}
+
+TEST(SloKindNameTest, NamesAreStable) {
+  EXPECT_STREQ(SloKindName(SloKind::kAvailability), "availability");
+  EXPECT_STREQ(SloKindName(SloKind::kLatencyP99), "latency_p99");
+  EXPECT_STREQ(SloKindName(SloKind::kLatencyP999), "latency_p999");
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, DumpCarriesSeriesTracesAndDelta) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events.count");
+  c->Increment(10);
+  reg.GetCounter("untouched.count")->Increment(5);
+  FlightRecorderConfig config;
+  config.lookback_seconds = 2.0;
+  FlightRecorder recorder(config);
+  recorder.ArmBaseline(reg);
+
+  TimeSeriesStore store;
+  store.Sample(reg, 1.0);
+  c->Increment(32);
+  reg.traces().Append({.name = "span", .start = 2.5, .end = 2.9});
+  store.Sample(reg, 3.0);
+
+  std::string dump = recorder.Dump("test-reason", 3.0, store, reg);
+  ASSERT_FALSE(dump.empty());
+  EXPECT_EQ(recorder.dumps().size(), 1u);
+
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(dump, &doc));
+  EXPECT_EQ(doc.Find("schema")->string, "sgp.blackbox.v1");
+  EXPECT_EQ(doc.Find("reason")->string, "test-reason");
+  EXPECT_EQ(doc.Find("time")->number, 3.0);
+
+  // Series lookback: only the t=3.0 sample is within 2 s of the dump.
+  const minijson::Value* series = doc.Find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_FALSE(series->array.empty());
+  for (const minijson::Value& s : series->array) {
+    for (const minijson::Value& point : s.Find("points")->array) {
+      EXPECT_GE(point.array[0].number, 1.0);
+    }
+  }
+
+  const minijson::Value* traces = doc.Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_EQ(traces->array.size(), 1u);
+  EXPECT_EQ(traces->array[0].Find("name")->string, "span");
+  EXPECT_NE(doc.Find("dropped_traces"), nullptr);
+
+  // Registry delta: only the counter that moved since ArmBaseline.
+  const minijson::Value* delta = doc.Find("registry_delta");
+  ASSERT_NE(delta, nullptr);
+  ASSERT_EQ(delta->array.size(), 1u);
+  EXPECT_EQ(delta->array[0].Find("name")->string, "events.count");
+  EXPECT_EQ(delta->array[0].Find("kind")->string, "counter");
+  EXPECT_EQ(delta->array[0].Find("delta")->number, 32.0);
+}
+
+TEST(FlightRecorderTest, DumpBudgetSuppressesFurtherTriggers) {
+  MetricsRegistry reg;
+  TimeSeriesStore store;
+  FlightRecorderConfig config;
+  config.max_dumps = 2;
+  FlightRecorder recorder(config);
+  recorder.ArmBaseline(reg);
+  EXPECT_FALSE(recorder.Dump("a", 1.0, store, reg).empty());
+  EXPECT_FALSE(recorder.Dump("b", 2.0, store, reg).empty());
+  EXPECT_TRUE(recorder.Dump("c", 3.0, store, reg).empty());
+  EXPECT_EQ(recorder.dumps().size(), 2u);
+  EXPECT_EQ(recorder.suppressed(), 1u);
+}
+
+TEST(FlightRecorderTest, TraceTailIsCapped) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 100; ++i) {
+    reg.traces().Append({.name = "e" + std::to_string(i)});
+  }
+  FlightRecorderConfig config;
+  config.max_trace_events = 3;
+  FlightRecorder recorder(config);
+  recorder.ArmBaseline(reg);
+  TimeSeriesStore store;
+  std::string dump = recorder.Dump("tail", 1.0, store, reg);
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(dump, &doc));
+  const minijson::Value* traces = doc.Find("traces");
+  ASSERT_EQ(traces->array.size(), 3u);
+  // The *newest* events survive.
+  EXPECT_EQ(traces->array[2].Find("name")->string, "e99");
+}
+
+// ---------------------------------------------------------------------------
+// Live advisor
+// ---------------------------------------------------------------------------
+
+TEST(RecommendFromTimeSeriesTest, NoAlertsMeansNoAction) {
+  TimeSeriesStore store;
+  LiveRecommendation rec = RecommendFromTimeSeries(store, {});
+  EXPECT_EQ(rec.action, LiveAction::kNone);
+}
+
+TEST(RecommendFromTimeSeriesTest, AvailabilityAlertMeansScaleOut) {
+  TimeSeriesStore store;
+  Alert a;
+  a.slo = "availability";
+  a.kind = SloKind::kAvailability;
+  LiveRecommendation rec = RecommendFromTimeSeries(store, {a});
+  EXPECT_EQ(rec.action, LiveAction::kScaleOut);
+}
+
+TEST(RecommendFromTimeSeriesTest, TailOnlyBurnMeansSplitHot) {
+  // Median flat, p999 inflated: the single-hot-worker signature.
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("svc.latency");
+  TimeSeriesStore store;
+  for (int t = 0; t < 10; ++t) {
+    for (int i = 0; i < 100; ++i) h->Record(0.01);
+    h->Record(t >= 5 ? 2.0 : 0.011);  // tail blows up halfway through
+    store.Sample(reg, static_cast<double>(t));
+  }
+  Alert a;
+  a.slo = "latency-p999";
+  a.kind = SloKind::kLatencyP999;
+  LiveRecommendation rec = RecommendFromTimeSeries(store, {a});
+  EXPECT_EQ(rec.action, LiveAction::kSplitHot);
+}
+
+TEST(RecommendFromTimeSeriesTest, RisingMedianMeansRepartition) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("svc.latency");
+  TimeSeriesStore store;
+  for (int t = 0; t < 10; ++t) {
+    // Systemic slowdown: every query slows down over time.
+    const double base = t < 2 ? 0.01 : 0.1;
+    for (int i = 0; i < 100; ++i) h->Record(base);
+    store.Sample(reg, static_cast<double>(t));
+  }
+  Alert a;
+  a.slo = "latency-p99";
+  a.kind = SloKind::kLatencyP99;
+  a.detail = "reshard=running";
+  LiveRecommendation rec = RecommendFromTimeSeries(store, {a});
+  EXPECT_EQ(rec.action, LiveAction::kRepartition);
+  EXPECT_NE(rec.rationale.find("reshard"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator integration
+// ---------------------------------------------------------------------------
+
+GraphDatabase MakeDb(const Graph& g, const std::string& algo, PartitionId k) {
+  PartitionConfig cfg;
+  cfg.k = k;
+  return GraphDatabase(g, CreatePartitioner(algo)->Run(g, cfg));
+}
+
+MonitorSpec TestMonitor(double span) {
+  MonitorSpec monitor;
+  monitor.enabled = true;
+  monitor.sample_interval = span / 100;
+  auto slo = [&](const char* name, SloKind kind, double objective) {
+    SloConfig s;
+    s.name = name;
+    s.kind = kind;
+    s.objective = objective;
+    s.short_window = 0.02 * span;
+    s.long_window = 0.10 * span;
+    return s;
+  };
+  monitor.slos = {slo("availability", SloKind::kAvailability, 0.999),
+                  slo("latency-p99", SloKind::kLatencyP99, 1.0),
+                  slo("latency-p999", SloKind::kLatencyP999, 2.0)};
+  return monitor;
+}
+
+struct MonitoredRun {
+  SimResult result;
+  std::string registry_json;
+};
+
+MonitoredRun RunMonitored(const SimConfig& config, const std::string& algo) {
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, algo, 4);
+  Workload wl(g, {});
+  // Fresh scoped registry per run (the experiment-grid pattern): the
+  // sampled series start clean every time.
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(&reg);
+  MonitoredRun run;
+  run.result = SimulateClosedLoop(db, wl, config);
+  ExportOptions options;
+  options.filter = MetricFilter::kDeterministicOnly;
+  run.registry_json = reg.ExportJson(options);
+  return run;
+}
+
+SimConfig HealthySim() {
+  SimConfig cfg;
+  cfg.clients = 16;
+  cfg.num_queries = 3000;
+  return cfg;
+}
+
+TEST(MonitoredSimTest, DisabledMonitorLeavesResultEmpty) {
+  SimConfig cfg = HealthySim();
+  MonitoredRun run = RunMonitored(cfg, "LDG");
+  EXPECT_TRUE(run.result.alerts.empty());
+  EXPECT_TRUE(run.result.time_series.empty());
+  EXPECT_TRUE(run.result.blackbox.empty());
+  EXPECT_EQ(run.result.monitor_series.num_samples(), 0u);
+}
+
+TEST(MonitoredSimTest, HealthyRunSamplesButStaysSilent) {
+  SimConfig cfg = HealthySim();
+  // Span estimate from a probe run sizes windows and intervals.
+  const double span =
+      RunMonitored(cfg, "LDG").result.window_seconds / 0.9;
+  cfg.monitor = TestMonitor(span);
+  MonitoredRun run = RunMonitored(cfg, "LDG");
+  EXPECT_GT(run.result.monitor_series.num_samples(), 50u);
+  EXPECT_TRUE(run.result.alerts.empty());
+  EXPECT_TRUE(run.result.blackbox.empty());
+  EXPECT_NE(run.result.time_series.find("sgp.timeseries.v1"),
+            std::string::npos);
+  // The sampled store carries the per-kind latency quantile series.
+  EXPECT_NE(run.result.monitor_series.Find(
+                "graphdb.query_latency.one_hop.sim_seconds.p999"),
+            nullptr);
+}
+
+TEST(MonitoredSimTest, OutageFiresAlertsAndDumps) {
+  SimConfig cfg = HealthySim();
+  const double span =
+      RunMonitored(cfg, "LDG").result.window_seconds / 0.9;
+  cfg.monitor = TestMonitor(span);
+  cfg.faults = FaultPlan::SingleOutage(0, 0.3 * span, 0.2 * span);
+  MonitoredRun run = RunMonitored(cfg, "LDG");
+  ASSERT_FALSE(run.result.alerts.empty());
+  // The availability objective breaks first: an edge-cut placement loses
+  // the only copy of worker 0's vertices.
+  EXPECT_EQ(run.result.alerts.front().slo, "availability");
+  EXPECT_GE(run.result.alerts.front().time, 0.3 * span);
+  ASSERT_FALSE(run.result.blackbox.empty());
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(run.result.blackbox.front(), &doc));
+  EXPECT_EQ(doc.Find("schema")->string, "sgp.blackbox.v1");
+  EXPECT_EQ(doc.Find("reason")->string, "alert:availability");
+}
+
+TEST(MonitoredSimTest, MonitoringArtifactsAreByteIdenticalAcrossRuns) {
+  SimConfig cfg = HealthySim();
+  const double span =
+      RunMonitored(cfg, "LDG").result.window_seconds / 0.9;
+  cfg.monitor = TestMonitor(span);
+  cfg.faults = FaultPlan::SingleOutage(0, 0.3 * span, 0.2 * span);
+  MonitoredRun a = RunMonitored(cfg, "LDG");
+  MonitoredRun b = RunMonitored(cfg, "LDG");
+  EXPECT_EQ(a.result.time_series, b.result.time_series);
+  EXPECT_EQ(a.result.blackbox, b.result.blackbox);
+  EXPECT_EQ(a.result.alerts, b.result.alerts);
+  EXPECT_EQ(a.registry_json, b.registry_json);
+}
+
+TEST(MonitoredSimTest, AlertDuringReshardCarriesPhaseAnnotation) {
+  SimConfig cfg = HealthySim();
+  const double span =
+      RunMonitored(cfg, "LDG").result.window_seconds / 0.9;
+  cfg.monitor = TestMonitor(span);
+  // The reshard starts just before the outage and is throttled (heavy
+  // per-batch overhead) so it is still migrating when the availability
+  // alert fires mid-outage.
+  cfg.reshard.op = {ReshardOpKind::kMerge, 1};
+  cfg.reshard.start_time = 0.25 * span;
+  cfg.reshard.config.batch_vertices = 4;
+  cfg.reshard.config.batch_overhead_seconds = 0.01 * span;
+  cfg.reshard.config.retry = cfg.retry;
+  cfg.faults = FaultPlan::SingleOutage(0, 0.3 * span, 0.2 * span);
+  MonitoredRun run = RunMonitored(cfg, "LDG");
+  ASSERT_FALSE(run.result.alerts.empty());
+  bool annotated = false;
+  for (const Alert& alert : run.result.alerts) {
+    if (alert.detail.rfind("reshard=", 0) == 0) annotated = true;
+  }
+  EXPECT_TRUE(annotated);
+  // The alert stream drives the live advisor end to end.
+  LiveRecommendation rec =
+      RecommendFromTimeSeries(run.result.monitor_series, run.result.alerts);
+  EXPECT_EQ(rec.action, LiveAction::kScaleOut);
+}
+
+TEST(MonitoredSimTest, MonitorCountersLandInRegistry) {
+  SimConfig cfg = HealthySim();
+  const double span =
+      RunMonitored(cfg, "LDG").result.window_seconds / 0.9;
+  cfg.monitor = TestMonitor(span);
+  Graph g = MakeDataset("ldbc", 9);
+  GraphDatabase db = MakeDb(g, "LDG", 4);
+  Workload wl(g, {});
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(&reg);
+  SimResult r = SimulateClosedLoop(db, wl, cfg);
+  EXPECT_EQ(reg.GetCounter("monitor.samples")->value(),
+            r.monitor_series.num_samples());
+  EXPECT_EQ(reg.GetCounter("monitor.alerts")->value(), r.alerts.size());
+  EXPECT_EQ(reg.GetCounter("monitor.dumps")->value(), r.blackbox.size());
+}
+
+}  // namespace
+}  // namespace sgp

@@ -366,9 +366,55 @@ TEST(MetricsRegistryTest, ExportIncludesTracesWhenRequested) {
   std::string json = reg.ExportJson(opt);
   EXPECT_NE(json.find("\"traces\""), std::string::npos);
   EXPECT_NE(json.find("\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_traces\":0"), std::string::npos);
   // Still a valid document.
   std::vector<MetricSample> out;
   EXPECT_TRUE(ParseMetricsJson(json, &out));
+}
+
+TEST(MetricsRegistryTest, ExportSurfacesDroppedTraceCount) {
+  MetricsRegistry reg;
+  reg.traces().set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    reg.traces().Append({.name = "e" + std::to_string(i)});
+  }
+  ASSERT_EQ(reg.traces().dropped(), 3u);
+  ExportOptions opt;
+  opt.include_traces = true;
+  std::string json = reg.ExportJson(opt);
+  // A capped trace is visibly incomplete in the export, not silently so.
+  EXPECT_NE(json.find("\"dropped_traces\":3"), std::string::npos);
+  minijson::Value doc;
+  ASSERT_TRUE(minijson::Parse(json, &doc));
+  const minijson::Value* dropped = doc.Find("dropped_traces");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->number, 3.0);
+  EXPECT_EQ(doc.Find("traces")->array.size(), 2u);
+  // Without include_traces, neither key appears.
+  std::string plain = reg.ExportJson();
+  EXPECT_EQ(plain.find("\"dropped_traces\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RoundTripsDocumentsWithTracesAndP999) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("tail.hist");
+  for (int i = 1; i <= 2000; ++i) h->Record(i * 1e-4);
+  { Span s(&reg.traces(), "traced-op"); }
+  ExportOptions opt;
+  opt.include_traces = true;
+
+  // The parser skips the trace siblings and recovers every metric field,
+  // p999 included, exactly.
+  std::vector<MetricSample> original = reg.Snapshot();
+  std::vector<MetricSample> parsed;
+  ASSERT_TRUE(ParseMetricsJson(reg.ExportJson(opt), &parsed));
+  EXPECT_EQ(parsed, original);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_GT(parsed[0].p999, 0.0);
+  EXPECT_GE(parsed[0].p999, parsed[0].p99);
+  EXPECT_NE(reg.ExportJson(opt).find("\"p999\":"), std::string::npos);
+  // CSV grows the p999 column too.
+  EXPECT_NE(reg.ExportCsv().find(",p999"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, GlobalRegistryHasLibraryInstrumentation) {
