@@ -1,10 +1,28 @@
-// Section 4.1 claim: streaming partitioners (LDG/FENNEL) are roughly an
-// order of magnitude faster than offline METIS and use a fraction of the
-// memory (they keep only a synopsis). google-benchmark microbenchmark of
-// partitioning wall time, plus a synopsis-size counter.
-#include <benchmark/benchmark.h>
+// Scoring-path speed: ns/edge of every ScoreCore-backed streaming
+// partitioner with the scalar reference scorer vs the batched bit-packed
+// path, across partition counts. Both modes are bit-identical (the
+// fingerprint gauges below and tests/score_core_test.cc pin that), so the
+// ratio is pure scoring cost: per-candidate Contains probes and branchy
+// score loops vs word-at-a-time membership and fused score/argmax sweeps.
+//
+// Also keeps the Section 4.1 memory claim visible: streaming partitioners
+// hold only an O(n + k) synopsis (state_KB column), a fraction of what the
+// offline multilevel baseline needs for its coarsening hierarchy.
+//
+// Timing runs execute inside a scoped throwaway registry so repetition
+// can never leak wall time into the deterministic JSON section; one
+// canonical run per (algo, k, mode) cell then executes in the global
+// registry, contributing the decision counters and the partition.score.*
+// namespace plus a fingerprint gauge per cell. The deterministic section
+// is golden-gated by scripts/check.sh.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
 #include "graph/datasets.h"
 #include "partition/partitioner.h"
 
@@ -12,58 +30,126 @@ namespace {
 
 using namespace sgp;
 
-const Graph& BenchGraph() {
-  static const Graph* graph =
-      new Graph(MakeDataset("twitter", bench::ScaleFromEnv()));
-  return *graph;
+// Fixed repetition count: best-of-N wall time, no adaptive iteration.
+constexpr int kReps = 3;
+
+uint64_t Fnv1a(uint64_t h, const std::vector<PartitionId>& v) {
+  for (PartitionId p : v) {
+    h ^= p;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
-void RunPartitioner(benchmark::State& state, const char* algo) {
-  const Graph& g = BenchGraph();
+// Folded to 32 bits so the fingerprint is exactly representable in the
+// gauge's double payload (and therefore byte-stable in the golden JSON).
+uint64_t Fingerprint32(const Partitioning& p) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(h, p.vertex_to_partition);
+  h = Fnv1a(h, p.edge_to_partition);
+  return (h ^ (h >> 32)) & 0xFFFFFFFFULL;
+}
+
+struct Cell {
+  double ns_per_edge = 0;
+  uint64_t fingerprint = 0;
+  uint64_t state_bytes = 0;
+};
+
+Cell RunCell(const Graph& g, const std::string& algo, PartitionId k,
+             ScoreMode mode) {
   auto partitioner = CreatePartitioner(algo);
   PartitionConfig cfg;
-  cfg.k = 32;
-  uint64_t state_bytes = 0;
-  for (auto _ : state) {
-    Partitioning p = partitioner->Run(g, cfg);
-    benchmark::DoNotOptimize(p.vertex_to_partition.data());
-    state_bytes = p.state_bytes;
+  cfg.k = k;
+  cfg.score_mode = mode;
+
+  Cell cell;
+  double best_nanos = 0;
+  {
+    // Throwaway registry: timing repetitions must not touch the global
+    // (golden-gated) counters.
+    MetricsRegistry scratch;
+    ScopedMetricsRegistry scoped(&scratch);
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timer timer;
+      Partitioning p = partitioner->Run(g, cfg);
+      const double nanos = static_cast<double>(timer.ElapsedNanos());
+      if (rep == 0 || nanos < best_nanos) best_nanos = nanos;
+    }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(g.num_edges()));
-  // Streaming state is an O(n + k) synopsis; the offline multilevel
-  // baseline holds the whole coarsening hierarchy (Section 4.1.1's
-  // "fraction of the memory" claim).
-  state.counters["edges"] = static_cast<double>(g.num_edges());
-  state.counters["state_KB"] = static_cast<double>(state_bytes) / 1024.0;
+  // Canonical run: decision counters land in the global registry.
+  Partitioning p = partitioner->Run(g, cfg);
+  cell.ns_per_edge = best_nanos / static_cast<double>(g.num_edges());
+  cell.fingerprint = Fingerprint32(p);
+  cell.state_bytes = p.state_bytes;
+  return cell;
 }
 
-void BM_Hash(benchmark::State& s) { RunPartitioner(s, "ECR"); }
-void BM_Ldg(benchmark::State& s) { RunPartitioner(s, "LDG"); }
-void BM_Fennel(benchmark::State& s) { RunPartitioner(s, "FNL"); }
-void BM_Hdrf(benchmark::State& s) { RunPartitioner(s, "HDRF"); }
-void BM_Dbh(benchmark::State& s) { RunPartitioner(s, "DBH"); }
-void BM_Ginger(benchmark::State& s) { RunPartitioner(s, "HG"); }
-void BM_Metis(benchmark::State& s) { RunPartitioner(s, "MTS"); }
-
-BENCHMARK(BM_Hash)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Ldg)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Fennel)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Hdrf)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Dbh)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Ginger)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Metis)->Unit(benchmark::kMillisecond);
+const char* ModeName(ScoreMode mode) {
+  return mode == ScoreMode::kScalar ? "scalar" : "batched";
+}
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN(): identical run loop, plus a dump of the
-// decision counters the partitioners accumulated across all iterations
-// (tie-breaks, degree-table hits, phase timings) to BENCH_*.json.
-int main(int argc, char** argv) {
-  ::benchmark::Initialize(&argc, argv);
-  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  ::benchmark::RunSpecifiedBenchmarks();
-  ::benchmark::Shutdown();
-  sgp::bench::WriteBenchJson("partitioner_speed", sgp::bench::ScaleFromEnv());
-  return 0;
+int main() {
+  const uint32_t scale = bench::ScaleFromEnv();
+  bench::PrintBanner(
+      "Partitioner scoring speed",
+      "ns/edge of the scalar reference scorer vs the batched bit-packed "
+      "ScoreCore path (bit-identical assignments)",
+      scale);
+  const Graph g(MakeDataset("twitter", scale));
+
+  const std::vector<std::string> algos = {"LDG", "FNL", "HDRF",
+                                          "PGG", "HG",  "ESG"};
+  TablePrinter table({"Algo", "k", "scalar ns/edge", "batched ns/edge",
+                      "speedup", "state_KB"});
+  bool fingerprints_agree = true;
+  for (const std::string& algo : algos) {
+    for (PartitionId k : {8u, 32u, 128u}) {
+      Cell cells[2];
+      for (ScoreMode mode : {ScoreMode::kScalar, ScoreMode::kBatched}) {
+        const int m = mode == ScoreMode::kScalar ? 0 : 1;
+        cells[m] = RunCell(g, algo, k, mode);
+        const std::string prefix = "partitioner_speed." + algo + ".k" +
+                                   std::to_string(k) + "." + ModeName(mode);
+        MetricsRegistry::Global()
+            .GetGauge(prefix + ".fingerprint")
+            ->Set(static_cast<double>(cells[m].fingerprint));
+        MetricsRegistry::Global()
+            .GetGauge(prefix + ".ns_per_edge.wall", MetricOptions::WallClock())
+            ->Set(cells[m].ns_per_edge);
+      }
+      const double speedup = cells[1].ns_per_edge == 0
+                                 ? 0
+                                 : cells[0].ns_per_edge / cells[1].ns_per_edge;
+      MetricsRegistry::Global()
+          .GetGauge("partitioner_speed." + algo + ".k" + std::to_string(k) +
+                        ".speedup.wall",
+                    MetricOptions::WallClock())
+          ->Set(speedup);
+      if (cells[0].fingerprint != cells[1].fingerprint) {
+        fingerprints_agree = false;
+        std::cerr << "FINGERPRINT MISMATCH: " << algo << " k=" << k
+                  << " scalar=" << cells[0].fingerprint
+                  << " batched=" << cells[1].fingerprint << "\n";
+      }
+      table.AddRow({algo, std::to_string(k),
+                    FormatDouble(cells[0].ns_per_edge, 2),
+                    FormatDouble(cells[1].ns_per_edge, 2),
+                    FormatDouble(speedup, 2) + "x",
+                    FormatDouble(
+                        static_cast<double>(cells[1].state_bytes) / 1024.0,
+                        1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nExpected shape: the batched path pulls ahead as k grows — at\n"
+         "k=128 a candidate sweep reads two cache lines of membership words\n"
+         "instead of doing 128 probe round-trips, so HDRF lands >=3x. Both\n"
+         "columns place every edge and vertex identically: each cell's\n"
+         "fingerprint gauge pins the assignment bytes in the golden.\n";
+  bench::WriteBenchJson("partitioner_speed", scale);
+  return fingerprints_agree ? 0 : 1;
 }

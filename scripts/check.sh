@@ -47,6 +47,14 @@ echo "check.sh: source_equivalence_test passed standalone under sanitizers"
 "$BUILD_DIR/tests/fault_tolerance_test" --gtest_filter='RecoveryTest.*'
 echo "check.sh: resharding + drain-guard tests passed standalone under sanitizers"
 
+# The scoring core is the one place every partitioner's decision loop now
+# runs through, and its batched path does word-level bit manipulation over
+# externally grown membership rows; run its suite standalone under the
+# sanitizers so an out-of-bounds word read in a partial tail block cannot
+# hide behind a sharded ctest run.
+"$BUILD_DIR/tests/score_core_test"
+echo "check.sh: score_core_test passed standalone under sanitizers"
+
 # Machine-readable bench output: run a representative subset at a small
 # scale and verify every BENCH_*.json parses. The benches run sanitized
 # too — they double as an integration pass over the instrumented paths.
@@ -96,6 +104,15 @@ python3 scripts/bench_diff.py \
 python3 scripts/bench_diff.py \
   tests/golden/BENCH_ablation_monitoring.json \
   "$JSON_DIR/BENCH_ablation_monitoring.json"
+
+# And for the partitioner scoring bench: its deterministic section pins a
+# per-(algo, k, mode) fingerprint of the full assignment vectors plus the
+# partition.score.* counters, so a divergence means the scalar reference
+# scorer and the batched bit-packed ScoreCore path stopped agreeing
+# byte-for-byte (the bench also exits nonzero on any in-run mismatch).
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_partitioner_speed.json \
+  "$JSON_DIR/BENCH_partitioner_speed.json"
 echo "check.sh: bench goldens match"
 
 # ThreadSanitizer pass over the concurrent subsystems: the worker pool,
@@ -109,7 +126,7 @@ cmake -B "$TSAN_DIR" -S . \
   -DSGP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target thread_pool_test parallel_streaming_test grid_test reshard_test \
-  monitor_test
+  monitor_test score_core_test
 
 export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/thread_pool_test"
@@ -124,4 +141,24 @@ export TSAN_OPTIONS="halt_on_error=1"
 # histogram updates is a real race surface; the monitor suite drives
 # writer threads through the registry while a sampler reads it.
 "$TSAN_DIR/tests/monitor_test"
+# The sharded-scoring equivalence tests drive multi-worker ingest through
+# the batched bit-index path (global rows read while delta rows mutate
+# between barriers); TSan keeps that interval discipline honest.
+"$TSAN_DIR/tests/score_core_test"
 echo "check.sh: concurrency tests passed under thread sanitizer"
+
+# Portable-vs-native smoke: build partition_checksum twice — the default
+# portable flags and -DSGP_NATIVE=ON (-march=native, FP contraction off) —
+# and require byte-identical fingerprints for every (algorithm, dataset,
+# k, seed, order, capacity profile) cell. This is the guard that the
+# scalar/batched equivalence is expression-shape stable, not an artifact
+# of one compiler flag set.
+PORTABLE_DIR="${BUILD_DIR}-portable"
+NATIVE_DIR="${BUILD_DIR}-native"
+cmake -B "$PORTABLE_DIR" -S . > /dev/null
+cmake -B "$NATIVE_DIR" -S . -DSGP_NATIVE=ON > /dev/null
+cmake --build "$PORTABLE_DIR" -j "$(nproc)" --target partition_checksum
+cmake --build "$NATIVE_DIR" -j "$(nproc)" --target partition_checksum
+diff <("$PORTABLE_DIR/examples/partition_checksum" --scale 9) \
+     <("$NATIVE_DIR/examples/partition_checksum" --scale 9)
+echo "check.sh: portable and -march=native builds partition identically"

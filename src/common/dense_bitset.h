@@ -1,0 +1,108 @@
+#ifndef SGP_COMMON_DENSE_BITSET_H_
+#define SGP_COMMON_DENSE_BITSET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace sgp {
+
+/// Word-packed bit vector. The GraphPartitioners-style `dense_bitset`
+/// idiom: membership queries become single word loads, and a scan over a
+/// block of 64 candidates touches one cache word instead of 64 probes.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(uint64_t bits) { Resize(bits); }
+
+  /// Grows or shrinks to `bits`; newly exposed bits are zero.
+  void Resize(uint64_t bits) {
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+  }
+
+  uint64_t size() const { return bits_; }
+  uint64_t num_words() const { return words_.size(); }
+  const uint64_t* words() const { return words_.data(); }
+
+  bool Test(uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(uint64_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Reset(uint64_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  uint64_t Popcount() const {
+    uint64_t n = 0;
+    for (uint64_t w : words_) n += static_cast<uint64_t>(std::popcount(w));
+    return n;
+  }
+
+  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  uint64_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Row-major bit matrix: `rows` rows of `cols` bits each, padded to whole
+/// words per row so `Row(r)` is a contiguous word span. This is the layout
+/// of the replica-membership index: one row per vertex, one bit per
+/// partition, so a k-way scoring loop reads ceil(k/64) words per endpoint
+/// instead of performing k set probes.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(uint64_t rows, uint32_t cols) { Reset(rows, cols); }
+
+  /// Reshapes to rows × cols with every bit cleared.
+  void Reset(uint64_t rows, uint32_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    words_per_row_ = (static_cast<uint64_t>(cols) + 63) / 64;
+    words_.assign(rows * words_per_row_, 0);
+  }
+
+  /// Grows the row count (column width fixed); new rows are zero.
+  void EnsureRows(uint64_t rows) {
+    if (rows <= rows_) return;
+    rows_ = rows;
+    words_.resize(rows * words_per_row_, 0);
+  }
+
+  uint64_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint64_t words_per_row() const { return words_per_row_; }
+
+  const uint64_t* Row(uint64_t r) const {
+    return words_.data() + r * words_per_row_;
+  }
+
+  bool Test(uint64_t r, uint32_t c) const {
+    return (Row(r)[c >> 6] >> (c & 63)) & 1u;
+  }
+  void Set(uint64_t r, uint32_t c) {
+    words_[r * words_per_row_ + (c >> 6)] |= uint64_t{1} << (c & 63);
+  }
+  void ResetBit(uint64_t r, uint32_t c) {
+    words_[r * words_per_row_ + (c >> 6)] &= ~(uint64_t{1} << (c & 63));
+  }
+  void ClearRow(uint64_t r) {
+    std::memset(words_.data() + r * words_per_row_, 0,
+                words_per_row_ * sizeof(uint64_t));
+  }
+
+  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  uint64_t rows_ = 0;
+  uint32_t cols_ = 0;
+  uint64_t words_per_row_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_COMMON_DENSE_BITSET_H_

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
 
 namespace sgp {
@@ -20,9 +21,9 @@ Partitioning RunEdgeStreamGreedy(EdgeStreamSource& source,
   const PartitionId k = config.k;
   PartitionState state(config);
   state.InitCapacities(n, config.balance_slack);
-  const std::vector<double>& weights = state.weights();
   const std::vector<double>& capacity = state.capacities();
   const std::vector<uint64_t>& sizes = state.loads();
+  ScoreCore core(state, config.score_mode);
 
   std::vector<PartitionId> assignment(n, kInvalidPartition);
   // Synopsis: per vertex, the count of already-seen neighbors per
@@ -31,18 +32,7 @@ Partitioning RunEdgeStreamGreedy(EdgeStreamSource& source,
   std::vector<uint32_t> observed_degree(n, 0);
   std::vector<uint32_t> degree_at_placement(n, 0);
 
-  auto least_loaded = [&]() {
-    PartitionId best = kInvalidPartition;
-    for (PartitionId i = 0; i < k; ++i) {
-      if (static_cast<double>(sizes[i]) + 1.0 > capacity[i]) continue;
-      if (best == kInvalidPartition ||
-          static_cast<double>(sizes[i]) / weights[i] <
-              static_cast<double>(sizes[best]) / weights[best]) {
-        best = i;
-      }
-    }
-    return best == kInvalidPartition ? 0 : best;
-  };
+  auto least_loaded = [&]() { return core.PickLeastLoadedWithRoom(); };
   auto place = [&](VertexId v, PartitionId p) {
     if (static_cast<double>(sizes[p]) + 1.0 > capacity[p]) {
       p = least_loaded();
@@ -89,33 +79,37 @@ Partitioning RunEdgeStreamGreedy(EdgeStreamSource& source,
     assignment[v] = majority;
   };
 
-  ForEachStreamItem(source, [&](const StreamEdge& edge) {
-    const VertexId u = edge.src;
-    const VertexId v = edge.dst;
-    ++observed_degree[u];
-    ++observed_degree[v];
-    const bool u_placed = assignment[u] != kInvalidPartition;
-    const bool v_placed = assignment[v] != kInvalidPartition;
-    if (u_placed && v_placed) {
-      // Nothing to place; record the adjacency and consider migration.
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    core.NoteBatch();
+    for (const StreamEdge& edge : chunk) {
+      const VertexId u = edge.src;
+      const VertexId v = edge.dst;
+      ++observed_degree[u];
+      ++observed_degree[v];
+      const bool u_placed = assignment[u] != kInvalidPartition;
+      const bool v_placed = assignment[v] != kInvalidPartition;
+      if (u_placed && v_placed) {
+        // Nothing to place; record the adjacency and consider migration.
+        note_neighbor(u, assignment[v]);
+        note_neighbor(v, assignment[u]);
+        maybe_migrate(u);
+        maybe_migrate(v);
+        continue;
+      }
+      if (u_placed) {
+        place(v, assignment[u]);
+      } else if (v_placed) {
+        place(u, assignment[v]);
+      } else {
+        PartitionId p = least_loaded();
+        place(u, p);
+        place(v, assignment[u]);
+      }
       note_neighbor(u, assignment[v]);
       note_neighbor(v, assignment[u]);
-      maybe_migrate(u);
-      maybe_migrate(v);
-      return;
     }
-    if (u_placed) {
-      place(v, assignment[u]);
-    } else if (v_placed) {
-      place(u, assignment[v]);
-    } else {
-      PartitionId p = least_loaded();
-      place(u, p);
-      place(v, assignment[u]);
-    }
-    note_neighbor(u, assignment[v]);
-    note_neighbor(v, assignment[u]);
-  });
+  }
   // Isolated vertices (no edges) still need masters.
   for (VertexId v = 0; v < n; ++v) {
     if (assignment[v] == kInvalidPartition) {

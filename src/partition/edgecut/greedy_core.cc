@@ -1,12 +1,12 @@
 #include "partition/edgecut/greedy_core.h"
 
 #include <cmath>
-#include <limits>
 #include <vector>
 
 #include "common/check.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
 #include "stream/source.h"
 
@@ -57,13 +57,10 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   const VertexId n = graph.num_vertices();
   const PartitionId k = config.k;
   // Shared synopsis: loads plus the hard capacity C = β·(n/k)·w_i of
-  // Equation (1). The const refs keep the scoring expressions below
-  // textually identical to the pre-state-layer code.
+  // Equation (1). Scoring and the k-way pick live in the ScoreCore.
   PartitionState state(config);
   state.InitCapacities(n, config.balance_slack);
-  const std::vector<double>& weights = state.weights();
-  const std::vector<double>& capacity = state.capacities();
-  const std::vector<uint64_t>& sizes = state.loads();
+  ScoreCore core(state, config.score_mode);
 
   // FENNEL α: the paper's optimum α = m·k^{γ−1}/n^{γ}, which reduces to
   // √k·m/n^{3/2} at γ = 1.5.
@@ -97,75 +94,50 @@ Partitioning RunStreamingGreedy(const Graph& graph,
   std::vector<PartitionId> touched;
   touched.reserve(k);
 
+  score::GreedyObjective score_objective;
+  score_objective.ldg = objective == Objective::kLdg;
+  score_objective.gamma = gamma;
+  score_objective.sqrt_form = gamma_is_three_halves;
+
   for (uint32_t pass = 0; pass < passes; ++pass) {
     // Re-streaming FENNEL anneals α upward across passes ([34]).
-    const double pass_alpha =
+    score_objective.alpha =
         alpha * std::pow(config.restream_alpha_growth,
                          static_cast<double>(pass));
     source.Reset();
-    ForEachStreamItem(source, [&](VertexId u) {
-      // Re-streaming: remove u from its previous partition before
-      // re-placing it, so capacities reflect the tentative state.
-      if (assignment[u] != kInvalidPartition) {
-        state.RemoveLoad(assignment[u]);
-        assignment[u] = kInvalidPartition;
-      }
-      for (VertexId v : graph.Neighbors(u)) {
-        ++local_neighbor_scans;
-        PartitionId part = assignment[v];
-        if (part == kInvalidPartition) continue;
-        if (neighbor_counts[part]++ == 0) touched.push_back(part);
-      }
+    for (auto chunk = source.NextChunk(); !chunk.empty();
+         chunk = source.NextChunk()) {
+      core.NoteBatch();
+      for (VertexId u : chunk) {
+        // Re-streaming: remove u from its previous partition before
+        // re-placing it, so capacities reflect the tentative state.
+        if (assignment[u] != kInvalidPartition) {
+          state.RemoveLoad(assignment[u]);
+          assignment[u] = kInvalidPartition;
+        }
+        for (VertexId v : graph.Neighbors(u)) {
+          ++local_neighbor_scans;
+          PartitionId part = assignment[v];
+          if (part == kInvalidPartition) continue;
+          if (neighbor_counts[part]++ == 0) touched.push_back(part);
+        }
 
-      PartitionId best = kInvalidPartition;
-      double best_score = -std::numeric_limits<double>::infinity();
-      uint64_t best_size = 0;
-      for (PartitionId i = 0; i < k; ++i) {
-        const double size = static_cast<double>(sizes[i]);
-        if (size + 1.0 > capacity[i]) continue;  // hard balance constraint
-        double score;
-        if (objective == Objective::kLdg) {
-          score = static_cast<double>(neighbor_counts[i]) *
-                  (1.0 - size / capacity[i]);
-        } else {
-          // Effective load: raw size scaled by inverse capacity, so a
-          // twice-as-big machine looks half as loaded.
-          const double eff = size / weights[i];
-          const double load = gamma_is_three_halves
-                                  ? std::sqrt(eff)
-                                  : std::pow(eff, gamma - 1.0);
-          score = static_cast<double>(neighbor_counts[i]) -
-                  pass_alpha * gamma * load;
+        PartitionId best = core.PickGreedyVertex(
+            neighbor_counts.data(), score_objective, &local_tie_breaks);
+        // All partitions at capacity can only happen transiently in
+        // re-streaming passes; fall back to the least-loaded partition.
+        if (best == kInvalidPartition) {
+          ++local_fallbacks;
+          best = core.PickLeastLoadedAll();
         }
-        if (score > best_score) {
-          best_score = score;
-          best = i;
-          best_size = sizes[i];
-        } else if (score == best_score && sizes[i] < best_size) {
-          ++local_tie_breaks;  // equal score resolved by the smaller part
-          best = i;
-          best_size = sizes[i];
-        }
-      }
-      // All partitions at capacity can only happen transiently in
-      // re-streaming passes; fall back to the least-loaded partition.
-      if (best == kInvalidPartition) {
-        ++local_fallbacks;
-        best = 0;
-        for (PartitionId i = 1; i < k; ++i) {
-          if (static_cast<double>(sizes[i]) / weights[i] <
-              static_cast<double>(sizes[best]) / weights[best]) {
-            best = i;
-          }
-        }
-      }
-      assignment[u] = best;
-      state.AddLoad(best);
-      ++local_assigned;
+        assignment[u] = best;
+        state.AddLoad(best);
+        ++local_assigned;
 
-      for (PartitionId part : touched) neighbor_counts[part] = 0;
-      touched.clear();
-    });
+        for (PartitionId part : touched) neighbor_counts[part] = 0;
+        touched.clear();
+      }
+    }
   }
 
   metrics.vertices_assigned->Increment(local_assigned);

@@ -7,12 +7,45 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
 #include "stream/source.h"
 
 namespace sgp {
 
 namespace {
+
+// Worker-interval scratch of the batched sharded scorers: the combined
+// (published + own delta) loads materialized as flat arrays at the start
+// of each worker's interval and updated incrementally per placement.
+// Only the owning worker mutates state between barriers, so the scratch
+// stays exactly equal to CombinedLoad/CombinedEffectiveLoad — same
+// integers, same division — for the whole interval.
+struct CombinedLoadScratch {
+  std::vector<uint64_t> loads;
+  std::vector<double> effective;
+
+  void Fill(const ShardedPartitionState& shard, uint32_t w, bool eff) {
+    const PartitionId k = shard.global().k();
+    loads.resize(k);
+    if (eff) effective.resize(k);
+    for (PartitionId p = 0; p < k; ++p) {
+      loads[p] = shard.CombinedLoad(w, p);
+      if (eff) {
+        effective[p] = static_cast<double>(loads[p]) /
+                       shard.global().weights()[p];
+      }
+    }
+  }
+
+  void AddLoad(const ShardedPartitionState& shard, PartitionId p, bool eff) {
+    ++loads[p];
+    if (eff) {
+      effective[p] = static_cast<double>(loads[p]) /
+                     shard.global().weights()[p];
+    }
+  }
+};
 
 // ---------------------------------------------------------------------
 // Vertex-stream driver: LDG / FENNEL. Generalizes the original parallel
@@ -60,10 +93,20 @@ ParallelStreamResult RunParallelVertexStream(
   // Worker-local view lookup: own delta shadows the published state.
   std::vector<PartitionId> scratch_view(n, kInvalidPartition);
 
+  score::GreedyObjective objective;
+  objective.ldg = algo == ParallelAlgo::kLdg;
+  objective.alpha = alpha;
+  objective.gamma = gamma;
+  objective.sqrt_form = gamma_is_three_halves;
+
   ParallelStreamResult result;
+  ScoreCoreStats score_stats;
   std::vector<uint32_t> neighbor_counts(k, 0);
+  std::vector<double> scores(k, 0.0);
   std::vector<PartitionId> touched;
   std::vector<size_t> cursor(s, 0);
+  CombinedLoadScratch comb;
+  uint64_t tie_breaks = 0;  // counted by the kernels, not reported here
 
   bool work_left = true;
   while (work_left) {
@@ -75,6 +118,8 @@ ParallelStreamResult RunParallelVertexStream(
         return scratch_view[v] != kInvalidPartition ? scratch_view[v]
                                                     : published[v];
       };
+      comb.Fill(shard, w, /*eff=*/false);
+      ++score_stats.batches;
       const size_t end = std::min(cursor[w] + options.sync_interval,
                                   substreams[w].size());
       for (size_t i = cursor[w]; i < end; ++i) {
@@ -84,37 +129,22 @@ ParallelStreamResult RunParallelVertexStream(
           if (p == kInvalidPartition) continue;
           if (neighbor_counts[p]++ == 0) touched.push_back(p);
         }
-        PartitionId best = kInvalidPartition;
-        double best_score = -std::numeric_limits<double>::infinity();
-        double best_size = 0;
-        for (PartitionId part = 0; part < k; ++part) {
-          const double size =
-              static_cast<double>(shard.CombinedLoad(w, part));
-          if (size + 1.0 > capacity[part]) continue;
-          double score;
-          if (algo == ParallelAlgo::kLdg) {
-            score = static_cast<double>(neighbor_counts[part]) *
-                    (1.0 - size / capacity[part]);
-          } else {
-            const double eff = size / weights[part];
-            const double load = gamma_is_three_halves
-                                    ? std::sqrt(eff)
-                                    : std::pow(eff, gamma - 1.0);
-            score = static_cast<double>(neighbor_counts[part]) -
-                    alpha * gamma * load;
-          }
-          // Ties toward the least-loaded partition, as in sequential LDG.
-          if (score > best_score ||
-              (score == best_score && size < best_size)) {
-            best_score = score;
-            best = part;
-            best_size = size;
-          }
-        }
+        score_stats.candidates += k;
+        PartitionId best =
+            config.score_mode == ScoreMode::kScalar
+                ? score::GreedyPickScalar(k, neighbor_counts.data(),
+                                          comb.loads.data(), weights.data(),
+                                          capacity.data(), objective,
+                                          &tie_breaks)
+                : score::GreedyPickBatched(k, neighbor_counts.data(),
+                                           comb.loads.data(), weights.data(),
+                                           capacity.data(), objective,
+                                           scores.data(), &tie_breaks);
         if (best == kInvalidPartition) best = u % k;  // all full (stale)
         deltas[w].emplace_back(u, best);
         scratch_view[u] = best;
         shard.AddWorkerLoad(w, best);
+        comb.AddLoad(shard, best, /*eff=*/false);
         for (PartitionId p : touched) neighbor_counts[p] = 0;
         touched.clear();
       }
@@ -133,6 +163,8 @@ ParallelStreamResult RunParallelVertexStream(
     shard.Publish();
   }
 
+  (void)tie_breaks;
+  FlushScoreCoreStats(score_stats);
   result.partitioning.model = CutModel::kEdgeCut;
   result.partitioning.k = k;
   result.partitioning.vertex_to_partition = std::move(published);
@@ -151,10 +183,101 @@ ParallelStreamResult RunParallelVertexStream(
 // result equals the sequential algorithm's.
 // ---------------------------------------------------------------------
 
+// One batched HDRF placement against worker w's combined view: the
+// combined loads come from the interval scratch and replica membership
+// from the bit rows (published row OR delta row), scored by the shared
+// ScoreCore kernel. Bit-identical to PlaceHdrfSharded below.
+PartitionId PlaceHdrfShardedBatched(ShardedPartitionState& shard, uint32_t w,
+                                    CombinedLoadScratch& comb, VertexId u,
+                                    VertexId v, double lambda,
+                                    ScoreCoreStats& stats) {
+  const PartitionId k = shard.global().k();
+  shard.IncrementWorkerDegree(w, u);
+  shard.IncrementWorkerDegree(w, v);
+  const double du = shard.CombinedDegree(w, u);
+  const double dv = shard.CombinedDegree(w, v);
+  const double theta_u = du / (du + dv);
+  const double theta_v = 1.0 - theta_u;
+
+  double max_load, spread;
+  score::EffectiveSpread(comb.effective.data(), k, &max_load, &spread);
+
+  const score::MembershipRow row_u{shard.GlobalReplicaRow(u),
+                                   shard.DeltaReplicaRow(w, u)};
+  const score::MembershipRow row_v{shard.GlobalReplicaRow(v),
+                                   shard.DeltaReplicaRow(w, v)};
+  uint64_t ties = 0;  // the sharded driver does not report tie counts
+  stats.candidates += k;
+  const PartitionId best = score::HdrfPickBatched(
+      k, comb.effective.data(), comb.loads.data(), row_u, row_v, theta_u,
+      theta_v, lambda, max_load, spread, &ties, &stats.bitset_hits);
+
+  shard.AddWorkerLoad(w, best);
+  comb.AddLoad(shard, best, /*eff=*/true);
+  if (!row_u.Test(best)) shard.AddWorkerReplica(w, u, best);
+  if (!row_v.Test(best)) shard.AddWorkerReplica(w, v, best);
+  return best;
+}
+
+// One batched PGG placement against worker w's combined view; the
+// replica-set walks of PlacePggSharded become word-wise row operations.
+PartitionId PlacePggShardedBatched(ShardedPartitionState& shard, uint32_t w,
+                                   CombinedLoadScratch& comb,
+                                   const Graph& graph, VertexId u, VertexId v,
+                                   std::vector<uint64_t>& inter_words,
+                                   ScoreCoreStats& stats) {
+  const PartitionId k = shard.global().k();
+  const double* weights = shard.global().weights().data();
+  const score::MembershipRow row_u{shard.GlobalReplicaRow(u),
+                                   shard.DeltaReplicaRow(w, u)};
+  const score::MembershipRow row_v{shard.GlobalReplicaRow(v),
+                                   shard.DeltaReplicaRow(w, v)};
+  auto pick_over = [&](score::MembershipRow row) {
+    const uint64_t before = stats.bitset_hits;
+    const PartitionId t = score::LeastLoadedOverBits(
+        k, comb.loads.data(), weights, row, &stats.bitset_hits);
+    stats.candidates += stats.bitset_hits - before;
+    return t;
+  };
+
+  PartitionId target;
+  const bool u_empty = !shard.HasAnyReplica(w, u);
+  const bool v_empty = !shard.HasAnyReplica(w, v);
+  if (!u_empty && !v_empty) {
+    bool any = false;
+    score::IntersectRows(k, row_u, row_v, inter_words.data(), &any);
+    if (any) {
+      target = pick_over({inter_words.data(), nullptr});
+    } else {
+      const bool u_busier =
+          static_cast<int64_t>(graph.Degree(u)) - shard.CombinedDegree(w, u) >=
+          static_cast<int64_t>(graph.Degree(v)) - shard.CombinedDegree(w, v);
+      target = pick_over(u_busier ? row_u : row_v);
+    }
+  } else if (!u_empty) {
+    target = pick_over(row_u);
+  } else if (!v_empty) {
+    target = pick_over(row_v);
+  } else {
+    stats.candidates += k;
+    target = score::LeastLoadedAll(k, comb.loads.data(), weights);
+  }
+
+  shard.AddWorkerLoad(w, target);
+  comb.AddLoad(shard, target, /*eff=*/false);
+  // Placed degrees update after the decision, as in the sequential code.
+  shard.IncrementWorkerDegree(w, u);
+  shard.IncrementWorkerDegree(w, v);
+  if (!row_u.Test(target)) shard.AddWorkerReplica(w, u, target);
+  if (!row_v.Test(target)) shard.AddWorkerReplica(w, v, target);
+  return target;
+}
+
 // One HDRF placement against worker w's combined (published + own delta)
-// view. Expressions mirror internal_vertexcut::PlaceHdrfEdge; effective
-// loads are recomputed from the combined integer loads, which yields the
-// same doubles the sequential incremental update maintains.
+// view — the reference (scalar) path. Expressions mirror
+// ScoreCore::PlaceHdrfEdgeScalar; effective loads are recomputed from the
+// combined integer loads, which yields the same doubles the sequential
+// incremental update maintains.
 PartitionId PlaceHdrfSharded(ShardedPartitionState& shard, uint32_t w,
                              VertexId u, VertexId v, double lambda) {
   const PartitionId k = shard.global().k();
@@ -286,6 +409,12 @@ ParallelStreamResult RunParallelEdgeStream(
   result.partitioning.k = k;
   result.partitioning.edge_to_partition.resize(graph.num_edges());
 
+  const bool batched = config.score_mode == ScoreMode::kBatched;
+  if (batched) shard.EnableReplicaBitIndex();
+  const bool is_hdrf = algo == ParallelAlgo::kHdrf;
+  ScoreCoreStats score_stats;
+  CombinedLoadScratch comb;
+  std::vector<uint64_t> inter_words((static_cast<uint64_t>(k) + 63) / 64, 0);
   std::vector<PartitionId> all(k);
   for (PartitionId i = 0; i < k; ++i) all[i] = i;
   std::vector<PartitionId> setu, setv, intersection;
@@ -296,17 +425,32 @@ ParallelStreamResult RunParallelEdgeStream(
   while (work_left) {
     work_left = false;
     for (uint32_t w = 0; w < s; ++w) {
+      if (batched) comb.Fill(shard, w, /*eff=*/is_hdrf);
+      ++score_stats.batches;
       const size_t end = std::min(cursor[w] + options.sync_interval,
                                   substreams[w].size());
       round_placed[w] = end - cursor[w];
       for (size_t i = cursor[w]; i < end; ++i) {
         const StreamEdge& e = substreams[w][i];
-        const PartitionId target =
-            algo == ParallelAlgo::kHdrf
-                ? PlaceHdrfSharded(shard, w, e.src, e.dst,
-                                   config.hdrf_lambda)
-                : PlacePggSharded(shard, w, graph, e.src, e.dst, setu, setv,
-                                  intersection, all);
+        PartitionId target;
+        if (batched) {
+          target = is_hdrf
+                       ? PlaceHdrfShardedBatched(shard, w, comb, e.src, e.dst,
+                                                 config.hdrf_lambda,
+                                                 score_stats)
+                       : PlacePggShardedBatched(shard, w, comb, graph, e.src,
+                                                e.dst, inter_words,
+                                                score_stats);
+        } else {
+          if (is_hdrf) {
+            score_stats.candidates += k;
+            target = PlaceHdrfSharded(shard, w, e.src, e.dst,
+                                      config.hdrf_lambda);
+          } else {
+            target = PlacePggSharded(shard, w, graph, e.src, e.dst, setu,
+                                     setv, intersection, all);
+          }
+        }
         result.partitioning.edge_to_partition[e.id] = target;
       }
       cursor[w] = end;
@@ -322,6 +466,7 @@ ParallelStreamResult RunParallelEdgeStream(
     shard.Publish();
   }
 
+  FlushScoreCoreStats(score_stats);
   DeriveMasterPlacement(graph, &result.partitioning);
   result.partitioning.state_bytes = shard.SynopsisBytes();
   result.partitioning.partitioning_seconds = timer.ElapsedSeconds();

@@ -1,12 +1,12 @@
 #include "partition/hybrid/ginger.h"
 
 #include <cmath>
-#include <limits>
 #include <vector>
 
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
 #include "stream/source.h"
 
@@ -50,7 +50,10 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
   const std::vector<uint64_t>& vertex_load = state.loads();
   const std::vector<uint64_t>& edge_load = state.secondary_loads();
 
+  ScoreCore core(state, config.score_mode);
+  uint64_t tie_breaks = 0;
   std::vector<uint32_t> neighbor_counts(k, 0);
+  std::vector<double> combined_loads(k, 0.0);
   std::vector<PartitionId> touched;
   const double vertices_per_edge =
       m == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(m);
@@ -73,61 +76,55 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
         graph.directed() ? graph.InDegree(v) : graph.Degree(v);
     return in_degree > config.hybrid_threshold;
   };
+  // Hard capacity on the combined load, like FENNEL's streaming cap: the
+  // expected combined load per partition is n/k.
+  const double combined_capacity = config.balance_slack *
+                                   static_cast<double>(n) /
+                                   static_cast<double>(k);
   InMemoryVertexSource source(graph, config.order, config.seed,
                               config.ingest_chunk_size);
-  ForEachStreamItem(source, [&](VertexId v) {
-    if (is_high_degree(v)) {
-      result.vertex_to_partition[v] = hash_part(v);
-      state.AddLoad(result.vertex_to_partition[v]);
-      return;
-    }
-    // Low-degree: Equation (8) over already-placed neighbors.
-    for (VertexId u : graph.Neighbors(v)) {
-      PartitionId p = result.vertex_to_partition[u];
-      if (p == kInvalidPartition) continue;
-      if (neighbor_counts[p]++ == 0) touched.push_back(p);
-    }
-    // Hard capacity on the combined load, like FENNEL's streaming cap:
-    // the expected combined load per partition is n/k.
-    const double combined_capacity = config.balance_slack *
-                                     static_cast<double>(n) /
-                                     static_cast<double>(k);
-    auto combined_load = [&](PartitionId i) {
-      return 0.5 *
-             (static_cast<double>(vertex_load[i]) +
-              vertices_per_edge * static_cast<double>(edge_load[i])) /
-             cap_weights[i];
-    };
-    PartitionId best = kInvalidPartition;
-    double best_score = -std::numeric_limits<double>::infinity();
-    double best_load = 0;
-    for (PartitionId i = 0; i < k; ++i) {
+  for (auto stream_chunk = source.NextChunk(); !stream_chunk.empty();
+       stream_chunk = source.NextChunk()) {
+    core.NoteBatch();
+    for (VertexId v : stream_chunk) {
+      if (is_high_degree(v)) {
+        result.vertex_to_partition[v] = hash_part(v);
+        state.AddLoad(result.vertex_to_partition[v]);
+        continue;
+      }
+      // Low-degree: Equation (8) over already-placed neighbors.
+      for (VertexId u : graph.Neighbors(v)) {
+        PartitionId p = result.vertex_to_partition[u];
+        if (p == kInvalidPartition) continue;
+        if (neighbor_counts[p]++ == 0) touched.push_back(p);
+      }
       // Combined load ½(|Pi_v| + (n/m)|Pi_e|) of Equation (8), passed
       // through FENNEL's marginal-cost power form.
-      const double load = combined_load(i);
-      if (load >= combined_capacity) continue;
-      double score = static_cast<double>(neighbor_counts[i]) -
-                     alpha * gamma * std::sqrt(load);
-      if (score > best_score || (score == best_score && load < best_load)) {
-        best_score = score;
-        best = i;
-        best_load = load;
+      for (PartitionId i = 0; i < k; ++i) {
+        combined_loads[i] =
+            0.5 *
+            (static_cast<double>(vertex_load[i]) +
+             vertices_per_edge * static_cast<double>(edge_load[i])) /
+            cap_weights[i];
       }
-    }
-    if (best == kInvalidPartition) {
-      // Every partition at capacity: least combined load wins.
-      best = 0;
-      for (PartitionId i = 1; i < k; ++i) {
-        if (combined_load(i) < combined_load(best)) best = i;
+      PartitionId best = core.PickGingerVertex(
+          neighbor_counts.data(), combined_loads.data(), combined_capacity,
+          alpha, gamma, &tie_breaks);
+      if (best == kInvalidPartition) {
+        // Every partition at capacity: least combined load wins.
+        best = 0;
+        for (PartitionId i = 1; i < k; ++i) {
+          if (combined_loads[i] < combined_loads[best]) best = i;
+        }
       }
-    }
-    for (PartitionId p : touched) neighbor_counts[p] = 0;
-    touched.clear();
+      for (PartitionId p : touched) neighbor_counts[p] = 0;
+      touched.clear();
 
-    result.vertex_to_partition[v] = best;
-    state.AddLoad(best);
-    state.AddSecondaryLoad(best, in_offsets[v + 1] - in_offsets[v]);
-  });
+      result.vertex_to_partition[v] = best;
+      state.AddLoad(best);
+      state.AddSecondaryLoad(best, in_offsets[v + 1] - in_offsets[v]);
+    }
+  }
 
   // --- Phase 2: place edges. The in-edges of a low-degree vertex follow
   // its master (edge-cut locality); the in-edges of a high-degree vertex

@@ -21,6 +21,17 @@ enum class CutModel {
 /// Human-readable name of `model`.
 std::string_view CutModelName(CutModel model);
 
+/// Implementation of the k-way candidate evaluation every streaming
+/// partitioner performs per stream element (partition/score_core.h).
+/// Both modes produce bit-identical assignments — same scores, same
+/// tie-breaks (equal score → lighter load → lower id) — pinned by the
+/// equivalence suite; kScalar exists as the reference for that suite and
+/// for the scalar-vs-batched rows of bench_partitioner_speed.
+enum class ScoreMode {
+  kBatched,  // chunk-batched SoA loops + bit-packed replica membership
+  kScalar,   // per-element loops with per-candidate replica-set probes
+};
+
 /// Shared configuration for all partitioners. Algorithm-specific parameters
 /// carry the defaults used by the paper / original publications.
 struct PartitionConfig {
@@ -72,6 +83,11 @@ struct PartitionConfig {
   /// fast path for in-core graphs. Chunk boundaries never change the
   /// element sequence, so results are independent of this value.
   uint64_t ingest_chunk_size = 0;
+
+  /// Scoring-core implementation (partition/score_core.h). Assignments
+  /// are bit-identical in both modes; kScalar is the reference path the
+  /// equivalence tests and bench_partitioner_speed compare against.
+  ScoreMode score_mode = ScoreMode::kBatched;
 };
 
 /// Result of any partitioning algorithm, unified across cut models.

@@ -1,0 +1,569 @@
+#ifndef SGP_PARTITION_SCORE_CORE_H_
+#define SGP_PARTITION_SCORE_CORE_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "partition/state.h"
+#include "stream/source.h"
+
+namespace sgp {
+
+/// Shared k-way candidate-evaluation core (the "score core"): every
+/// streaming partitioner evaluates all k candidate partitions per stream
+/// element, and this layer owns that loop for the whole roster — LDG and
+/// FENNEL (Equations 4/5), HDRF (Equation 7), PowerGraph greedy, Ginger
+/// (Equation 8) and the edge-stream greedy family — instead of each
+/// algorithm hand-rolling its own copy over `partition/state`.
+///
+/// Layering: PartitionState (flat SoA synopsis: loads, effective loads,
+/// capacities, degrees, replica sets) → ScoreCore (candidate scoring +
+/// argmax with the canonical tie-break: equal score → lighter load →
+/// lower id) → partitioner (stream order, gather, placement recording).
+///
+/// Two modes, bit-identical by construction and pinned by the equivalence
+/// suite (tests/score_core_test.cc, partitioner_property_test.cc):
+///  - kBatched: a chunk of B stream elements per call, inner loops reading
+///    the SoA arrays directly and replica membership from the bit index
+///    (one 64-candidate word per load instead of per-candidate set
+///    probes), branch-free score evaluation where it pays.
+///  - kScalar: the reference per-element loops with ReplicaState::Contains
+///    probes — the pre-refactor code shape, kept for the
+///    scalar-vs-batched rows of bench_partitioner_speed.
+///
+/// Every floating-point expression is textually identical between modes
+/// (and to the pre-ScoreCore algorithms), so assignments match down to
+/// the last tie-break. Builds must not let the compiler contract a*b+c
+/// into FMA (see SGP_NATIVE in CMakeLists.txt) or the two shapes could
+/// round differently.
+
+/// Decision counters of the scoring core, accumulated in plain locals and
+/// flushed once per run (partition.score.*, docs/OBSERVABILITY.md).
+struct ScoreCoreStats {
+  uint64_t batches = 0;      // chunk-level scorer invocations
+  uint64_t candidates = 0;   // candidate partitions evaluated
+  uint64_t bitset_hits = 0;  // replica-membership bits found set (batched)
+};
+
+/// Flushes `stats` into the current registry's
+/// partition.score.{batches,candidates,bitset_hits} counters.
+void FlushScoreCoreStats(const ScoreCoreStats& stats);
+
+/// Decision counters of the HDRF scoring loop (kept distinct from
+/// ScoreCoreStats: they feed the long-standing partition.hdrf.* metrics).
+struct HdrfStats {
+  uint64_t degree_hits = 0;
+  uint64_t tie_breaks = 0;
+};
+
+namespace score {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Replica-membership row of one vertex: the published (or sequential)
+/// word span, plus an optional unpublished worker-delta span that is OR-ed
+/// in word-wise (the sharded ingest drivers' combined view).
+struct MembershipRow {
+  const uint64_t* base = nullptr;
+  const uint64_t* delta = nullptr;  // may be null
+
+  uint64_t Word(uint64_t w) const {
+    return delta == nullptr ? base[w] : base[w] | delta[w];
+  }
+  bool Test(PartitionId p) const { return (Word(p >> 6) >> (p & 63)) & 1u; }
+};
+
+/// Max effective load and the normalized HDRF spread 1 + (max − min)
+/// (ε = 1), with the exact accumulation order of the scalar loop.
+inline void EffectiveSpread(const double* effective, PartitionId k,
+                            double* max_out, double* spread_out) {
+  double max_load = 0;
+  double min_load = effective[0];
+  for (PartitionId i = 0; i < k; ++i) {
+    max_load = std::max(max_load, effective[i]);
+    min_load = std::min(min_load, effective[i]);
+  }
+  *max_out = max_load;
+  *spread_out = 1.0 + (max_load - min_load);
+}
+
+/// Batched HDRF candidate evaluation: one membership word per endpoint
+/// per 64-candidate block, branch-free g-term, argmax with the canonical
+/// tie-break. The g accumulation order (u-term then v-term) matches the
+/// scalar Contains-probe loop, so scores are bit-identical.
+inline PartitionId HdrfPickBatched(PartitionId k, const double* effective,
+                                   const uint64_t* loads, MembershipRow u_row,
+                                   MembershipRow v_row, double theta_u,
+                                   double theta_v, double lambda,
+                                   double max_load, double spread,
+                                   uint64_t* tie_breaks,
+                                   uint64_t* bitset_hits) {
+  const double gain_u = 1.0 + theta_v;  // g of replicating endpoint u
+  const double gain_v = 1.0 + theta_u;
+  PartitionId best = 0;
+  double best_score = kNegInf;
+  uint64_t ties = 0;
+  uint64_t hits = 0;
+  for (PartitionId blk = 0; blk < k; blk += 64) {
+    const uint64_t wu = u_row.Word(blk >> 6);
+    const uint64_t wv = v_row.Word(blk >> 6);
+    const PartitionId lim = std::min<PartitionId>(k, blk + 64);
+    const uint64_t mask = lim - blk == 64
+                              ? ~uint64_t{0}
+                              : (uint64_t{1} << (lim - blk)) - 1;
+    hits += static_cast<uint64_t>(std::popcount(wu & mask)) +
+            static_cast<uint64_t>(std::popcount(wv & mask));
+    for (PartitionId i = blk; i < lim; ++i) {
+      const double bu = static_cast<double>((wu >> (i - blk)) & 1u);
+      const double bv = static_cast<double>((wv >> (i - blk)) & 1u);
+      const double g = bu * gain_u + bv * gain_v;
+      const double sc = g + lambda * (max_load - effective[i]) / spread;
+      if (sc > best_score) {
+        best_score = sc;
+        best = i;
+      } else if (sc == best_score && loads[i] < loads[best]) {
+        ++ties;
+        best = i;
+      }
+    }
+  }
+  *tie_breaks += ties;
+  *bitset_hits += hits;
+  return best;
+}
+
+/// Objective of the streaming greedy vertex placement (LDG Equation 4,
+/// FENNEL Equation 5).
+struct GreedyObjective {
+  bool ldg = true;
+  double alpha = 0.0;     // FENNEL α (per pass, restreaming anneals it)
+  double gamma = 1.5;     // FENNEL γ
+  bool sqrt_form = true;  // γ == 1.5 → sqrt instead of pow
+};
+
+inline double GreedyScore(const GreedyObjective& obj, uint32_t count,
+                          double size, double capacity, double weight) {
+  if (obj.ldg) {
+    return static_cast<double>(count) * (1.0 - size / capacity);
+  }
+  // Effective load: raw size scaled by inverse capacity, so a twice-as-big
+  // machine looks half as loaded.
+  const double eff = size / weight;
+  const double load =
+      obj.sqrt_form ? std::sqrt(eff) : std::pow(eff, obj.gamma - 1.0);
+  return static_cast<double>(count) - obj.alpha * obj.gamma * load;
+}
+
+/// Reference per-element LDG/FENNEL pick: hard capacity skip, argmax,
+/// ties toward the smaller partition. kInvalidPartition when every
+/// partition is at capacity.
+inline PartitionId GreedyPickScalar(PartitionId k,
+                                    const uint32_t* neighbor_counts,
+                                    const uint64_t* loads,
+                                    const double* weights,
+                                    const double* capacity,
+                                    const GreedyObjective& obj,
+                                    uint64_t* tie_breaks) {
+  PartitionId best = kInvalidPartition;
+  double best_score = kNegInf;
+  uint64_t best_load = 0;
+  for (PartitionId i = 0; i < k; ++i) {
+    const double size = static_cast<double>(loads[i]);
+    if (size + 1.0 > capacity[i]) continue;  // hard balance constraint
+    const double sc =
+        GreedyScore(obj, neighbor_counts[i], size, capacity[i], weights[i]);
+    if (sc > best_score) {
+      best_score = sc;
+      best = i;
+      best_load = loads[i];
+    } else if (sc == best_score && loads[i] < best_load) {
+      ++*tie_breaks;
+      best = i;
+      best_load = loads[i];
+    }
+  }
+  return best;
+}
+
+/// Batched LDG/FENNEL pick: phase 1 materializes every candidate score
+/// into `scores` with capacity violations masked to −inf (branch-free,
+/// auto-vectorizable over the SoA arrays); phase 2 is the same argmax /
+/// tie-break scan as the scalar path. A masked −inf can never win (> is
+/// strict and the tie-break needs loads[i] < best_load, which starts at 0
+/// with unsigned loads), so selection matches the scalar skip exactly.
+inline PartitionId GreedyPickBatched(PartitionId k,
+                                     const uint32_t* neighbor_counts,
+                                     const uint64_t* loads,
+                                     const double* weights,
+                                     const double* capacity,
+                                     const GreedyObjective& obj,
+                                     double* scores, uint64_t* tie_breaks) {
+  for (PartitionId i = 0; i < k; ++i) {
+    const double size = static_cast<double>(loads[i]);
+    const double sc =
+        GreedyScore(obj, neighbor_counts[i], size, capacity[i], weights[i]);
+    scores[i] = size + 1.0 > capacity[i] ? kNegInf : sc;
+  }
+  PartitionId best = kInvalidPartition;
+  double best_score = kNegInf;
+  uint64_t best_load = 0;
+  for (PartitionId i = 0; i < k; ++i) {
+    if (scores[i] > best_score) {
+      best_score = scores[i];
+      best = i;
+      best_load = loads[i];
+    } else if (scores[i] == best_score && best != kInvalidPartition &&
+               loads[i] < best_load) {
+      ++*tie_breaks;
+      best = i;
+      best_load = loads[i];
+    }
+  }
+  return best;
+}
+
+/// Ginger pick over caller-materialized combined loads ½(|P_v| +
+/// (n/m)|P_e|)/w (Equation 8 through FENNEL's γ = 1.5 marginal-cost
+/// form); candidates at or above the combined capacity are skipped, ties
+/// toward the smaller combined load.
+inline PartitionId GingerPickScalar(PartitionId k,
+                                    const uint32_t* neighbor_counts,
+                                    const double* combined_loads,
+                                    double combined_capacity, double alpha,
+                                    double gamma, uint64_t* tie_breaks) {
+  PartitionId best = kInvalidPartition;
+  double best_score = kNegInf;
+  double best_load = 0;
+  for (PartitionId i = 0; i < k; ++i) {
+    const double load = combined_loads[i];
+    if (load >= combined_capacity) continue;
+    const double sc = static_cast<double>(neighbor_counts[i]) -
+                      alpha * gamma * std::sqrt(load);
+    if (sc > best_score || (sc == best_score && load < best_load)) {
+      if (sc == best_score) ++*tie_breaks;
+      best_score = sc;
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+/// Batched Ginger pick: masked score materialization + the scalar argmax.
+/// A masked −inf never wins: > is strict against the −inf start, and the
+/// tie-break needs load < best_load, which starts at 0 with non-negative
+/// combined loads.
+inline PartitionId GingerPickBatched(PartitionId k,
+                                     const uint32_t* neighbor_counts,
+                                     const double* combined_loads,
+                                     double combined_capacity, double alpha,
+                                     double gamma, double* scores,
+                                     uint64_t* tie_breaks) {
+  for (PartitionId i = 0; i < k; ++i) {
+    const double load = combined_loads[i];
+    const double sc = static_cast<double>(neighbor_counts[i]) -
+                      alpha * gamma * std::sqrt(load);
+    scores[i] = load >= combined_capacity ? kNegInf : sc;
+  }
+  PartitionId best = kInvalidPartition;
+  double best_score = kNegInf;
+  double best_load = 0;
+  for (PartitionId i = 0; i < k; ++i) {
+    const double load = combined_loads[i];
+    if (scores[i] > best_score ||
+        (scores[i] == best_score && best != kInvalidPartition &&
+         load < best_load)) {
+      if (scores[i] == best_score) ++*tie_breaks;
+      best_score = scores[i];
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+/// Least effectively-loaded partition with room for one more element
+/// (ties toward the lower id); 0 when every partition is at capacity —
+/// the edge-stream greedy family's placement rule.
+inline PartitionId LeastLoadedWithRoom(PartitionId k, const uint64_t* loads,
+                                       const double* weights,
+                                       const double* capacity) {
+  PartitionId best = kInvalidPartition;
+  for (PartitionId i = 0; i < k; ++i) {
+    if (static_cast<double>(loads[i]) + 1.0 > capacity[i]) continue;
+    if (best == kInvalidPartition ||
+        static_cast<double>(loads[i]) / weights[i] <
+            static_cast<double>(loads[best]) / weights[best]) {
+      best = i;
+    }
+  }
+  return best == kInvalidPartition ? 0 : best;
+}
+
+/// Least effectively-loaded partition over all k, no capacity check (the
+/// all-at-capacity fallback of the greedy edge-cut family).
+inline PartitionId LeastLoadedAll(PartitionId k, const uint64_t* loads,
+                                  const double* weights) {
+  PartitionId best = 0;
+  for (PartitionId i = 1; i < k; ++i) {
+    if (static_cast<double>(loads[i]) / weights[i] <
+        static_cast<double>(loads[best]) / weights[best]) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Least effectively-loaded partition among the set bits of `row` (ties
+/// toward the lower id — ascending bit order plus a strict compare). The
+/// caller guarantees at least one bit is set below k.
+inline PartitionId LeastLoadedOverBits(PartitionId k, const uint64_t* loads,
+                                       const double* weights,
+                                       MembershipRow row,
+                                       uint64_t* bitset_hits) {
+  PartitionId best = kInvalidPartition;
+  double best_load = 0;
+  uint64_t hits = 0;
+  const uint64_t num_words = (static_cast<uint64_t>(k) + 63) / 64;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    uint64_t bits = row.Word(w);
+    hits += static_cast<uint64_t>(std::popcount(bits));
+    while (bits != 0) {
+      const PartitionId p = static_cast<PartitionId>(
+          w * 64 + static_cast<uint32_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      const double load = static_cast<double>(loads[p]) / weights[p];
+      if (best == kInvalidPartition || load < best_load) {
+        best = p;
+        best_load = load;
+      }
+    }
+  }
+  *bitset_hits += hits;
+  return best;
+}
+
+/// Word-wise intersection of two combined membership rows.
+inline void IntersectRows(PartitionId k, MembershipRow a, MembershipRow b,
+                          uint64_t* out, bool* any) {
+  const uint64_t num_words = (static_cast<uint64_t>(k) + 63) / 64;
+  uint64_t nonzero = 0;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    out[w] = a.Word(w) & b.Word(w);
+    nonzero |= out[w];
+  }
+  *any = nonzero != 0;
+}
+
+}  // namespace score
+
+/// Per-run scoring context: binds a PartitionState, the mode, the scratch
+/// buffers (candidate scores, intersection words) and the decision
+/// counters; enables the replica bit index when batched. Flushes
+/// partition.score.* on destruction.
+class ScoreCore {
+ public:
+  ScoreCore(PartitionState& state, ScoreMode mode);
+  ~ScoreCore() { FlushScoreCoreStats(stats_); }
+
+  ScoreCore(const ScoreCore&) = delete;
+  ScoreCore& operator=(const ScoreCore&) = delete;
+
+  ScoreMode mode() const { return mode_; }
+  ScoreCoreStats& stats() { return stats_; }
+
+  /// Marks one batch of stream elements entering the scorer (callers that
+  /// drive per-element picks, e.g. the vertex-greedy gather loop, call it
+  /// once per source chunk).
+  void NoteBatch() { ++stats_.batches; }
+
+  // ---------------------------------------------------------------------
+  // HDRF (Section 4.2.2): full state transition per edge — partial-degree
+  // updates, scoring, load + effective-load update, replica adds. The
+  // state must have degree table, effective loads and replica sets
+  // initialized and covering every endpoint of `chunk`. Shared by
+  // HdrfPartitioner (in-memory graphs) and the disk ingest path, so both
+  // place edges identically.
+  // ---------------------------------------------------------------------
+  template <typename PlaceFn>
+  void PlaceHdrfChunk(std::span<const StreamEdge> chunk, double lambda,
+                      HdrfStats& stats, PlaceFn&& place) {
+    ++stats_.batches;
+    const PartitionId k = state_.k();
+    stats_.candidates += static_cast<uint64_t>(chunk.size()) * k;
+    if (mode_ == ScoreMode::kScalar) {
+      for (const StreamEdge& e : chunk) {
+        place(e, PlaceHdrfEdgeScalar(e.src, e.dst, lambda, stats));
+      }
+      return;
+    }
+    ReplicaState& replicas = state_.replicas();
+    const double* effective = state_.effective().data();
+    const uint64_t* loads = state_.loads().data();
+    for (const StreamEdge& e : chunk) {
+      const VertexId u = e.src;
+      const VertexId v = e.dst;
+      stats.degree_hits += (state_.degree(u) > 0) + (state_.degree(v) > 0);
+      state_.IncrementDegree(u);
+      state_.IncrementDegree(v);
+      const double du = state_.degree(u);
+      const double dv = state_.degree(v);
+      const double theta_u = du / (du + dv);
+      const double theta_v = 1.0 - theta_u;
+      double max_load, spread;
+      score::EffectiveSpread(effective, k, &max_load, &spread);
+      const PartitionId best = score::HdrfPickBatched(
+          k, effective, loads, {replicas.RowWords(u), nullptr},
+          {replicas.RowWords(v), nullptr}, theta_u, theta_v, lambda,
+          max_load, spread, &stats.tie_breaks, &stats_.bitset_hits);
+      state_.AddLoadUpdatingEffective(best);
+      replicas.Add(u, best);
+      replicas.Add(v, best);
+      place(e, best);
+    }
+  }
+
+  /// Reference single-edge HDRF transition (the pre-ScoreCore
+  /// PlaceHdrfEdge, per-candidate Contains probes).
+  PartitionId PlaceHdrfEdgeScalar(VertexId u, VertexId v, double lambda,
+                                  HdrfStats& stats);
+
+  // ---------------------------------------------------------------------
+  // PowerGraph greedy: intersection-first replica-set placement.
+  // `ext_degree(v)` is the full degree of v in the input (the busier-
+  // endpoint rule compares remaining = full − placed degrees).
+  // ---------------------------------------------------------------------
+  template <typename ExtDegreeFn, typename PlaceFn>
+  void PlacePggChunk(std::span<const StreamEdge> chunk,
+                     ExtDegreeFn&& ext_degree, PlaceFn&& place) {
+    ++stats_.batches;
+    const PartitionId k = state_.k();
+    ReplicaState& replicas = state_.replicas();
+    const uint64_t* loads = state_.loads().data();
+    const double* weights = state_.weights().data();
+    // Every set bit scanned is both a bitset hit and an evaluated
+    // candidate, so candidates ride on the hit counter's delta.
+    auto pick_over = [&](score::MembershipRow row) {
+      const uint64_t before = stats_.bitset_hits;
+      const PartitionId t = score::LeastLoadedOverBits(k, loads, weights, row,
+                                                       &stats_.bitset_hits);
+      stats_.candidates += stats_.bitset_hits - before;
+      return t;
+    };
+    for (const StreamEdge& e : chunk) {
+      const VertexId u = e.src;
+      const VertexId v = e.dst;
+      PartitionId target;
+      if (mode_ == ScoreMode::kScalar) {
+        target = PickPggScalar(u, v, ext_degree(u), ext_degree(v));
+      } else {
+        const bool u_empty = replicas.Of(u).empty();
+        const bool v_empty = replicas.Of(v).empty();
+        const score::MembershipRow row_u{replicas.RowWords(u), nullptr};
+        const score::MembershipRow row_v{replicas.RowWords(v), nullptr};
+        if (!u_empty && !v_empty) {
+          bool any = false;
+          score::IntersectRows(k, row_u, row_v, inter_words_.data(), &any);
+          if (any) {
+            target = pick_over({inter_words_.data(), nullptr});
+          } else {
+            // Disjoint replica sets: place with the replicas of the
+            // endpoint that has more unplaced edges left.
+            const bool u_busier =
+                static_cast<int64_t>(ext_degree(u)) - state_.degree(u) >=
+                static_cast<int64_t>(ext_degree(v)) - state_.degree(v);
+            target = pick_over(u_busier ? row_u : row_v);
+          }
+        } else if (!u_empty) {
+          target = pick_over(row_u);
+        } else if (!v_empty) {
+          target = pick_over(row_v);
+        } else {
+          stats_.candidates += k;
+          target = state_.LeastLoaded();
+        }
+      }
+      place(e, target);
+      state_.AddLoad(target);
+      state_.IncrementDegree(u);
+      state_.IncrementDegree(v);
+      replicas.Add(u, target);
+      replicas.Add(v, target);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Vertex-greedy family (LDG / FENNEL / re-streaming): the caller
+  // gathers |P ∩ N(u)| into a dense scratch and the core performs the
+  // k-way pick. kInvalidPartition when every partition is at capacity.
+  // ---------------------------------------------------------------------
+  PartitionId PickGreedyVertex(const uint32_t* neighbor_counts,
+                               const score::GreedyObjective& objective,
+                               uint64_t* tie_breaks) {
+    stats_.candidates += state_.k();
+    if (mode_ == ScoreMode::kScalar) {
+      return score::GreedyPickScalar(
+          state_.k(), neighbor_counts, state_.loads().data(),
+          state_.weights().data(), state_.capacities().data(), objective,
+          tie_breaks);
+    }
+    return score::GreedyPickBatched(
+        state_.k(), neighbor_counts, state_.loads().data(),
+        state_.weights().data(), state_.capacities().data(), objective,
+        scores_.data(), tie_breaks);
+  }
+
+  /// Ginger (Equation 8) pick over caller-materialized combined loads.
+  PartitionId PickGingerVertex(const uint32_t* neighbor_counts,
+                               const double* combined_loads,
+                               double combined_capacity, double alpha,
+                               double gamma, uint64_t* tie_breaks) {
+    stats_.candidates += state_.k();
+    if (mode_ == ScoreMode::kScalar) {
+      return score::GingerPickScalar(state_.k(), neighbor_counts,
+                                     combined_loads, combined_capacity,
+                                     alpha, gamma, tie_breaks);
+    }
+    return score::GingerPickBatched(state_.k(), neighbor_counts,
+                                    combined_loads, combined_capacity, alpha,
+                                    gamma, scores_.data(), tie_breaks);
+  }
+
+  /// Edge-stream greedy placement rule: least effectively-loaded
+  /// partition with room, 0 when all are full.
+  PartitionId PickLeastLoadedWithRoom() {
+    stats_.candidates += state_.k();
+    return score::LeastLoadedWithRoom(state_.k(), state_.loads().data(),
+                                      state_.weights().data(),
+                                      state_.capacities().data());
+  }
+
+  /// All-at-capacity fallback: least effective load, no caps.
+  PartitionId PickLeastLoadedAll() {
+    stats_.candidates += state_.k();
+    return score::LeastLoadedAll(state_.k(), state_.loads().data(),
+                                 state_.weights().data());
+  }
+
+ private:
+  PartitionId PickPggScalar(VertexId u, VertexId v, uint32_t ext_degree_u,
+                            uint32_t ext_degree_v);
+
+  PartitionState& state_;
+  ScoreMode mode_;
+  ScoreCoreStats stats_;
+  std::vector<double> scores_;        // batched candidate scores, size k
+  std::vector<uint64_t> inter_words_; // intersection scratch, ceil(k/64)
+  std::vector<PartitionId> all_;      // [0, k), the scalar PGG cold set
+  std::vector<PartitionId> inter_;    // scalar PGG intersection scratch
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_SCORE_CORE_H_

@@ -102,6 +102,7 @@ class PartitionState {
   // Replica sets A(u).
   // ---------------------------------------------------------------------
   void InitReplicas(VertexId num_vertices);
+  bool replicas_enabled() const { return replicas_enabled_; }
   ReplicaState& replicas() { return replicas_; }
   const ReplicaState& replicas() const { return replicas_; }
 
@@ -209,6 +210,20 @@ class ShardedPartitionState {
            !delta_replicas_[w].Of(u).empty();
   }
   void AddWorkerReplica(uint32_t w, VertexId u, PartitionId p);
+
+  /// Mirrors the published set and every worker delta into bit indices;
+  /// the batched sharded scorers then read each vertex's combined
+  /// membership as GlobalReplicaRow(u) OR DeltaReplicaRow(w, u).
+  void EnableReplicaBitIndex() {
+    global_.replicas().EnableBitIndex(global_.k());
+    for (ReplicaState& r : delta_replicas_) r.EnableBitIndex(global_.k());
+  }
+  const uint64_t* GlobalReplicaRow(VertexId u) const {
+    return global_.replicas().RowWords(u);
+  }
+  const uint64_t* DeltaReplicaRow(uint32_t w, VertexId u) const {
+    return delta_replicas_[w].RowWords(u);
+  }
 
   /// Visits the combined replica set of `u` as worker `w` sees it:
   /// published entries first, then the worker's unpublished additions

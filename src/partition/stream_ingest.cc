@@ -7,8 +7,8 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
-#include "partition/vertexcut/hdrf_core.h"
 
 namespace sgp {
 
@@ -120,37 +120,42 @@ StreamIngestResult PartitionEdgeStream(EdgeStreamSource& source,
     state.InitReplicas(0);
   }
 
-  internal_vertexcut::HdrfStats hdrf_stats;
-  ForEachStreamItem(source, [&](const StreamEdge& e) {
+  ScoreCore core(state, config.score_mode);
+  HdrfStats hdrf_stats;
+  auto record = [&](const StreamEdge& e, PartitionId target) {
     max_bound = std::max({max_bound, e.src + 1, e.dst + 1});
-    PartitionId target;
-    switch (algo) {
-      case StreamIngestAlgo::kHashVertexCut: {
-        uint64_t h = HashCombine(HashU64Seeded(e.src, config.seed),
-                                 HashU64Seeded(e.dst, config.seed));
-        target = hasher.Pick(h);
-        break;
-      }
-      case StreamIngestAlgo::kDbh: {
-        VertexId pivot = stream_degree[e.src] <= stream_degree[e.dst]
-                             ? e.src
-                             : e.dst;
-        target = hasher.Pick(HashU64Seeded(pivot, config.seed));
-        break;
-      }
-      case StreamIngestAlgo::kHdrf: {
-        state.EnsureVertex(std::max(e.src, e.dst));
-        target = internal_vertexcut::PlaceHdrfEdge(state, e.src, e.dst,
-                                                   config.hdrf_lambda,
-                                                   hdrf_stats);
-        break;
-      }
-    }
     out.partitioning.edge_to_partition.push_back(target);
     masters.Note(e.src, target);
     masters.Note(e.dst, target);
     ++out.num_edges;
-  });
+  };
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    if (algo == StreamIngestAlgo::kHdrf) {
+      // Grow the id space over the whole chunk up front, so the scorer's
+      // bit-index rows are stable while it batches the chunk.
+      for (const StreamEdge& e : chunk) {
+        state.EnsureVertex(std::max(e.src, e.dst));
+      }
+      core.PlaceHdrfChunk(chunk, config.hdrf_lambda, hdrf_stats, record);
+      continue;
+    }
+    core.NoteBatch();
+    for (const StreamEdge& e : chunk) {
+      PartitionId target;
+      if (algo == StreamIngestAlgo::kHashVertexCut) {
+        uint64_t h = HashCombine(HashU64Seeded(e.src, config.seed),
+                                 HashU64Seeded(e.dst, config.seed));
+        target = hasher.Pick(h);
+      } else {
+        VertexId pivot = stream_degree[e.src] <= stream_degree[e.dst]
+                             ? e.src
+                             : e.dst;
+        target = hasher.Pick(HashU64Seeded(pivot, config.seed));
+      }
+      record(e, target);
+    }
+  }
   if (!source.ok()) {
     out.ok = false;
     out.error = source.error();

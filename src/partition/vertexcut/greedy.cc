@@ -1,9 +1,8 @@
 #include "partition/vertexcut/greedy.h"
 
-#include <vector>
-
 #include "common/check.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
 #include "stream/source.h"
 
@@ -13,11 +12,10 @@ Partitioning PowerGraphGreedyPartitioner::Run(
     const Graph& graph, const PartitionConfig& config) const {
   SGP_CHECK(config.k > 0);
   Timer timer;
-  const PartitionId k = config.k;
 
   Partitioning result;
   result.model = CutModel::kVertexCut;
-  result.k = k;
+  result.k = config.k;
   result.edge_to_partition.resize(graph.num_edges());
 
   // Synopsis: replica sets A(u), placed degrees (how many incident edges
@@ -25,50 +23,18 @@ Partitioning PowerGraphGreedyPartitioner::Run(
   PartitionState state(config);
   state.InitReplicas(graph.num_vertices());
   state.InitDegreeTable(graph.num_vertices());
-  ReplicaState& replicas = state.replicas();
-  std::vector<PartitionId> all(k);
-  for (PartitionId i = 0; i < k; ++i) all[i] = i;
-  std::vector<PartitionId> intersection;
+  ScoreCore core(state, config.score_mode);
 
   InMemoryEdgeSource source(graph, config.order, config.seed,
                             config.ingest_chunk_size);
-  ForEachStreamItem(source, [&](const StreamEdge& se) {
-    const VertexId u = se.src;
-    const VertexId v = se.dst;
-    auto setu = replicas.Of(u);
-    auto setv = replicas.Of(v);
-
-    PartitionId target;
-    if (!setu.empty() && !setv.empty()) {
-      intersection.clear();
-      for (PartitionId p : setu) {
-        if (replicas.Contains(v, p)) intersection.push_back(p);
-      }
-      if (!intersection.empty()) {
-        target = state.LeastLoaded(intersection);
-      } else {
-        // Disjoint replica sets: spread the endpoint with more remaining
-        // edges, i.e. place with the replicas of the busier vertex.
-        const bool u_busier =
-            static_cast<int64_t>(graph.Degree(u)) - state.degree(u) >=
-            static_cast<int64_t>(graph.Degree(v)) - state.degree(v);
-        target = state.LeastLoaded(u_busier ? setu : setv);
-      }
-    } else if (!setu.empty()) {
-      target = state.LeastLoaded(setu);
-    } else if (!setv.empty()) {
-      target = state.LeastLoaded(setv);
-    } else {
-      target = state.LeastLoaded(all);
-    }
-
-    result.edge_to_partition[se.id] = target;
-    state.AddLoad(target);
-    state.IncrementDegree(u);
-    state.IncrementDegree(v);
-    replicas.Add(u, target);
-    replicas.Add(v, target);
-  });
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    core.PlacePggChunk(
+        chunk, [&](VertexId x) { return graph.Degree(x); },
+        [&](const StreamEdge& se, PartitionId target) {
+          result.edge_to_partition[se.id] = target;
+        });
+  }
   result.state_bytes = state.SynopsisBytes();
   DeriveMasterPlacement(graph, &result);
   result.partitioning_seconds = timer.ElapsedSeconds();

@@ -3,8 +3,8 @@
 #include "common/check.h"
 #include "common/telemetry.h"
 #include "common/timer.h"
+#include "partition/score_core.h"
 #include "partition/state.h"
-#include "partition/vertexcut/hdrf_core.h"
 #include "stream/source.h"
 
 namespace sgp {
@@ -51,14 +51,18 @@ Partitioning HdrfPartitioner::Run(const Graph& graph,
   state.InitDegreeTable(graph.num_vertices());
   state.InitEffectiveLoads();
   state.InitReplicas(graph.num_vertices());
+  ScoreCore core(state, config.score_mode);
 
   InMemoryEdgeSource source(graph, config.order, config.seed,
                             config.ingest_chunk_size);
-  internal_vertexcut::HdrfStats stats;
-  ForEachStreamItem(source, [&](const StreamEdge& edge) {
-    result.edge_to_partition[edge.id] = internal_vertexcut::PlaceHdrfEdge(
-        state, edge.src, edge.dst, lambda, stats);
-  });
+  HdrfStats stats;
+  for (auto chunk = source.NextChunk(); !chunk.empty();
+       chunk = source.NextChunk()) {
+    core.PlaceHdrfChunk(chunk, lambda, stats,
+                        [&](const StreamEdge& edge, PartitionId target) {
+                          result.edge_to_partition[edge.id] = target;
+                        });
+  }
   metrics.edges_assigned->Increment(graph.num_edges());
   metrics.degree_table_hits->Increment(stats.degree_hits);
   metrics.tie_breaks->Increment(stats.tie_breaks);
