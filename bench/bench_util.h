@@ -36,10 +36,11 @@ inline uint32_t ThreadsFromEnv(uint32_t default_threads = 1) {
   return static_cast<uint32_t>(v);
 }
 
-/// The paper's Table 2 algorithm roster for offline analytics.
+/// The paper's Table 2 algorithm roster for offline analytics, extended
+/// with the two-phase / clustering families (2PS, HEP, NE).
 inline std::vector<std::string> OfflineAlgos() {
-  return {"VCR", "GRID", "DBH", "HDRF", "HCR",
-          "HG",  "ECR",  "LDG", "FNL",  "MTS"};
+  return {"VCR", "GRID", "DBH", "HDRF", "HCR", "HG", "ECR",
+          "LDG", "FNL",  "MTS", "2PS",  "HEP", "NE"};
 }
 
 /// The paper's Table 2 algorithm roster for online queries (JanusGraph

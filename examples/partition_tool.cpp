@@ -7,10 +7,12 @@
 //   partition_tool <edge-list> <algorithm> <k> [options]        (in-memory)
 //   partition_tool --input-edgelist <file> <algorithm> <k> ...  (streaming)
 //
-// The second form never materializes the graph: the edge list is pulled
-// chunk by chunk through EdgeListFileSource and partitioned on the fly by
-// one of the stream-ingest algorithms (vcr | dbh | hdrf), keeping only the
-// O(n + k) synopsis in memory.
+// The second form pulls the edge list chunk by chunk through
+// EdgeListFileSource into Partitioner::RunOnSource. Any registered
+// algorithm works: streaming-capable codes (VCR, DBH, HDRF, 2PS, HEP)
+// keep only the O(n + k) synopsis in memory — multi-pass codes rewind the
+// file between passes — while needs_graph codes fall back to the adapter
+// that materializes the graph (the tool warns when that happens).
 //
 // Options:
 //   --directed            treat the input as a directed graph (in-memory)
@@ -42,11 +44,19 @@ namespace {
 void PrintUsage() {
   std::cerr
       << "usage: partition_tool <edge-list> <algorithm> <k> [options]\n"
-         "       partition_tool --input-edgelist <file> <vcr|dbh|hdrf> <k> "
+         "       partition_tool --input-edgelist <file> <algorithm> <k> "
          "[options]\n"
          "options: [--directed] [--order o] [--chunk-size n] [--seed s]\n"
          "         [--slack b] [--output file] [--metrics-out file]\n"
-         "         [--trace-out file]\n";
+         "         [--trace-out file]\n"
+         "algorithms (from the registry):\n"
+      << sgp::PartitionerHelpText();
+}
+
+void PrintUnknownAlgorithm(const std::string& algo) {
+  std::cerr << "error: unknown algorithm '" << algo
+            << "'; valid names by cut model:\n"
+            << sgp::PartitionerHelpText();
 }
 
 }  // namespace
@@ -90,16 +100,21 @@ int main(int argc, char** argv) {
 
   Partitioning partitioning;
   if (!stream_path.empty()) {
-    StreamIngestAlgo ingest_algo;
-    if (!ParseStreamIngestAlgo(algo, &ingest_algo)) {
-      std::cerr << "error: streaming mode supports vcr | dbh | hdrf, got '"
-                << algo << "'\n";
+    const PartitionerInfo* info = FindPartitionerInfo(algo);
+    if (info == nullptr) {
+      PrintUnknownAlgorithm(algo);
       return 1;
+    }
+    auto partitioner = info->factory();
+    if (info->needs_graph) {
+      std::cerr << "warning: " << info->name
+                << " materializes the whole graph in memory (no O(n + k) "
+                   "streaming path)\n";
     }
     EdgeListFileSource::Options opts;
     if (chunk_size > 0) opts.chunk_size = chunk_size;
     EdgeListFileSource source(stream_path, opts);
-    StreamIngestResult r = PartitionEdgeStream(source, ingest_algo, config);
+    StreamRunResult r = partitioner->RunOnSource(source, config);
     if (!r.ok) {
       std::cerr << "error: " << r.error << "\n";
       return 1;
@@ -111,17 +126,21 @@ int main(int argc, char** argv) {
     partitioning = std::move(r.partitioning);
     std::cout << "streamed " << r.num_edges << " edges over "
               << r.num_vertices << " vertices (chunk size "
-              << opts.chunk_size << ")\n";
+              << opts.chunk_size << ", " << info->passes << " pass"
+              << (info->passes > 1 ? "es" : "") << ")\n";
 
     // Without a materialized graph only stream-side quality measures are
     // available: edge balance over the k loads plus the synopsis size.
     std::vector<uint64_t> edge_loads(config.k, 0);
-    for (PartitionId p : partitioning.edge_to_partition) ++edge_loads[p];
+    for (PartitionId p : partitioning.edge_to_partition) {
+      if (p < config.k) ++edge_loads[p];
+    }
     const uint64_t max_load =
         *std::max_element(edge_loads.begin(), edge_loads.end());
     const double avg_load =
         static_cast<double>(r.num_edges) / static_cast<double>(config.k);
-    std::cout << "algorithm:          " << algo << " (vertex-cut, streamed)\n"
+    std::cout << "algorithm:          " << info->name << " ("
+              << CutModelName(info->model) << ", streamed)\n"
               << "partitions:         " << config.k << "\n"
               << "partitioning time:  "
               << partitioning.partitioning_seconds * 1e3 << " ms\n"
@@ -148,12 +167,7 @@ int main(int argc, char** argv) {
 
     auto partitioner = TryCreatePartitioner(algo);
     if (partitioner == nullptr) {
-      std::cerr << "error: unknown algorithm '" << algo
-                << "'; valid names:";
-      for (const std::string& name : PartitionerNames()) {
-        std::cerr << ' ' << name;
-      }
-      std::cerr << "\n";
+      PrintUnknownAlgorithm(algo);
       return 1;
     }
     partitioning = partitioner->Run(graph, config);

@@ -55,12 +55,22 @@ echo "check.sh: resharding + drain-guard tests passed standalone under sanitizer
 "$BUILD_DIR/tests/score_core_test"
 echo "check.sh: score_core_test passed standalone under sanitizers"
 
+# The two-phase family re-streams rewound sources and the registry hands
+# out pointers into a growable table; run both new suites standalone
+# under the sanitizers so a dangling PartitionerInfo pointer or a
+# buffer-lifetime bug across a Rewind() cannot hide behind a sharded
+# ctest run.
+"$BUILD_DIR/tests/registry_test"
+"$BUILD_DIR/tests/twophase_test"
+echo "check.sh: registry_test + twophase_test passed standalone under sanitizers"
+
 # Machine-readable bench output: run a representative subset at a small
 # scale and verify every BENCH_*.json parses. The benches run sanitized
 # too — they double as an integration pass over the instrumented paths.
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
-for bench in bench_fig1_comm_volume bench_fig6_online_throughput \
+for bench in bench_fig1_comm_volume bench_fig2_replication \
+             bench_fig6_online_throughput \
              bench_partitioner_speed bench_ablation_parallel_ingest \
              bench_engine_speed bench_ablation_resharding \
              bench_ablation_monitoring; do
@@ -113,6 +123,16 @@ python3 scripts/bench_diff.py \
 python3 scripts/bench_diff.py \
   tests/golden/BENCH_partitioner_speed.json \
   "$JSON_DIR/BENCH_partitioner_speed.json"
+
+# And for the Figure 2 replication bench: its deterministic section pins
+# every (dataset, algorithm, k) replication factor in thousandths
+# (bench.fig2.rf_milli.*) plus the partition.cluster.* / partition.hep.*
+# / partition.ne.* decision counters, so a divergence means some
+# partitioner — old roster or the new two-phase family — no longer
+# reproduces the committed figure bit-for-bit.
+python3 scripts/bench_diff.py \
+  tests/golden/BENCH_fig2_replication.json \
+  "$JSON_DIR/BENCH_fig2_replication.json"
 echo "check.sh: bench goldens match"
 
 # ThreadSanitizer pass over the concurrent subsystems: the worker pool,
@@ -126,7 +146,7 @@ cmake -B "$TSAN_DIR" -S . \
   -DSGP_SANITIZE=thread
 cmake --build "$TSAN_DIR" -j "$(nproc)" \
   --target thread_pool_test parallel_streaming_test grid_test reshard_test \
-  monitor_test score_core_test
+  monitor_test score_core_test twophase_test
 
 export TSAN_OPTIONS="halt_on_error=1"
 "$TSAN_DIR/tests/thread_pool_test"
@@ -145,6 +165,10 @@ export TSAN_OPTIONS="halt_on_error=1"
 # the batched bit-index path (global rows read while delta rows mutate
 # between barriers); TSan keeps that interval discipline honest.
 "$TSAN_DIR/tests/score_core_test"
+# The two-phase partitioners run inside the parallel grid runner (each
+# cell a worker thread sharing the memoized dataset cache); their suite
+# under TSan keeps the per-run state honestly run-local.
+"$TSAN_DIR/tests/twophase_test"
 echo "check.sh: concurrency tests passed under thread sanitizer"
 
 # Portable-vs-native smoke: build partition_checksum twice — the default

@@ -1,0 +1,67 @@
+#ifndef SGP_PARTITION_MASTER_TRACKER_H_
+#define SGP_PARTITION_MASTER_TRACKER_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/hashing.h"
+#include "common/types.h"
+
+namespace sgp {
+
+/// Streaming master derivation: per-vertex sparse (partition, incident
+/// edge count) lists, exactly the accounting DeriveMasterPlacement does on
+/// a materialized graph. The winner rule (max count, ties toward the lower
+/// partition id) is order-independent, so streaming arrival order yields
+/// the same masters. Shared by every vertex-cut RunOnSource override
+/// (single-pass ingest and the two-phase family alike).
+class MasterTracker {
+ public:
+  void Note(VertexId v, PartitionId part) {
+    if (v >= counts_.size()) counts_.resize(static_cast<size_t>(v) + 1);
+    auto& vec = counts_[v];
+    auto it = std::find_if(vec.begin(), vec.end(),
+                           [part](const auto& pr) { return pr.first == part; });
+    if (it == vec.end()) {
+      vec.emplace_back(part, 1u);
+      ++total_entries_;
+    } else {
+      ++it->second;
+    }
+  }
+
+  // Masters for [0, n): most incident edges, ties toward the lower
+  // partition id; ids with no edges are hashed like DeriveMasterPlacement.
+  std::vector<PartitionId> Derive(VertexId n, PartitionId k) const {
+    std::vector<PartitionId> masters(n, kInvalidPartition);
+    for (VertexId u = 0; u < n; ++u) {
+      if (u >= counts_.size() || counts_[u].empty()) {
+        masters[u] = static_cast<PartitionId>(HashU64(u) % k);
+        continue;
+      }
+      auto best = counts_[u].front();
+      for (const auto& pr : counts_[u]) {
+        if (pr.second > best.second ||
+            (pr.second == best.second && pr.first < best.first)) {
+          best = pr;
+        }
+      }
+      masters[u] = best.first;
+    }
+    return masters;
+  }
+
+  uint64_t SynopsisBytes() const {
+    return counts_.capacity() * sizeof(counts_[0]) +
+           total_entries_ * (sizeof(PartitionId) + sizeof(uint32_t));
+  }
+
+ private:
+  std::vector<std::vector<std::pair<PartitionId, uint32_t>>> counts_;
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_MASTER_TRACKER_H_

@@ -1,71 +1,6 @@
 #include "partition/stream_ingest.h"
 
-#include <algorithm>
-#include <utility>
-#include <vector>
-
-#include "common/check.h"
-#include "common/hashing.h"
-#include "common/timer.h"
-#include "partition/score_core.h"
-#include "partition/state.h"
-
 namespace sgp {
-
-namespace {
-
-// Streaming master derivation: per-vertex sparse (partition, incident
-// edge count) lists, exactly the accounting DeriveMasterPlacement does on
-// a materialized graph. The winner rule (max count, ties toward the lower
-// partition id) is order-independent, so streaming arrival order yields
-// the same masters.
-class MasterTracker {
- public:
-  void Note(VertexId v, PartitionId part) {
-    if (v >= counts_.size()) counts_.resize(static_cast<size_t>(v) + 1);
-    auto& vec = counts_[v];
-    auto it = std::find_if(vec.begin(), vec.end(),
-                           [part](const auto& pr) { return pr.first == part; });
-    if (it == vec.end()) {
-      vec.emplace_back(part, 1u);
-      ++total_entries_;
-    } else {
-      ++it->second;
-    }
-  }
-
-  // Masters for [0, n): most incident edges, ties toward the lower
-  // partition id; ids with no edges are hashed like DeriveMasterPlacement.
-  std::vector<PartitionId> Derive(VertexId n, PartitionId k) const {
-    std::vector<PartitionId> masters(n, kInvalidPartition);
-    for (VertexId u = 0; u < n; ++u) {
-      if (u >= counts_.size() || counts_[u].empty()) {
-        masters[u] = static_cast<PartitionId>(HashU64(u) % k);
-        continue;
-      }
-      auto best = counts_[u].front();
-      for (const auto& pr : counts_[u]) {
-        if (pr.second > best.second ||
-            (pr.second == best.second && pr.first < best.first)) {
-          best = pr;
-        }
-      }
-      masters[u] = best.first;
-    }
-    return masters;
-  }
-
-  uint64_t SynopsisBytes() const {
-    return counts_.capacity() * sizeof(counts_[0]) +
-           total_entries_ * (sizeof(PartitionId) + sizeof(uint32_t));
-  }
-
- private:
-  std::vector<std::vector<std::pair<PartitionId, uint32_t>>> counts_;
-  uint64_t total_entries_ = 0;
-};
-
-}  // namespace
 
 bool ParseStreamIngestAlgo(std::string_view name, StreamIngestAlgo* algo) {
   if (name == "vcr") {
@@ -83,93 +18,19 @@ bool ParseStreamIngestAlgo(std::string_view name, StreamIngestAlgo* algo) {
 StreamIngestResult PartitionEdgeStream(EdgeStreamSource& source,
                                        StreamIngestAlgo algo,
                                        const PartitionConfig& config) {
-  SGP_CHECK(config.k > 0);
-  Timer timer;
-  StreamIngestResult out;
-  out.partitioning.model = CutModel::kVertexCut;
-  out.partitioning.k = config.k;
-
-  PartitionState state(config);
-  const CapacityAwareHasher hasher(state);
-  MasterTracker masters;
-  VertexId max_bound = 0;
-
-  // DBH pre-pass: stream occurrence counts stand in for degrees (equal to
-  // graph degrees on duplicate-free undirected inputs).
-  std::vector<uint32_t> stream_degree;
-  if (algo == StreamIngestAlgo::kDbh) {
-    ForEachStreamItem(source, [&](const StreamEdge& e) {
-      const VertexId hi = std::max(e.src, e.dst);
-      if (hi >= stream_degree.size()) {
-        stream_degree.resize(static_cast<size_t>(hi) + 1, 0);
-      }
-      ++stream_degree[e.src];
-      ++stream_degree[e.dst];
-    });
-    if (!source.ok()) {
-      out.ok = false;
-      out.error = source.error();
-      return out;
-    }
-    source.Reset();
+  const char* name = "VCR";
+  switch (algo) {
+    case StreamIngestAlgo::kHashVertexCut:
+      name = "VCR";
+      break;
+    case StreamIngestAlgo::kDbh:
+      name = "DBH";
+      break;
+    case StreamIngestAlgo::kHdrf:
+      name = "HDRF";
+      break;
   }
-
-  if (algo == StreamIngestAlgo::kHdrf) {
-    state.InitDegreeTable(0);
-    state.InitEffectiveLoads();
-    state.InitReplicas(0);
-  }
-
-  ScoreCore core(state, config.score_mode);
-  HdrfStats hdrf_stats;
-  auto record = [&](const StreamEdge& e, PartitionId target) {
-    max_bound = std::max({max_bound, e.src + 1, e.dst + 1});
-    out.partitioning.edge_to_partition.push_back(target);
-    masters.Note(e.src, target);
-    masters.Note(e.dst, target);
-    ++out.num_edges;
-  };
-  for (auto chunk = source.NextChunk(); !chunk.empty();
-       chunk = source.NextChunk()) {
-    if (algo == StreamIngestAlgo::kHdrf) {
-      // Grow the id space over the whole chunk up front, so the scorer's
-      // bit-index rows are stable while it batches the chunk.
-      for (const StreamEdge& e : chunk) {
-        state.EnsureVertex(std::max(e.src, e.dst));
-      }
-      core.PlaceHdrfChunk(chunk, config.hdrf_lambda, hdrf_stats, record);
-      continue;
-    }
-    core.NoteBatch();
-    for (const StreamEdge& e : chunk) {
-      PartitionId target;
-      if (algo == StreamIngestAlgo::kHashVertexCut) {
-        uint64_t h = HashCombine(HashU64Seeded(e.src, config.seed),
-                                 HashU64Seeded(e.dst, config.seed));
-        target = hasher.Pick(h);
-      } else {
-        VertexId pivot = stream_degree[e.src] <= stream_degree[e.dst]
-                             ? e.src
-                             : e.dst;
-        target = hasher.Pick(HashU64Seeded(pivot, config.seed));
-      }
-      record(e, target);
-    }
-  }
-  if (!source.ok()) {
-    out.ok = false;
-    out.error = source.error();
-    return out;
-  }
-
-  out.num_vertices = max_bound;
-  out.partitioning.vertex_to_partition =
-      masters.Derive(out.num_vertices, config.k);
-  state.NoteAuxiliaryBytes(masters.SynopsisBytes() +
-                           stream_degree.capacity() * sizeof(uint32_t));
-  out.partitioning.state_bytes = state.SynopsisBytes();
-  out.partitioning.partitioning_seconds = timer.ElapsedSeconds();
-  return out;
+  return CreatePartitioner(name)->RunOnSource(source, config);
 }
 
 }  // namespace sgp

@@ -4,15 +4,15 @@
 #include <cstdint>
 #include <string>
 
-#include "partition/partitioning.h"
+#include "partition/partitioner.h"
 #include "stream/source.h"
 
 namespace sgp {
 
-/// Vertex-cut algorithms runnable straight off an edge stream — no
-/// materialized Graph required, O(n + k) synopsis only. This is the
-/// paper's streaming-ingest model taken literally: the partitioner sees
-/// each edge once, in arrival order, and keeps only its synopsis.
+/// Legacy enum of the first graph-free ingest algorithms. The unified
+/// entry point is Partitioner::RunOnSource (any registered code works,
+/// see PartitionerTable()); this enum and PartitionEdgeStream survive as
+/// a thin compatibility wrapper over it.
 enum class StreamIngestAlgo {
   kHashVertexCut,  // stateless hash of both endpoints (VCR)
   kDbh,            // degree-based hashing; needs a degree pre-pass
@@ -22,32 +22,15 @@ enum class StreamIngestAlgo {
 /// Parses "vcr" / "dbh" / "hdrf"; returns false on anything else.
 bool ParseStreamIngestAlgo(std::string_view name, StreamIngestAlgo* algo);
 
-/// Result of a stream-ingest run.
-struct StreamIngestResult {
-  /// edge_to_partition is indexed by arrival position;
-  /// vertex_to_partition covers [0, num_vertices) with masters derived
-  /// exactly like DeriveMasterPlacement (most incident edges, ties toward
-  /// the lower partition id; never-seen ids hashed).
-  Partitioning partitioning;
+/// Result of a stream-ingest run — now the unified RunOnSource result.
+using StreamIngestResult = StreamRunResult;
 
-  /// Edges consumed from the stream.
-  uint64_t num_edges = 0;
-
-  /// Vertex-id space after the run (max accepted id + 1, or the
-  /// configured bound).
-  VertexId num_vertices = 0;
-
-  /// False when the source failed mid-stream; `error` has the diagnostic
-  /// and the partial results are meaningless.
-  bool ok = true;
-  std::string error;
-};
-
-/// Runs `algo` over `source` from its current position. DBH performs a
-/// degree-counting pre-pass and then Reset()s the source, so it needs a
-/// rewindable stream (both provided sources are). For in-memory sources
-/// over a duplicate-free graph the assignments are identical to the
-/// corresponding Partitioner::Run.
+/// Runs `algo` over `source` from its current position by dispatching to
+/// the registered partitioner's RunOnSource. DBH performs a
+/// degree-counting pre-pass and then rewinds the source, so it needs
+/// SupportsRewind() (both provided sources qualify). For in-memory
+/// sources over a duplicate-free graph the assignments are identical to
+/// the corresponding Partitioner::Run.
 StreamIngestResult PartitionEdgeStream(EdgeStreamSource& source,
                                        StreamIngestAlgo algo,
                                        const PartitionConfig& config);

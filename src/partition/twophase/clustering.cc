@@ -1,0 +1,125 @@
+#include "partition/twophase/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace sgp {
+
+uint64_t ClusteringResult::SynopsisBytes() const {
+  return cluster_of.capacity() * sizeof(uint32_t) +
+         degree.capacity() * sizeof(uint32_t) +
+         cluster_volume.capacity() * sizeof(uint64_t);
+}
+
+ClusteringResult StreamClusters(EdgeStreamSource& source,
+                                const PartitionConfig& config) {
+  SGP_CHECK(config.k > 0);
+  ClusteringResult out;
+  std::vector<uint32_t>& cluster = out.cluster_of;
+  std::vector<uint32_t>& degree = out.degree;
+  std::vector<uint64_t> volume;  // by provisional (uncompacted) cluster id
+
+  auto ensure = [&](VertexId v) {
+    if (v >= cluster.size()) {
+      cluster.resize(static_cast<size_t>(v) + 1, kInvalidCluster);
+      degree.resize(static_cast<size_t>(v) + 1, 0);
+    }
+  };
+  auto cluster_for = [&](VertexId v) {
+    if (cluster[v] == kInvalidCluster) {
+      cluster[v] = static_cast<uint32_t>(volume.size());
+      volume.push_back(0);
+    }
+    return cluster[v];
+  };
+
+  ForEachStreamItem(source, [&](const StreamEdge& e) {
+    const VertexId u = e.src;
+    const VertexId v = e.dst;
+    ensure(std::max(u, v));
+    ++degree[u];
+    ++degree[v];
+    const uint32_t cu = cluster_for(u);
+    const uint32_t cv = cluster_for(v);
+    ++volume[cu];
+    ++volume[cv];
+    const uint64_t i = out.num_edges++;
+    // Streaming volume cap: the bound 2m/k scaled by the balance slack,
+    // evaluated against the prefix length instead of a (possibly unknown)
+    // total edge count.
+    out.volume_cap = std::max<uint64_t>(
+        2, static_cast<uint64_t>(config.balance_slack *
+                                 (2.0 * static_cast<double>(i + 1)) /
+                                 static_cast<double>(config.k)));
+    if (cu == cv || u == v) return;
+    if (volume[cu] <= volume[cv]) {
+      if (volume[cv] + degree[u] <= out.volume_cap) {
+        volume[cu] -= degree[u];
+        volume[cv] += degree[u];
+        cluster[u] = cv;
+        ++out.moves;
+      }
+    } else if (volume[cu] + degree[v] <= out.volume_cap) {
+      volume[cv] -= degree[v];
+      volume[cu] += degree[v];
+      cluster[v] = cu;
+      ++out.moves;
+    }
+  });
+  if (!source.ok()) {
+    out.ok = false;
+    out.error = source.error();
+    return out;
+  }
+
+  out.num_vertices = static_cast<VertexId>(cluster.size());
+
+  // Compact to dense ids in first-appearance (vertex id) order and
+  // recompute final volumes from the final degrees, so downstream packing
+  // sees the post-move membership exactly.
+  std::vector<uint32_t> remap(volume.size(), kInvalidCluster);
+  for (VertexId v = 0; v < out.num_vertices; ++v) {
+    if (cluster[v] == kInvalidCluster) continue;
+    uint32_t& dense = remap[cluster[v]];
+    if (dense == kInvalidCluster) {
+      dense = out.num_clusters++;
+      out.cluster_volume.push_back(0);
+    }
+    cluster[v] = dense;
+    out.cluster_volume[dense] += degree[v];
+  }
+  return out;
+}
+
+std::vector<PartitionId> PackClusters(const ClusteringResult& clusters,
+                                      PartitionId k,
+                                      const std::vector<double>& weights) {
+  std::vector<uint32_t> order(clusters.num_clusters);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (clusters.cluster_volume[a] != clusters.cluster_volume[b]) {
+      return clusters.cluster_volume[a] > clusters.cluster_volume[b];
+    }
+    return a < b;
+  });
+  std::vector<PartitionId> part(clusters.num_clusters, 0);
+  std::vector<uint64_t> bin(k, 0);
+  for (uint32_t c : order) {
+    PartitionId best = 0;
+    double best_load = static_cast<double>(bin[0]) / weights[0];
+    for (PartitionId p = 1; p < k; ++p) {
+      const double load = static_cast<double>(bin[p]) / weights[p];
+      if (load < best_load) {
+        best = p;
+        best_load = load;
+      }
+    }
+    part[c] = best;
+    bin[best] += clusters.cluster_volume[c];
+  }
+  return part;
+}
+
+}  // namespace sgp

@@ -1,0 +1,70 @@
+#ifndef SGP_PARTITION_TWOPHASE_CLUSTERING_H_
+#define SGP_PARTITION_TWOPHASE_CLUSTERING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "partition/partitioning.h"
+#include "stream/source.h"
+
+namespace sgp {
+
+/// Cluster ids are dense after StreamClusters compaction; vertices never
+/// seen by the stream keep this sentinel.
+inline constexpr uint32_t kInvalidCluster = ~uint32_t{0};
+
+/// Result of the streaming clustering pass (2PS phase 1).
+struct ClusteringResult {
+  /// Per-vertex dense cluster id over [0, num_vertices); kInvalidCluster
+  /// for ids inside the bound that never appeared on an edge.
+  std::vector<uint32_t> cluster_of;
+
+  /// Final per-vertex stream degrees (occurrence counts — equal to graph
+  /// degrees on duplicate-free inputs). 2PS phase 2 reads its θ from
+  /// these instead of partial streaming degrees.
+  std::vector<uint32_t> degree;
+
+  /// Final volume (sum of member degrees) per dense cluster id.
+  std::vector<uint64_t> cluster_volume;
+
+  uint32_t num_clusters = 0;
+  uint64_t num_edges = 0;
+  VertexId num_vertices = 0;
+
+  /// Volume-bounded single-vertex moves performed.
+  uint64_t moves = 0;
+
+  /// The volume cap in effect at the end of the pass.
+  uint64_t volume_cap = 0;
+
+  bool ok = true;
+  std::string error;
+
+  uint64_t SynopsisBytes() const;
+};
+
+/// One streaming pass of Hollocou-style clustering with a volume bound
+/// (the 2PS phase-1 heuristic): every edge increments both endpoint
+/// degrees and cluster volumes, then the endpoint whose cluster has the
+/// smaller volume migrates into the other endpoint's cluster — but only
+/// if the target stays under the cap. The cap grows with the edges seen
+/// so far, cap(i) = max(2, ⌊slack · 2(i+1)/k⌋), so the pass never needs
+/// |E| up front and a disk stream clusters identically to an in-memory
+/// replay of the same sequence. Decisions are per-edge, so results are
+/// chunk-size independent.
+ClusteringResult StreamClusters(EdgeStreamSource& source,
+                                const PartitionConfig& config);
+
+/// Packs the clusters onto k partitions: clusters in decreasing volume
+/// (ties toward the lower cluster id) each go to the partition with the
+/// least accumulated volume per capacity weight (ties toward the lower
+/// partition id). Returns the per-cluster partition, size num_clusters.
+std::vector<PartitionId> PackClusters(const ClusteringResult& clusters,
+                                      PartitionId k,
+                                      const std::vector<double>& weights);
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_TWOPHASE_CLUSTERING_H_

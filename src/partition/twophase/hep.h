@@ -1,0 +1,29 @@
+#ifndef SGP_PARTITION_TWOPHASE_HEP_H_
+#define SGP_PARTITION_TWOPHASE_HEP_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// HEP-style hybrid vertex-cut: a degree pre-pass splits the edges at
+/// config.hybrid_threshold — edges between two high-degree vertices (the
+/// dense hub core) are buffered and partitioned in memory NE-style
+/// (hub by hub in decreasing degree order, each hub's block going to its
+/// least-loaded replica partition with room), while the low-degree tail
+/// is streamed through the exact-degree HDRF scorer the moment it
+/// arrives. Both parts share one PartitionState, so the streamed tail
+/// sees the loads and replica sets the hub blocks will join and vice
+/// versa. Needs a rewindable source (degree pre-pass + placement pass).
+class HepPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "HEP"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+  StreamRunResult RunOnSource(EdgeStreamSource& source,
+                              const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_TWOPHASE_HEP_H_

@@ -1,0 +1,29 @@
+#ifndef SGP_PARTITION_TWOPHASE_NE_H_
+#define SGP_PARTITION_TWOPHASE_NE_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// NE-inspired neighborhood expansion (KDD'17 family, ROADMAP item 1):
+/// grows partitions 0..k-2 one at a time over the in-memory graph. Each
+/// partition starts from the lowest-degree unplaced seed and repeatedly
+/// moves the boundary vertex with the fewest unassigned incident edges
+/// into the core, claiming all of that vertex's unassigned edges, until
+/// the partition hits its Equation (1) cap. Whatever the expansion never
+/// reached is distributed in natural edge order to the least-loaded
+/// partition with room (the last partition starts empty, so it absorbs
+/// the remainder first). Deterministic: no randomness, ties always
+/// toward the lower id; stream order and seed are ignored like the
+/// offline MTS baseline.
+class NePartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "NE"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_TWOPHASE_NE_H_

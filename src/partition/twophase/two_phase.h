@@ -1,0 +1,31 @@
+#ifndef SGP_PARTITION_TWOPHASE_TWO_PHASE_H_
+#define SGP_PARTITION_TWOPHASE_TWO_PHASE_H_
+
+#include "partition/partitioner.h"
+
+namespace sgp {
+
+/// 2PS: two-phase streaming edge partitioning (PAPERS.md, "2PS:
+/// High-Quality Edge Partitioning with Two-Phase Streaming"). Pass 1
+/// clusters the vertices with volume-bounded streaming clustering
+/// (twophase/clustering.h) and packs the clusters onto the k partitions;
+/// pass 2 re-streams the identical edge sequence and scores each edge
+/// with the cluster-aware HDRF core (twophase/cluster_score.h): an
+/// endpoint counts as present on its cluster's home partition, so edges
+/// inside a cluster collapse onto one partition while the λ term and the
+/// Equation (1) caps keep the loads balanced. Needs a rewindable source;
+/// both passes see the exact same sequence, so a disk stream partitions
+/// bit-identically to an in-memory replay.
+class TwoPhasePartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "2PS"; }
+  CutModel model() const override { return CutModel::kVertexCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override;
+  StreamRunResult RunOnSource(EdgeStreamSource& source,
+                              const PartitionConfig& config) const override;
+};
+
+}  // namespace sgp
+
+#endif  // SGP_PARTITION_TWOPHASE_TWO_PHASE_H_

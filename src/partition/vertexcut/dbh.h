@@ -16,6 +16,12 @@ class DbhPartitioner final : public Partitioner {
   CutModel model() const override { return CutModel::kVertexCut; }
   Partitioning Run(const Graph& graph,
                    const PartitionConfig& config) const override;
+
+  /// Graph-free ingest: a degree-counting pre-pass (stream occurrence
+  /// counts stand in for degrees), then a rewind and the hashing pass.
+  /// Reports a regular error when the source cannot rewind.
+  StreamRunResult RunOnSource(EdgeStreamSource& source,
+                              const PartitionConfig& config) const override;
 };
 
 }  // namespace sgp

@@ -14,6 +14,11 @@ class HashVertexCutPartitioner final : public Partitioner {
   CutModel model() const override { return CutModel::kVertexCut; }
   Partitioning Run(const Graph& graph,
                    const PartitionConfig& config) const override;
+
+  /// Graph-free single-pass ingest: O(n + k) synopsis, identical
+  /// assignments to Run on a duplicate-free in-memory replay.
+  StreamRunResult RunOnSource(EdgeStreamSource& source,
+                              const PartitionConfig& config) const override;
 };
 
 }  // namespace sgp

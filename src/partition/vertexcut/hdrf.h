@@ -17,6 +17,11 @@ class HdrfPartitioner final : public Partitioner {
   CutModel model() const override { return CutModel::kVertexCut; }
   Partitioning Run(const Graph& graph,
                    const PartitionConfig& config) const override;
+
+  /// Graph-free single-pass ingest over the shared partition state,
+  /// identical assignments to Run on a duplicate-free in-memory replay.
+  StreamRunResult RunOnSource(EdgeStreamSource& source,
+                              const PartitionConfig& config) const override;
 };
 
 }  // namespace sgp

@@ -43,6 +43,16 @@ class VertexStreamSource {
   /// Rewinds to the beginning of the stream (multi-pass / re-streaming).
   virtual void Reset() = 0;
 
+  /// True when the source can replay its stream from the beginning —
+  /// the capability multi-pass algorithms (re-streaming, two-phase) probe
+  /// before relying on Rewind(). Both provided sources can; a wrapper
+  /// over a non-seekable input overrides this to false.
+  virtual bool SupportsRewind() const { return true; }
+
+  /// Rewinds to the beginning for another pass. Every pass replays the
+  /// exact same element sequence. Call only when SupportsRewind().
+  virtual void Rewind() { Reset(); }
+
   /// Total elements if known up front; 0 when the source cannot tell
   /// without consuming itself.
   virtual uint64_t size_hint() const = 0;
@@ -55,6 +65,17 @@ class EdgeStreamSource {
   virtual std::span<const StreamEdge> NextChunk() = 0;
   virtual void Reset() = 0;
   virtual uint64_t size_hint() const = 0;
+
+  /// True when the source can replay its stream from the beginning (the
+  /// multi-pass capability: a degree pre-pass, two-phase clustering, or
+  /// re-streaming all need it). In-memory replays and seekable files can
+  /// rewind; single-shot inputs (pipes) cannot and must override.
+  virtual bool SupportsRewind() const { return true; }
+
+  /// Rewinds to the beginning for another pass over the identical element
+  /// sequence (ids included). Call only when SupportsRewind(); sources
+  /// that cannot rewind enter the failed state (ok() == false) instead.
+  virtual void Rewind() { Reset(); }
 
   /// False when the stream failed mid-way (I/O error, malformed input);
   /// an empty chunk then means "failed", not "done". In-memory sources
@@ -165,6 +186,36 @@ class EdgeListFileSource final : public EdgeStreamSource {
   uint64_t next_edge_id_ = 0;
   uint64_t skipped_lines_ = 0;
   VertexId max_vertex_bound_ = 0;
+};
+
+/// Models a non-seekable input (a pipe, a network feed) on top of any edge
+/// source: chunks pass through unchanged, but the stream cannot be
+/// replayed. Rewind()/Reset() put the source into the failed state instead
+/// of aborting, so multi-pass partitioners can report "source does not
+/// support rewind" as a regular StreamRunResult error. Used by tests and
+/// tools to prove the single-pass algorithms never rely on a second pass.
+class SinglePassEdgeSource final : public EdgeStreamSource {
+ public:
+  explicit SinglePassEdgeSource(EdgeStreamSource& inner) : inner_(inner) {}
+
+  std::span<const StreamEdge> NextChunk() override {
+    if (failed_) return {};
+    return inner_.NextChunk();
+  }
+  bool SupportsRewind() const override { return false; }
+  void Rewind() override { Fail(); }
+  void Reset() override { Fail(); }
+  uint64_t size_hint() const override { return inner_.size_hint(); }
+  bool ok() const override { return !failed_ && inner_.ok(); }
+  std::string error() const override {
+    return failed_ ? "single-pass source cannot rewind" : inner_.error();
+  }
+
+ private:
+  void Fail() { failed_ = true; }
+
+  EdgeStreamSource& inner_;
+  bool failed_ = false;
 };
 
 }  // namespace sgp

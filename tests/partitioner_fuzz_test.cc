@@ -65,7 +65,7 @@ INSTANTIATE_TEST_SUITE_P(AllAlgorithms, PartitionerFuzzTest,
                          ::testing::Values("ECR", "LDG", "FNL", "RLDG",
                                            "RFNL", "ESG", "VCR", "DBH",
                                            "GRID", "HDRF", "PGG", "HCR",
-                                           "HG", "MTS"),
+                                           "HG", "MTS", "2PS", "HEP", "NE"),
                          [](const auto& info) { return info.param; });
 
 }  // namespace

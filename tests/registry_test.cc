@@ -1,0 +1,162 @@
+// Contract of the partitioner registry (partition/partitioner.h): every
+// lookup surface — CreatePartitioner, the name lists, the generated tool
+// help — is a view over the same PartitionerTable(), the listed order is
+// the paper's Table 2 order with the two-phase family appended (a stable
+// prefix for golden comparisons), and registration rejects collisions.
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "graph/datasets.h"
+#include "partition/partitioner.h"
+
+namespace sgp {
+namespace {
+
+TEST(RegistryTest, ListedNamesAreStablePrefixOrder) {
+  // Pre-redesign PartitionerNames() order, then the two-phase family.
+  // Compared as a prefix so later-registered extensions (including this
+  // suite's own stub) can only append, never reorder.
+  const std::vector<std::string> expected{
+      "VCR", "GRID", "DBH", "HDRF", "PGG", "HCR", "HG",
+      "ECR", "LDG",  "FNL", "MTS",  "2PS", "HEP", "NE"};
+  const std::vector<std::string> names = PartitionerNames();
+  ASSERT_GE(names.size(), expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), names.begin()))
+      << "listed roster no longer starts with the Table 2 order";
+}
+
+TEST(RegistryTest, EveryEntryResolvesAndReportsItsOwnCard) {
+  for (const PartitionerInfo& info : PartitionerTable()) {
+    ASSERT_NE(info.factory, nullptr) << info.name;
+    auto p = CreatePartitioner(info.name);
+    ASSERT_NE(p, nullptr) << info.name;
+    EXPECT_EQ(p->name(), info.name);
+    EXPECT_EQ(p->model(), info.model);
+    EXPECT_GE(info.passes, 1u) << info.name;
+    EXPECT_EQ(FindPartitionerInfo(info.name), &info);
+    for (const std::string& alias : info.aliases) {
+      EXPECT_EQ(FindPartitionerInfo(alias), &info) << alias;
+    }
+  }
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitiveAndAliasAware) {
+  for (const char* spelling : {"hdrf", "Hdrf", "HDRF"}) {
+    const PartitionerInfo* info = FindPartitionerInfo(spelling);
+    ASSERT_NE(info, nullptr) << spelling;
+    EXPECT_EQ(info->name, "HDRF");
+  }
+  struct {
+    const char* alias;
+    const char* canonical;
+  } kAliases[] = {{"TWOPHASE", "2PS"},
+                  {"ginger", "HG"},
+                  {"fennel", "FNL"},
+                  {"metis", "MTS"}};
+  for (const auto& c : kAliases) {
+    const PartitionerInfo* info = FindPartitionerInfo(c.alias);
+    ASSERT_NE(info, nullptr) << c.alias;
+    EXPECT_EQ(info->name, c.canonical);
+    EXPECT_EQ(CreatePartitioner(c.alias)->name(), c.canonical);
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(TryCreatePartitioner("NOPE"), nullptr);
+  EXPECT_EQ(FindPartitionerInfo(""), nullptr);
+}
+
+TEST(RegistryTest, NamesByModelPartitionTheListedRoster) {
+  std::vector<std::string> merged;
+  for (CutModel m :
+       {CutModel::kVertexCut, CutModel::kHybrid, CutModel::kEdgeCut}) {
+    for (const std::string& name : PartitionerNames(m)) {
+      EXPECT_EQ(FindPartitionerInfo(name)->model, m) << name;
+      merged.push_back(name);
+    }
+  }
+  std::vector<std::string> all = PartitionerNames();
+  std::sort(merged.begin(), merged.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(merged, all);
+}
+
+TEST(RegistryTest, CapabilityCardsMatchDocumentedFamilies) {
+  EXPECT_EQ(FindPartitionerInfo("2PS")->passes, 2u);
+  EXPECT_FALSE(FindPartitionerInfo("2PS")->needs_graph);
+  EXPECT_EQ(FindPartitionerInfo("HEP")->passes, 2u);
+  EXPECT_FALSE(FindPartitionerInfo("HEP")->needs_graph);
+  EXPECT_TRUE(FindPartitionerInfo("NE")->needs_graph);
+  EXPECT_EQ(FindPartitionerInfo("DBH")->passes, 2u);
+  EXPECT_FALSE(FindPartitionerInfo("HDRF")->needs_graph);
+  EXPECT_TRUE(FindPartitionerInfo("MTS")->needs_graph);
+  // Unlisted variants resolve but stay out of the roster.
+  ASSERT_NE(FindPartitionerInfo("RLDG"), nullptr);
+  EXPECT_FALSE(FindPartitionerInfo("RLDG")->listed);
+  const std::vector<std::string> names = PartitionerNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "RLDG"), 0);
+}
+
+TEST(RegistryTest, HelpTextCoversEveryListedCodeGroupedByModel) {
+  const std::string help = PartitionerHelpText();
+  for (const char* header : {"vertex-cut", "hybrid-cut", "edge-cut"}) {
+    EXPECT_NE(help.find(header), std::string::npos) << header;
+  }
+  for (const PartitionerInfo& info : PartitionerTable()) {
+    EXPECT_NE(help.find(info.name), std::string::npos) << info.name;
+    EXPECT_NE(help.find(info.summary), std::string::npos) << info.name;
+  }
+  EXPECT_NE(help.find("2PS|TWOPHASE"), std::string::npos);
+  EXPECT_NE(help.find("[2 passes]"), std::string::npos);
+  EXPECT_NE(help.find("[in-memory]"), std::string::npos);
+}
+
+// A registered extension shows up in every view; colliding names and
+// aliases are rejected without clobbering the table.
+class StubPartitioner final : public Partitioner {
+ public:
+  std::string_view name() const override { return "STUB"; }
+  CutModel model() const override { return CutModel::kEdgeCut; }
+  Partitioning Run(const Graph& graph,
+                   const PartitionConfig& config) const override {
+    Partitioning p;
+    p.model = CutModel::kEdgeCut;
+    p.k = config.k;
+    p.vertex_to_partition.assign(graph.num_vertices(), 0);
+    return p;
+  }
+};
+
+TEST(RegistryTest, RegistrationExtendsViewsAndRejectsCollisions) {
+  PartitionerInfo stub;
+  stub.name = "STUB";
+  stub.aliases = {"STUBALIAS"};
+  stub.model = CutModel::kEdgeCut;
+  stub.summary = "test double";
+  stub.factory = +[]() -> std::unique_ptr<Partitioner> {
+    return std::make_unique<StubPartitioner>();
+  };
+  ASSERT_TRUE(RegisterPartitioner(stub));
+  EXPECT_NE(FindPartitionerInfo("stub"), nullptr);
+  EXPECT_EQ(CreatePartitioner("STUBALIAS")->name(), "STUB");
+  const std::vector<std::string> names = PartitionerNames();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "STUB"), 1);
+  EXPECT_NE(PartitionerHelpText().find("test double"), std::string::npos);
+
+  // Same name again: rejected.
+  EXPECT_FALSE(RegisterPartitioner(stub));
+  // Fresh name whose alias collides with an existing code: rejected whole.
+  PartitionerInfo clash = stub;
+  clash.name = "STUB2";
+  clash.aliases = {"HDRF"};
+  EXPECT_FALSE(RegisterPartitioner(clash));
+  EXPECT_EQ(FindPartitionerInfo("STUB2"), nullptr);
+  const std::vector<std::string> after = PartitionerNames();
+  EXPECT_EQ(std::count(after.begin(), after.end(), "STUB2"), 0);
+}
+
+}  // namespace
+}  // namespace sgp

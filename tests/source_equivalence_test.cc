@@ -166,6 +166,113 @@ TEST(StreamIngestTest, MissingFileReportsError) {
   EXPECT_FALSE(r.error.empty());
 }
 
+// --- Rewind contract (multi-pass partitioners over seekable sources) ---
+
+// A second pass over a rewound disk source must be bit-identical to the
+// in-memory replay: the clustering pass of 2PS, the degree pre-pass of
+// HEP and DBH all rewind between passes, and neither the source type nor
+// the chunk size may leak into the result.
+TEST(RewindTest, RewoundDiskPassMatchesInMemory) {
+  Graph g = MakeDataset("twitter", 10);
+  TempFile file("rewind_equivalence_edges.txt");
+  WriteEdgeListFile(g, file.path());
+  for (const char* algo : {"2PS", "HEP", "DBH"}) {
+    auto partitioner = CreatePartitioner(algo);
+    PartitionConfig cfg;
+    cfg.k = 8;
+    cfg.seed = 42;
+    cfg.order = StreamOrder::kNatural;
+    InMemoryEdgeSource mem(g, StreamOrder::kNatural, cfg.seed);
+    StreamRunResult expected = partitioner->RunOnSource(mem, cfg);
+    ASSERT_TRUE(expected.ok) << algo << ": " << expected.error;
+    for (uint64_t chunk : {1ull, 7ull, 4096ull}) {
+      EdgeListFileSource::Options opts;
+      opts.chunk_size = chunk;
+      EdgeListFileSource disk(file.path(), opts);
+      ASSERT_TRUE(disk.ok()) << disk.error();
+      StreamRunResult r = partitioner->RunOnSource(disk, cfg);
+      ASSERT_TRUE(r.ok) << algo << ": " << r.error;
+      EXPECT_EQ(r.num_edges, expected.num_edges) << algo;
+      EXPECT_EQ(r.num_vertices, expected.num_vertices) << algo;
+      EXPECT_EQ(r.partitioning.edge_to_partition,
+                expected.partitioning.edge_to_partition)
+          << algo << " chunk=" << chunk;
+      EXPECT_EQ(r.partitioning.vertex_to_partition,
+                expected.partitioning.vertex_to_partition)
+          << algo << " chunk=" << chunk;
+    }
+  }
+}
+
+// Multi-pass codes probe SupportsRewind() and fail as a regular
+// StreamRunResult error on a pipe-like source — never an abort, never a
+// silent wrong answer.
+TEST(RewindTest, MultiPassCodesRejectSinglePassSource) {
+  Graph g = MakeDataset("ldbc", 9);
+  PartitionConfig cfg;
+  cfg.k = 4;
+  cfg.seed = 1;
+  for (const char* algo : {"2PS", "HEP", "DBH"}) {
+    InMemoryEdgeSource mem(g, StreamOrder::kNatural, cfg.seed);
+    SinglePassEdgeSource pipe(mem);
+    StreamRunResult r = CreatePartitioner(algo)->RunOnSource(pipe, cfg);
+    EXPECT_FALSE(r.ok) << algo;
+    EXPECT_FALSE(r.error.empty()) << algo;
+  }
+  // Single-pass codes are unaffected by the wrapper.
+  for (const char* algo : {"VCR", "HDRF"}) {
+    InMemoryEdgeSource baseline_src(g, StreamOrder::kNatural, cfg.seed);
+    StreamRunResult baseline =
+        CreatePartitioner(algo)->RunOnSource(baseline_src, cfg);
+    ASSERT_TRUE(baseline.ok) << algo;
+    InMemoryEdgeSource mem(g, StreamOrder::kNatural, cfg.seed);
+    SinglePassEdgeSource pipe(mem);
+    StreamRunResult r = CreatePartitioner(algo)->RunOnSource(pipe, cfg);
+    ASSERT_TRUE(r.ok) << algo << ": " << r.error;
+    EXPECT_EQ(r.partitioning.edge_to_partition,
+              baseline.partitioning.edge_to_partition)
+        << algo;
+  }
+}
+
+// A failed Rewind() on the wrapper is sticky: subsequent chunks are empty
+// and the error survives.
+TEST(RewindTest, SinglePassSourceFailsSticky) {
+  Graph g = MakeDataset("ldbc", 8);
+  InMemoryEdgeSource mem(g, StreamOrder::kNatural, 1);
+  SinglePassEdgeSource pipe(mem);
+  EXPECT_FALSE(pipe.SupportsRewind());
+  EXPECT_TRUE(pipe.ok());
+  (void)pipe.NextChunk();
+  pipe.Rewind();
+  EXPECT_FALSE(pipe.ok());
+  EXPECT_FALSE(pipe.error().empty());
+  EXPECT_TRUE(pipe.NextChunk().empty());
+}
+
+// The two-phase family is deterministic: identical (seed, order) config
+// reproduces the identical partitioning, run to run.
+TEST(RewindTest, TwoPhaseFamilyDeterministic) {
+  Graph g = MakeDataset("usaroad", 10);
+  for (const char* algo : {"2PS", "HEP", "NE"}) {
+    auto partitioner = CreatePartitioner(algo);
+    for (uint64_t seed : {1ull, 99ull}) {
+      for (StreamOrder order : {StreamOrder::kNatural, StreamOrder::kRandom}) {
+        PartitionConfig cfg;
+        cfg.k = 8;
+        cfg.seed = seed;
+        cfg.order = order;
+        Partitioning a = partitioner->Run(g, cfg);
+        Partitioning b = partitioner->Run(g, cfg);
+        EXPECT_EQ(a.edge_to_partition, b.edge_to_partition)
+            << algo << " seed=" << seed;
+        EXPECT_EQ(a.vertex_to_partition, b.vertex_to_partition)
+            << algo << " seed=" << seed;
+      }
+    }
+  }
+}
+
 TEST(StreamIngestTest, OutOfRangeIdFailsStream) {
   TempFile file("source_equivalence_oob.txt");
   {

@@ -1,0 +1,236 @@
+// Unit and property tests for the two-phase / clustering partitioner
+// family (src/partition/twophase/): the streaming clustering pass and the
+// cluster packer in isolation, then the 2PS / HEP / NE partitioners
+// end-to-end, including the telemetry contract documented in
+// docs/OBSERVABILITY.md (partition.cluster.*, partition.hep.*,
+// partition.ne.*, per-pass wall histograms).
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "common/telemetry.h"
+#include "graph/datasets.h"
+#include "partition/metrics.h"
+#include "partition/partitioner.h"
+#include "partition/twophase/clustering.h"
+#include "partition/twophase/hep.h"
+#include "partition/twophase/ne.h"
+#include "partition/twophase/two_phase.h"
+#include "stream/source.h"
+
+namespace sgp {
+namespace {
+
+PartitionConfig Config(PartitionId k, uint64_t seed = 42) {
+  PartitionConfig cfg;
+  cfg.k = k;
+  cfg.seed = seed;
+  cfg.order = StreamOrder::kNatural;
+  return cfg;
+}
+
+// --- clustering pass ---
+
+TEST(StreamClustersTest, CoversEveryStreamedVertexWithDenseIds) {
+  Graph g = MakeDataset("twitter", 10);
+  PartitionConfig cfg = Config(8);
+  InMemoryEdgeSource source(g, StreamOrder::kNatural, cfg.seed);
+  ClusteringResult c = StreamClusters(source, cfg);
+  ASSERT_TRUE(c.ok) << c.error;
+  EXPECT_EQ(c.num_edges, g.num_edges());
+  EXPECT_EQ(c.num_vertices, g.num_vertices());
+  ASSERT_EQ(c.cluster_of.size(), g.num_vertices());
+  ASSERT_EQ(c.degree.size(), g.num_vertices());
+  EXPECT_GT(c.num_clusters, 0u);
+  EXPECT_GT(c.volume_cap, 0u);
+  EXPECT_GT(c.SynopsisBytes(), 0u);
+
+  // degree[] holds stream occurrence counts (they diverge from the
+  // de-duplicated Degree() on graphs with reciprocal pairs, like this
+  // one) — recompute them straight from the edge list.
+  std::vector<uint32_t> occurrences(g.num_vertices(), 0);
+  for (const Edge& e : g.edges()) {
+    ++occurrences[e.src];
+    ++occurrences[e.dst];
+  }
+  uint64_t total_volume = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(c.degree[v], occurrences[v]) << v;
+    if (occurrences[v] == 0) {
+      EXPECT_EQ(c.cluster_of[v], kInvalidCluster) << v;
+    } else {
+      ASSERT_LT(c.cluster_of[v], c.num_clusters) << v;
+    }
+  }
+  // Final volumes are exactly the sum of member degrees.
+  std::vector<uint64_t> recomputed(c.num_clusters, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (c.cluster_of[v] != kInvalidCluster) {
+      recomputed[c.cluster_of[v]] += c.degree[v];
+    }
+  }
+  EXPECT_EQ(recomputed, c.cluster_volume);
+  for (uint64_t vol : c.cluster_volume) total_volume += vol;
+  EXPECT_EQ(total_volume, 2 * g.num_edges());
+}
+
+TEST(StreamClustersTest, ChunkSizeNeverChangesClustering) {
+  Graph g = MakeDataset("ldbc", 10);
+  PartitionConfig cfg = Config(16);
+  InMemoryEdgeSource baseline_src(g, StreamOrder::kNatural, cfg.seed);
+  ClusteringResult baseline = StreamClusters(baseline_src, cfg);
+  ASSERT_TRUE(baseline.ok);
+  EXPECT_GT(baseline.moves, 0u);  // the heuristic actually merges
+  for (uint64_t chunk : {1ull, 7ull, 4096ull}) {
+    InMemoryEdgeSource src(g, StreamOrder::kNatural, cfg.seed, chunk);
+    ClusteringResult c = StreamClusters(src, cfg);
+    ASSERT_TRUE(c.ok);
+    EXPECT_EQ(c.cluster_of, baseline.cluster_of) << "chunk=" << chunk;
+    EXPECT_EQ(c.cluster_volume, baseline.cluster_volume)
+        << "chunk=" << chunk;
+    EXPECT_EQ(c.moves, baseline.moves) << "chunk=" << chunk;
+  }
+}
+
+TEST(PackClustersTest, EveryClusterPackedOntoLeastLoadedBin) {
+  Graph g = MakeDataset("usaroad", 10);
+  PartitionConfig cfg = Config(8);
+  InMemoryEdgeSource source(g, StreamOrder::kNatural, cfg.seed);
+  ClusteringResult c = StreamClusters(source, cfg);
+  ASSERT_TRUE(c.ok);
+  const std::vector<double> weights(8, 1.0);
+  std::vector<PartitionId> part = PackClusters(c, 8, weights);
+  ASSERT_EQ(part.size(), c.num_clusters);
+  std::vector<uint64_t> bin(8, 0);
+  for (uint32_t cl = 0; cl < c.num_clusters; ++cl) {
+    ASSERT_LT(part[cl], 8u) << cl;
+    bin[part[cl]] += c.cluster_volume[cl];
+  }
+  // Volume-descending first-fit-decreasing keeps bins within one largest
+  // cluster of each other — a loose sanity bound, not the balance gate
+  // (the phase-2 scorer enforces Equation (1) on the final loads).
+  const uint64_t largest =
+      *std::max_element(c.cluster_volume.begin(), c.cluster_volume.end());
+  const uint64_t max_bin = *std::max_element(bin.begin(), bin.end());
+  const uint64_t min_bin = *std::min_element(bin.begin(), bin.end());
+  EXPECT_LE(max_bin - min_bin, largest);
+}
+
+// --- 2PS ---
+
+TEST(TwoPhaseTest, RunMatchesRunOnSourceAndValidates) {
+  Graph g = MakeDataset("twitter", 10);
+  PartitionConfig cfg = Config(8);
+  TwoPhasePartitioner p;
+  Partitioning run = p.Run(g, cfg);
+  ValidatePartitioning(g, run);
+  EXPECT_EQ(run.model, CutModel::kVertexCut);
+  EXPECT_GT(run.state_bytes, 0u);
+
+  InMemoryEdgeSource source(g, StreamOrder::kNatural, cfg.seed);
+  StreamRunResult streamed = p.RunOnSource(source, cfg);
+  ASSERT_TRUE(streamed.ok) << streamed.error;
+  EXPECT_EQ(streamed.partitioning.edge_to_partition, run.edge_to_partition);
+}
+
+TEST(TwoPhaseTest, BeatsPlainHdrfOnClusteredGraph) {
+  // The headline property at bench scale lives in bench_fig2_replication;
+  // here a small clustered graph keeps the signal cheap to check. Random
+  // arrival order (the paper's setting): under natural order a road
+  // network arrives as contiguous segments and plain HDRF is already
+  // near-optimal, so there is no locality left for pass 1 to recover.
+  Graph g = MakeDataset("usaroad", 11);
+  PartitionConfig cfg = Config(32);
+  cfg.order = StreamOrder::kRandom;
+  PartitionMetrics two =
+      ComputeMetrics(g, TwoPhasePartitioner().Run(g, cfg));
+  PartitionMetrics hdrf =
+      ComputeMetrics(g, CreatePartitioner("HDRF")->Run(g, cfg));
+  EXPECT_LT(two.replication_factor, hdrf.replication_factor);
+  EXPECT_LE(two.edge_imbalance, 1.7);
+}
+
+TEST(TwoPhaseTest, EmitsClusterTelemetryAndPassTimings) {
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(&reg);
+  Graph g = MakeDataset("twitter", 9);
+  TwoPhasePartitioner().Run(g, Config(8));
+  EXPECT_GT(reg.GetCounter("partition.cluster.clusters")->value(), 0u);
+  EXPECT_GT(reg.GetCounter("partition.cluster.pass1.edges")->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("partition.cluster.edges.assigned")->value(),
+            g.num_edges());
+  EXPECT_GT(reg.GetCounter("partition.cluster.volume_cap")->value(), 0u);
+  EXPECT_GT(
+      reg.GetHistogram("partition.cluster.pass1.wall_seconds")->count(), 0u);
+  EXPECT_GT(
+      reg.GetHistogram("partition.cluster.pass2.wall_seconds")->count(), 0u);
+}
+
+// --- HEP ---
+
+TEST(HepTest, ThresholdExtremesBothValidate) {
+  Graph g = MakeDataset("twitter", 10);
+  HepPartitioner p;
+  for (uint32_t threshold : {0u, 2u, 100u, 1u << 30}) {
+    PartitionConfig cfg = Config(8);
+    cfg.hybrid_threshold = threshold;
+    Partitioning out = p.Run(g, cfg);
+    ValidatePartitioning(g, out);
+    PartitionMetrics m = ComputeMetrics(g, out);
+    EXPECT_LE(m.edge_imbalance, 1.7) << "threshold=" << threshold;
+  }
+}
+
+TEST(HepTest, SplitsEdgesBetweenHubCoreAndStream) {
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(&reg);
+  Graph g = MakeDataset("twitter", 10);
+  PartitionConfig cfg = Config(8);
+  cfg.hybrid_threshold = 8;  // skewed graph: real hubs exist at scale 10
+  HepPartitioner().Run(g, cfg);
+  const uint64_t hub = reg.GetCounter("partition.hep.hub.edges")->value();
+  const uint64_t tail =
+      reg.GetCounter("partition.hep.streamed.edges")->value();
+  EXPECT_GT(hub, 0u);
+  EXPECT_GT(tail, 0u);
+  EXPECT_EQ(hub + tail, g.num_edges());
+  EXPECT_GT(reg.GetCounter("partition.hep.hub.vertices")->value(), 0u);
+  EXPECT_GT(reg.GetHistogram("partition.hep.pass1.wall_seconds")->count(),
+            0u);
+  EXPECT_GT(reg.GetHistogram("partition.hep.pass2.wall_seconds")->count(),
+            0u);
+}
+
+// --- NE ---
+
+TEST(NeTest, ExpansionClaimsMostEdgesAndBalances) {
+  MetricsRegistry reg;
+  ScopedMetricsRegistry scope(&reg);
+  Graph g = MakeDataset("usaroad", 10);
+  PartitionConfig cfg = Config(8);
+  NePartitioner p;
+  Partitioning out = p.Run(g, cfg);
+  ValidatePartitioning(g, out);
+  PartitionMetrics m = ComputeMetrics(g, out);
+  EXPECT_LE(m.edge_imbalance, 1.7);
+  const uint64_t claimed =
+      reg.GetCounter("partition.ne.claimed.edges")->value();
+  const uint64_t fallback =
+      reg.GetCounter("partition.ne.fallback.edges")->value();
+  EXPECT_EQ(claimed + fallback, g.num_edges());
+  EXPECT_GT(claimed, fallback);  // expansion does the bulk of the work
+  EXPECT_GE(reg.GetCounter("partition.ne.seeds")->value(), cfg.k - 1);
+}
+
+TEST(NeTest, LocalityBeatsHashOnRoadNetwork) {
+  Graph g = MakeDataset("usaroad", 10);
+  PartitionConfig cfg = Config(8);
+  PartitionMetrics ne = ComputeMetrics(g, NePartitioner().Run(g, cfg));
+  PartitionMetrics vcr =
+      ComputeMetrics(g, CreatePartitioner("VCR")->Run(g, cfg));
+  EXPECT_LT(ne.replication_factor, vcr.replication_factor);
+}
+
+}  // namespace
+}  // namespace sgp
