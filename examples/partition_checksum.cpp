@@ -4,7 +4,9 @@
 // repository must print byte-identical output — scripts/check.sh diffs a
 // portable build against a -march=native one (and the PR workflow diffs
 // refactors against the previous HEAD) to prove every scoring change is
-// behavior-preserving down to the last tie-break.
+// behavior-preserving down to the last tie-break. --score-mode switches
+// every run onto the scalar / batched / simd kernels; the printed grid
+// must be byte-identical across all three (check.sh diffs them too).
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +17,7 @@
 #include "graph/datasets.h"
 #include "partition/edgecut/parallel_streaming.h"
 #include "partition/partitioner.h"
+#include "partition/partitioning.h"
 
 namespace {
 
@@ -51,6 +54,16 @@ int main(int argc, char** argv) {
   FlagParser flags(argc, argv);
   const uint32_t scale =
       static_cast<uint32_t>(flags.TakeUint64("--scale").value_or(10));
+  ScoreMode score_mode = ScoreMode::kBatched;
+  if (auto mode = flags.TakeString("--score-mode")) {
+    if (!ParseScoreMode(*mode, &score_mode)) {
+      std::fprintf(stderr,
+                   "error: unknown score mode '%s'; valid values: scalar, "
+                   "batched, simd\n",
+                   mode->c_str());
+      return 1;
+    }
+  }
   flags.TakePositional();
   if (!flags.ok()) {
     std::fprintf(stderr, "error: %s\n", flags.error().c_str());
@@ -74,6 +87,7 @@ int main(int argc, char** argv) {
               cfg.k = k;
               cfg.seed = seed;
               cfg.order = order;
+              cfg.score_mode = score_mode;
               if (hetero) {
                 cfg.capacity_weights.resize(k);
                 for (PartitionId i = 0; i < k; ++i) {
@@ -100,6 +114,7 @@ int main(int argc, char** argv) {
           PartitionConfig cfg;
           cfg.k = k;
           cfg.seed = 42;
+          cfg.score_mode = score_mode;
           ParallelStreamOptions options;
           options.num_streams = workers;
           options.sync_interval = 64;

@@ -20,6 +20,9 @@
 //   --chunk-size <n>      elements per ingest chunk (both modes)
 //   --seed <s>            RNG/hash seed
 //   --slack <b>           balance slack β (default 1.05)
+//   --score-mode <m>      scoring kernels: scalar|batched|simd (all modes
+//                         produce bit-identical partitionings; simd prints
+//                         the dispatched ISA tier at startup)
 //   --output <file>       write "vertex partition" lines
 //   --metrics-out <file>  dump the telemetry registry as JSON
 //   --trace-out <file>    dump the registry with traces included
@@ -36,6 +39,7 @@
 #include "partition/metrics.h"
 #include "partition/partition_io.h"
 #include "partition/partitioner.h"
+#include "partition/score_core.h"
 #include "partition/stream_ingest.h"
 #include "stream/source.h"
 
@@ -47,8 +51,8 @@ void PrintUsage() {
          "       partition_tool --input-edgelist <file> <algorithm> <k> "
          "[options]\n"
          "options: [--directed] [--order o] [--chunk-size n] [--seed s]\n"
-         "         [--slack b] [--output file] [--metrics-out file]\n"
-         "         [--trace-out file]\n"
+         "         [--slack b] [--score-mode scalar|batched|simd]\n"
+         "         [--output file] [--metrics-out file] [--trace-out file]\n"
          "algorithms (from the registry):\n"
       << sgp::PartitionerHelpText();
 }
@@ -77,6 +81,13 @@ int main(int argc, char** argv) {
   config.seed = flags.TakeUint64("--seed").value_or(config.seed);
   config.balance_slack =
       flags.TakeDouble("--slack").value_or(config.balance_slack);
+  if (auto mode = flags.TakeString("--score-mode")) {
+    if (!ParseScoreMode(*mode, &config.score_mode)) {
+      std::cerr << "error: unknown score mode '" << *mode
+                << "'; valid values: scalar, batched, simd\n";
+      return 1;
+    }
+  }
   const std::string output = flags.TakeString("--output").value_or("");
   const std::string metrics_out =
       flags.TakeString("--metrics-out").value_or("");
@@ -97,6 +108,13 @@ int main(int argc, char** argv) {
   const std::string algo = positional[expected - 2];
   config.k = static_cast<PartitionId>(std::stoul(positional[expected - 1]));
   config.ingest_chunk_size = chunk_size;
+
+  std::cout << "score mode: " << ScoreModeName(config.score_mode);
+  if (config.score_mode == ScoreMode::kSimd) {
+    std::cout << " (dispatched ISA tier: "
+              << score::SimdTierName(score::ActiveSimdTier()) << ")";
+  }
+  std::cout << "\n";
 
   Partitioning partitioning;
   if (!stream_path.empty()) {

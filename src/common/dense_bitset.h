@@ -47,11 +47,19 @@ class DenseBitset {
   std::vector<uint64_t> words_;
 };
 
-/// Row-major bit matrix: `rows` rows of `cols` bits each, padded to whole
-/// words per row so `Row(r)` is a contiguous word span. This is the layout
-/// of the replica-membership index: one row per vertex, one bit per
-/// partition, so a k-way scoring loop reads ceil(k/64) words per endpoint
-/// instead of performing k set probes.
+/// Row-major bit matrix: `rows` rows of `cols` bits each. This is the
+/// layout of the replica-membership index: one row per vertex, one bit
+/// per partition, so a k-way scoring loop reads ceil(k/64) words per
+/// endpoint instead of performing k set probes.
+///
+/// Cache-blocked layout: the base pointer is 64-byte aligned and rows are
+/// placed at a stride rounded up from ceil(cols/64) words to a power of
+/// two (≤ 8 words) or a multiple of 8 words beyond that. Every row start
+/// therefore lands at a 64-byte-line-friendly offset and a row of ≤ 512
+/// bits never straddles a cache line — one line fill serves the whole
+/// membership sweep of an endpoint, and the scoring loops' row prefetches
+/// pull exactly the lines they will read. `words_per_row()` stays the
+/// logical ceil(cols/64); padding words past it are always zero.
 class BitMatrix {
  public:
   BitMatrix() = default;
@@ -62,45 +70,73 @@ class BitMatrix {
     rows_ = rows;
     cols_ = cols;
     words_per_row_ = (static_cast<uint64_t>(cols) + 63) / 64;
-    words_.assign(rows * words_per_row_, 0);
+    row_stride_ = RowStride(words_per_row_);
+    AllocateZeroed(rows * row_stride_);
   }
 
-  /// Grows the row count (column width fixed); new rows are zero.
+  /// Grows the row count (column width fixed); new rows are zero,
+  /// existing rows keep their bits across the reallocation.
   void EnsureRows(uint64_t rows) {
     if (rows <= rows_) return;
+    std::vector<uint64_t> old_storage = std::move(storage_);
+    const uint64_t* old_base = base_;
+    const uint64_t old_words = rows_ * row_stride_;
     rows_ = rows;
-    words_.resize(rows * words_per_row_, 0);
+    AllocateZeroed(rows * row_stride_);
+    if (old_words > 0) std::copy(old_base, old_base + old_words, base_);
   }
 
   uint64_t rows() const { return rows_; }
   uint32_t cols() const { return cols_; }
   uint64_t words_per_row() const { return words_per_row_; }
+  uint64_t row_stride() const { return row_stride_; }
 
-  const uint64_t* Row(uint64_t r) const {
-    return words_.data() + r * words_per_row_;
-  }
+  const uint64_t* Row(uint64_t r) const { return base_ + r * row_stride_; }
 
   bool Test(uint64_t r, uint32_t c) const {
     return (Row(r)[c >> 6] >> (c & 63)) & 1u;
   }
   void Set(uint64_t r, uint32_t c) {
-    words_[r * words_per_row_ + (c >> 6)] |= uint64_t{1} << (c & 63);
+    base_[r * row_stride_ + (c >> 6)] |= uint64_t{1} << (c & 63);
   }
   void ResetBit(uint64_t r, uint32_t c) {
-    words_[r * words_per_row_ + (c >> 6)] &= ~(uint64_t{1} << (c & 63));
+    base_[r * row_stride_ + (c >> 6)] &= ~(uint64_t{1} << (c & 63));
   }
   void ClearRow(uint64_t r) {
-    std::memset(words_.data() + r * words_per_row_, 0,
+    std::memset(base_ + r * row_stride_, 0,
                 words_per_row_ * sizeof(uint64_t));
   }
 
-  uint64_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+  uint64_t MemoryBytes() const {
+    return storage_.capacity() * sizeof(uint64_t);
+  }
 
  private:
+  static constexpr uint64_t kAlignWords = 8;  // 64 bytes
+
+  /// Row placement stride for a logical row of `wpr` words: the next
+  /// power of two up to a full cache line, then whole lines.
+  static uint64_t RowStride(uint64_t wpr) {
+    if (wpr <= 1) return wpr;
+    if (wpr <= 2) return 2;
+    if (wpr <= 4) return 4;
+    return (wpr + kAlignWords - 1) / kAlignWords * kAlignWords;
+  }
+
+  void AllocateZeroed(uint64_t words) {
+    storage_.assign(words + kAlignWords - 1, 0);
+    uint64_t addr = reinterpret_cast<uint64_t>(storage_.data());
+    const uint64_t align = kAlignWords * sizeof(uint64_t);
+    const uint64_t offset = (align - addr % align) % align;
+    base_ = storage_.data() + offset / sizeof(uint64_t);
+  }
+
   uint64_t rows_ = 0;
   uint32_t cols_ = 0;
   uint64_t words_per_row_ = 0;
-  std::vector<uint64_t> words_;
+  uint64_t row_stride_ = 0;
+  uint64_t* base_ = nullptr;
+  std::vector<uint64_t> storage_;
 };
 
 }  // namespace sgp

@@ -107,6 +107,13 @@ ParallelStreamResult RunParallelVertexStream(
   std::vector<size_t> cursor(s, 0);
   CombinedLoadScratch comb;
   uint64_t tie_breaks = 0;  // counted by the kernels, not reported here
+  const ScoreMode mode = config.score_mode;
+  const score::SimdTier tier = mode == ScoreMode::kSimd
+                                   ? score::ActiveSimdTier()
+                                   : score::SimdTier::kPortable;
+  // Pow-form FENNEL has no SIMD twin; those picks fall back to batched.
+  const bool simd_greedy =
+      mode == ScoreMode::kSimd && (objective.ldg || objective.sqrt_form);
 
   bool work_left = true;
   while (work_left) {
@@ -130,16 +137,25 @@ ParallelStreamResult RunParallelVertexStream(
           if (neighbor_counts[p]++ == 0) touched.push_back(p);
         }
         score_stats.candidates += k;
-        PartitionId best =
-            config.score_mode == ScoreMode::kScalar
-                ? score::GreedyPickScalar(k, neighbor_counts.data(),
+        PartitionId best;
+        if (mode == ScoreMode::kScalar) {
+          best = score::GreedyPickScalar(k, neighbor_counts.data(),
+                                         comb.loads.data(), weights.data(),
+                                         capacity.data(), objective,
+                                         &tie_breaks);
+        } else if (simd_greedy) {
+          ++score_stats.simd_picks;
+          best = score::GreedyPickSimd(tier, k, neighbor_counts.data(),
+                                       comb.loads.data(), weights.data(),
+                                       capacity.data(), objective,
+                                       scores.data());
+        } else {
+          if (mode == ScoreMode::kSimd) ++score_stats.simd_fallbacks;
+          best = score::GreedyPickBatched(k, neighbor_counts.data(),
                                           comb.loads.data(), weights.data(),
                                           capacity.data(), objective,
-                                          &tie_breaks)
-                : score::GreedyPickBatched(k, neighbor_counts.data(),
-                                           comb.loads.data(), weights.data(),
-                                           capacity.data(), objective,
-                                           scores.data(), &tie_breaks);
+                                          scores.data(), &tie_breaks);
+        }
         if (best == kInvalidPartition) best = u % k;  // all full (stale)
         deltas[w].emplace_back(u, best);
         scratch_view[u] = best;
@@ -183,13 +199,15 @@ ParallelStreamResult RunParallelVertexStream(
 // result equals the sequential algorithm's.
 // ---------------------------------------------------------------------
 
-// One batched HDRF placement against worker w's combined view: the
-// combined loads come from the interval scratch and replica membership
-// from the bit rows (published row OR delta row), scored by the shared
-// ScoreCore kernel. Bit-identical to PlaceHdrfSharded below.
+// One batched (or SIMD — `simd` routes the sweep through HdrfPickSimd on
+// `tier`, same selection) HDRF placement against worker w's combined
+// view: the combined loads come from the interval scratch and replica
+// membership from the bit rows (published row OR delta row), scored by
+// the shared ScoreCore kernel. Bit-identical to PlaceHdrfSharded below.
 PartitionId PlaceHdrfShardedBatched(ShardedPartitionState& shard, uint32_t w,
                                     CombinedLoadScratch& comb, VertexId u,
-                                    VertexId v, double lambda,
+                                    VertexId v, double lambda, bool simd,
+                                    score::SimdTier tier, double* scores,
                                     ScoreCoreStats& stats) {
   const PartitionId k = shard.global().k();
   shard.IncrementWorkerDegree(w, u);
@@ -208,9 +226,19 @@ PartitionId PlaceHdrfShardedBatched(ShardedPartitionState& shard, uint32_t w,
                                    shard.DeltaReplicaRow(w, v)};
   uint64_t ties = 0;  // the sharded driver does not report tie counts
   stats.candidates += k;
-  const PartitionId best = score::HdrfPickBatched(
-      k, comb.effective.data(), comb.loads.data(), row_u, row_v, theta_u,
-      theta_v, lambda, max_load, spread, &ties, &stats.bitset_hits);
+  PartitionId best;
+  if (simd) {
+    ++stats.simd_picks;
+    best = score::HdrfPickSimd(tier, k, comb.effective.data(),
+                               comb.loads.data(), row_u, row_v, theta_u,
+                               theta_v, lambda, max_load, spread, scores,
+                               &stats.bitset_hits);
+  } else {
+    best = score::HdrfPickBatched(k, comb.effective.data(), comb.loads.data(),
+                                  row_u, row_v, theta_u, theta_v, lambda,
+                                  max_load, spread, &ties,
+                                  &stats.bitset_hits);
+  }
 
   shard.AddWorkerLoad(w, best);
   comb.AddLoad(shard, best, /*eff=*/true);
@@ -409,11 +437,18 @@ ParallelStreamResult RunParallelEdgeStream(
   result.partitioning.k = k;
   result.partitioning.edge_to_partition.resize(graph.num_edges());
 
-  const bool batched = config.score_mode == ScoreMode::kBatched;
+  // kSimd rides the batched machinery: HDRF sweeps dispatch to the SIMD
+  // kernel, while PGG keeps the word-at-a-time bit scans (sparse replica
+  // sets — a dense k-lane sweep would be slower).
+  const bool batched = config.score_mode != ScoreMode::kScalar;
+  const bool simd = config.score_mode == ScoreMode::kSimd;
+  const score::SimdTier tier =
+      simd ? score::ActiveSimdTier() : score::SimdTier::kPortable;
   if (batched) shard.EnableReplicaBitIndex();
   const bool is_hdrf = algo == ParallelAlgo::kHdrf;
   ScoreCoreStats score_stats;
   CombinedLoadScratch comb;
+  std::vector<double> scores(k, 0.0);
   std::vector<uint64_t> inter_words((static_cast<uint64_t>(k) + 63) / 64, 0);
   std::vector<PartitionId> all(k);
   for (PartitionId i = 0; i < k; ++i) all[i] = i;
@@ -436,7 +471,8 @@ ParallelStreamResult RunParallelEdgeStream(
         if (batched) {
           target = is_hdrf
                        ? PlaceHdrfShardedBatched(shard, w, comb, e.src, e.dst,
-                                                 config.hdrf_lambda,
+                                                 config.hdrf_lambda, simd,
+                                                 tier, scores.data(),
                                                  score_stats)
                        : PlacePggShardedBatched(shard, w, comb, graph, e.src,
                                                 e.dst, inter_words,

@@ -5,12 +5,35 @@
 
 #include "common/check.h"
 #include "common/hashing.h"
+#include "common/telemetry.h"
 #include "common/timer.h"
+#include "partition/edgecut/neighbor_gather.h"
 #include "partition/score_core.h"
 #include "partition/state.h"
 #include "stream/source.h"
 
 namespace sgp {
+
+namespace {
+
+// Ginger's phase-1 greedy shares the gather pipeline (and its counters)
+// with the edge-cut family.
+struct GingerMetrics {
+  Counter* gather_blocks = nullptr;
+  Counter* gather_prefetched = nullptr;
+
+  GingerMetrics() = default;
+  explicit GingerMetrics(MetricsRegistry& reg) {
+    gather_blocks = reg.GetCounter("partition.greedy.gather.blocks");
+    gather_prefetched = reg.GetCounter("partition.greedy.gather.prefetched");
+  }
+
+  static GingerMetrics& Get() {
+    return CurrentRegistryMetrics<GingerMetrics>();
+  }
+};
+
+}  // namespace
 
 Partitioning GingerPartitioner::Run(const Graph& graph,
                                     const PartitionConfig& config) const {
@@ -55,6 +78,7 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
   std::vector<uint32_t> neighbor_counts(k, 0);
   std::vector<double> combined_loads(k, 0.0);
   std::vector<PartitionId> touched;
+  internal_edgecut::NeighborGather gather;
   const double vertices_per_edge =
       m == 0 ? 0.0 : static_cast<double>(n) / static_cast<double>(m);
   // Equation (8) leaves the scaling of the balance term implicit;
@@ -93,11 +117,8 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
         continue;
       }
       // Low-degree: Equation (8) over already-placed neighbors.
-      for (VertexId u : graph.Neighbors(v)) {
-        PartitionId p = result.vertex_to_partition[u];
-        if (p == kInvalidPartition) continue;
-        if (neighbor_counts[p]++ == 0) touched.push_back(p);
-      }
+      gather.Accumulate(graph.Neighbors(v), result.vertex_to_partition.data(),
+                        neighbor_counts.data(), touched);
       // Combined load ½(|Pi_v| + (n/m)|Pi_e|) of Equation (8), passed
       // through FENNEL's marginal-cost power form.
       for (PartitionId i = 0; i < k; ++i) {
@@ -136,6 +157,9 @@ Partitioning GingerPartitioner::Run(const Graph& graph,
         is_high_degree(edge.dst) ? result.vertex_to_partition[edge.src]
                                  : result.vertex_to_partition[edge.dst];
   }
+  GingerMetrics& metrics = GingerMetrics::Get();
+  metrics.gather_blocks->Increment(gather.blocks);
+  metrics.gather_prefetched->Increment(gather.prefetched);
   state.NoteAuxiliaryBytes(static_cast<uint64_t>(n) * sizeof(PartitionId) +
                            static_cast<uint64_t>(k) * sizeof(uint32_t));
   result.state_bytes = state.SynopsisBytes();

@@ -23,14 +23,23 @@ std::string_view CutModelName(CutModel model);
 
 /// Implementation of the k-way candidate evaluation every streaming
 /// partitioner performs per stream element (partition/score_core.h).
-/// Both modes produce bit-identical assignments — same scores, same
+/// All modes produce bit-identical assignments — same scores, same
 /// tie-breaks (equal score → lighter load → lower id) — pinned by the
 /// equivalence suite; kScalar exists as the reference for that suite and
-/// for the scalar-vs-batched rows of bench_partitioner_speed.
+/// for the per-mode rows of bench_partitioner_speed.
 enum class ScoreMode {
   kBatched,  // chunk-batched SoA loops + bit-packed replica membership
   kScalar,   // per-element loops with per-candidate replica-set probes
+  kSimd,     // explicit SIMD score+argmax kernels with runtime ISA dispatch
+             // (AVX2 or the #pragma omp simd portable twin)
 };
+
+/// Human-readable name of `mode` ("scalar" / "batched" / "simd").
+std::string_view ScoreModeName(ScoreMode mode);
+
+/// Parses a --score-mode value; returns false (leaving `*mode` untouched)
+/// for anything but "scalar", "batched" or "simd".
+bool ParseScoreMode(std::string_view name, ScoreMode* mode);
 
 /// Shared configuration for all partitioners. Algorithm-specific parameters
 /// carry the defaults used by the paper / original publications.

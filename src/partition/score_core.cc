@@ -15,12 +15,16 @@ struct ScoreMetrics {
   Counter* batches = nullptr;
   Counter* candidates = nullptr;
   Counter* bitset_hits = nullptr;
+  Counter* simd_picks = nullptr;
+  Counter* simd_fallbacks = nullptr;
 
   ScoreMetrics() = default;
   explicit ScoreMetrics(MetricsRegistry& reg) {
     batches = reg.GetCounter("partition.score.batches");
     candidates = reg.GetCounter("partition.score.candidates");
     bitset_hits = reg.GetCounter("partition.score.bitset_hits");
+    simd_picks = reg.GetCounter("partition.score.simd.picks");
+    simd_fallbacks = reg.GetCounter("partition.score.simd.fallbacks");
   }
 
   static ScoreMetrics& Get() { return CurrentRegistryMetrics<ScoreMetrics>(); }
@@ -33,16 +37,21 @@ void FlushScoreCoreStats(const ScoreCoreStats& stats) {
   if (stats.batches > 0) m.batches->Increment(stats.batches);
   if (stats.candidates > 0) m.candidates->Increment(stats.candidates);
   if (stats.bitset_hits > 0) m.bitset_hits->Increment(stats.bitset_hits);
+  if (stats.simd_picks > 0) m.simd_picks->Increment(stats.simd_picks);
+  if (stats.simd_fallbacks > 0) {
+    m.simd_fallbacks->Increment(stats.simd_fallbacks);
+  }
 }
 
 ScoreCore::ScoreCore(PartitionState& state, ScoreMode mode)
     : state_(state), mode_(mode) {
   const PartitionId k = state_.k();
   SGP_CHECK(k > 0);
-  if (mode_ == ScoreMode::kBatched) {
+  if (mode_ != ScoreMode::kScalar) {
     scores_.resize(k, 0.0);
     inter_words_.resize((static_cast<uint64_t>(k) + 63) / 64, 0);
     if (state_.replicas_enabled()) state_.replicas().EnableBitIndex(k);
+    if (mode_ == ScoreMode::kSimd) tier_ = score::ActiveSimdTier();
   } else {
     all_.resize(k);
     for (PartitionId i = 0; i < k; ++i) all_[i] = i;

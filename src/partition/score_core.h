@@ -7,6 +7,7 @@
 #include <limits>
 #include <numeric>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "common/check.h"
@@ -27,15 +28,19 @@ namespace sgp {
 /// argmax with the canonical tie-break: equal score → lighter load →
 /// lower id) → partitioner (stream order, gather, placement recording).
 ///
-/// Two modes, bit-identical by construction and pinned by the equivalence
-/// suite (tests/score_core_test.cc, partitioner_property_test.cc):
+/// Three modes, bit-identical by construction and pinned by the
+/// equivalence suite (tests/score_core_test.cc,
+/// partitioner_property_test.cc):
 ///  - kBatched: a chunk of B stream elements per call, inner loops reading
 ///    the SoA arrays directly and replica membership from the bit index
 ///    (one 64-candidate word per load instead of per-candidate set
 ///    probes), branch-free score evaluation where it pays.
 ///  - kScalar: the reference per-element loops with ReplicaState::Contains
-///    probes — the pre-refactor code shape, kept for the
-///    scalar-vs-batched rows of bench_partitioner_speed.
+///    probes — the pre-refactor code shape, kept for the per-mode rows of
+///    bench_partitioner_speed.
+///  - kSimd: explicit SIMD kernels behind runtime ISA dispatch (the
+///    SimdTier block below) — AVX2 intrinsics or a #pragma omp simd
+///    portable twin, same selections, no tie-audit counters.
 ///
 /// Every floating-point expression is textually identical between modes
 /// (and to the pre-ScoreCore algorithms), so assignments match down to
@@ -49,6 +54,9 @@ struct ScoreCoreStats {
   uint64_t batches = 0;      // chunk-level scorer invocations
   uint64_t candidates = 0;   // candidate partitions evaluated
   uint64_t bitset_hits = 0;  // replica-membership bits found set (batched)
+  uint64_t simd_picks = 0;   // picks served by a SIMD kernel (kSimd only)
+  uint64_t simd_fallbacks = 0;  // kSimd picks routed to the batched kernel
+                                // (pow-form FENNEL has no SIMD twin)
 };
 
 /// Flushes `stats` into the current registry's
@@ -361,11 +369,95 @@ inline void IntersectRows(PartitionId k, MembershipRow a, MembershipRow b,
   *any = nonzero != 0;
 }
 
+// -----------------------------------------------------------------------
+// Explicit SIMD kernel tier (ScoreMode::kSimd, partition/score_simd.cc).
+//
+// Two ISA tiers behind one dispatch point: hand-written AVX2 intrinsics
+// (score_simd_avx2.cc, selected at runtime via __builtin_cpu_supports) and
+// a `#pragma omp simd` portable twin. Both tiers — and both relative to
+// kScalar/kBatched — produce bit-identical selections: every FP expression
+// keeps the exact operation order of the scalar reference (no FMA
+// contraction: the AVX2 unit is built with -mavx2 only plus
+// -ffp-contract=off), and the argmax reductions resolve ties with the full
+// canonical rule (equal score → lighter load → lower id), applied
+// lane-wise and again at the cross-lane/tail merge.
+//
+// Counter policy: tie-break audit counters are inherently sequential
+// (they count prefix-argmax replacements) and cannot be reproduced by a
+// fused SIMD reduction, so kSimd increments *no* tie counters in either
+// tier; batches / candidates / bitset_hits are computed exactly as in
+// kBatched, keeping every deterministic counter ISA-independent.
+//
+// Preconditions (hold for every caller in this repo, asserted in debug):
+// partition loads < 2^52 (exact u64→double magic conversion) and neighbor
+// counts < 2^31 (signed i32→double lanes).
+// -----------------------------------------------------------------------
+
+enum class SimdTier {
+  kPortable,  // #pragma omp simd loops, any ISA
+  kAvx2,      // AVX2 intrinsics (x86-64 with runtime avx2 support)
+};
+
+/// Human-readable tier name ("portable" / "avx2").
+std::string_view SimdTierName(SimdTier tier);
+
+/// True when `tier` can execute on this machine (kPortable always can).
+bool SimdTierAvailable(SimdTier tier);
+
+/// Best available tier, honoring the SGP_FORCE_SCALAR_DISPATCH env
+/// override (any non-empty value other than "0" pins kPortable, so
+/// sanitizer runs can exercise the portable twin on AVX2 hardware).
+/// Re-read per call — it is consulted once per partitioner run.
+SimdTier ActiveSimdTier();
+
+/// SIMD HDRF candidate sweep: same scores, selection and bitset-hit audit
+/// as HdrfPickBatched, no tie audit. `scores` is k doubles of scratch
+/// (used by the portable tier's materialize-then-argmax shape).
+PartitionId HdrfPickSimd(SimdTier tier, PartitionId k, const double* effective,
+                         const uint64_t* loads, MembershipRow u_row,
+                         MembershipRow v_row, double theta_u, double theta_v,
+                         double lambda, double max_load, double spread,
+                         double* scores, uint64_t* bitset_hits);
+
+/// SIMD LDG/FENNEL pick (sqrt-form FENNEL only — the dispatcher falls
+/// back to GreedyPickBatched for the pow-form objective). Selection
+/// matches GreedyPickScalar, incl. kInvalidPartition when all full.
+PartitionId GreedyPickSimd(SimdTier tier, PartitionId k,
+                           const uint32_t* neighbor_counts,
+                           const uint64_t* loads, const double* weights,
+                           const double* capacity, const GreedyObjective& obj,
+                           double* scores);
+
+/// SIMD Ginger pick; selection matches GingerPickScalar.
+PartitionId GingerPickSimd(SimdTier tier, PartitionId k,
+                           const uint32_t* neighbor_counts,
+                           const double* combined_loads,
+                           double combined_capacity, double alpha,
+                           double gamma, double* scores);
+
+/// SIMD least-effectively-loaded-with-room scan; matches
+/// LeastLoadedWithRoom (0 when every partition is at capacity).
+PartitionId LeastLoadedWithRoomSimd(SimdTier tier, PartitionId k,
+                                    const uint64_t* loads,
+                                    const double* weights,
+                                    const double* capacity, double* scores);
+
+/// SIMD least-effectively-loaded scan over all k; matches LeastLoadedAll.
+PartitionId LeastLoadedAllSimd(SimdTier tier, PartitionId k,
+                               const uint64_t* loads, const double* weights,
+                               double* scores);
+
 }  // namespace score
+
+/// Edges of lookahead in the chunked scoring loops: while edge i is being
+/// scored, the degree entries and bit-matrix rows of edge i+8 are pulled
+/// toward the cache. 8 edges ≈ the latency of one k-way sweep.
+inline constexpr size_t kScorePrefetchAhead = 8;
 
 /// Per-run scoring context: binds a PartitionState, the mode, the scratch
 /// buffers (candidate scores, intersection words) and the decision
-/// counters; enables the replica bit index when batched. Flushes
+/// counters; enables the replica bit index when batched or simd (kSimd
+/// resolves its ISA tier once, at construction). Flushes
 /// partition.score.* on destruction.
 class ScoreCore {
  public:
@@ -403,10 +495,24 @@ class ScoreCore {
       }
       return;
     }
+    const bool simd = mode_ == ScoreMode::kSimd;
+    if (simd) stats_.simd_picks += static_cast<uint64_t>(chunk.size());
     ReplicaState& replicas = state_.replicas();
     const double* effective = state_.effective().data();
     const uint64_t* loads = state_.loads().data();
-    for (const StreamEdge& e : chunk) {
+    // Every endpoint of the chunk is covered (callers EnsureVertex the
+    // whole chunk up front), so degree entries and bit-matrix rows are
+    // stable addresses we can pull in ahead of their edge.
+    const uint32_t* degrees = state_.degrees().data();
+    for (size_t idx = 0; idx < chunk.size(); ++idx) {
+      if (idx + kScorePrefetchAhead < chunk.size()) {
+        const StreamEdge& f = chunk[idx + kScorePrefetchAhead];
+        __builtin_prefetch(&degrees[f.src], 1, 1);
+        __builtin_prefetch(&degrees[f.dst], 1, 1);
+        __builtin_prefetch(replicas.RowWords(f.src), 1, 1);
+        __builtin_prefetch(replicas.RowWords(f.dst), 1, 1);
+      }
+      const StreamEdge& e = chunk[idx];
       const VertexId u = e.src;
       const VertexId v = e.dst;
       stats.degree_hits += (state_.degree(u) > 0) + (state_.degree(v) > 0);
@@ -418,10 +524,18 @@ class ScoreCore {
       const double theta_v = 1.0 - theta_u;
       double max_load, spread;
       score::EffectiveSpread(effective, k, &max_load, &spread);
-      const PartitionId best = score::HdrfPickBatched(
-          k, effective, loads, {replicas.RowWords(u), nullptr},
-          {replicas.RowWords(v), nullptr}, theta_u, theta_v, lambda,
-          max_load, spread, &stats.tie_breaks, &stats_.bitset_hits);
+      const PartitionId best =
+          simd ? score::HdrfPickSimd(
+                     tier_, k, effective, loads,
+                     {replicas.RowWords(u), nullptr},
+                     {replicas.RowWords(v), nullptr}, theta_u, theta_v,
+                     lambda, max_load, spread, scores_.data(),
+                     &stats_.bitset_hits)
+               : score::HdrfPickBatched(
+                     k, effective, loads, {replicas.RowWords(u), nullptr},
+                     {replicas.RowWords(v), nullptr}, theta_u, theta_v,
+                     lambda, max_load, spread, &stats.tie_breaks,
+                     &stats_.bitset_hits);
       state_.AddLoadUpdatingEffective(best);
       replicas.Add(u, best);
       replicas.Add(v, best);
@@ -456,7 +570,17 @@ class ScoreCore {
       stats_.candidates += stats_.bitset_hits - before;
       return t;
     };
-    for (const StreamEdge& e : chunk) {
+    // kSimd intentionally shares the batched path here: PGG scans sparse
+    // replica sets (≤ a handful of set bits), where the word-at-a-time
+    // bit scan beats any dense k-lane sweep.
+    for (size_t idx = 0; idx < chunk.size(); ++idx) {
+      if (mode_ != ScoreMode::kScalar &&
+          idx + kScorePrefetchAhead < chunk.size()) {
+        const StreamEdge& f = chunk[idx + kScorePrefetchAhead];
+        __builtin_prefetch(replicas.RowWords(f.src), 1, 1);
+        __builtin_prefetch(replicas.RowWords(f.dst), 1, 1);
+      }
+      const StreamEdge& e = chunk[idx];
       const VertexId u = e.src;
       const VertexId v = e.dst;
       PartitionId target;
@@ -513,6 +637,23 @@ class ScoreCore {
           state_.weights().data(), state_.capacities().data(), objective,
           tie_breaks);
     }
+    if (mode_ == ScoreMode::kSimd) {
+      if (objective.ldg || objective.sqrt_form) {
+        ++stats_.simd_picks;
+        return score::GreedyPickSimd(
+            tier_, state_.k(), neighbor_counts, state_.loads().data(),
+            state_.weights().data(), state_.capacities().data(), objective,
+            scores_.data());
+      }
+      // Pow-form FENNEL has no SIMD twin; route to the batched kernel.
+      // kSimd audits no ties, so the tie counter stays untouched.
+      ++stats_.simd_fallbacks;
+      uint64_t unaudited_ties = 0;
+      return score::GreedyPickBatched(
+          state_.k(), neighbor_counts, state_.loads().data(),
+          state_.weights().data(), state_.capacities().data(), objective,
+          scores_.data(), &unaudited_ties);
+    }
     return score::GreedyPickBatched(
         state_.k(), neighbor_counts, state_.loads().data(),
         state_.weights().data(), state_.capacities().data(), objective,
@@ -530,6 +671,12 @@ class ScoreCore {
                                      combined_loads, combined_capacity,
                                      alpha, gamma, tie_breaks);
     }
+    if (mode_ == ScoreMode::kSimd) {
+      ++stats_.simd_picks;
+      return score::GingerPickSimd(tier_, state_.k(), neighbor_counts,
+                                   combined_loads, combined_capacity, alpha,
+                                   gamma, scores_.data());
+    }
     return score::GingerPickBatched(state_.k(), neighbor_counts,
                                     combined_loads, combined_capacity, alpha,
                                     gamma, scores_.data(), tie_breaks);
@@ -539,6 +686,12 @@ class ScoreCore {
   /// partition with room, 0 when all are full.
   PartitionId PickLeastLoadedWithRoom() {
     stats_.candidates += state_.k();
+    if (mode_ == ScoreMode::kSimd) {
+      ++stats_.simd_picks;
+      return score::LeastLoadedWithRoomSimd(
+          tier_, state_.k(), state_.loads().data(), state_.weights().data(),
+          state_.capacities().data(), scores_.data());
+    }
     return score::LeastLoadedWithRoom(state_.k(), state_.loads().data(),
                                       state_.weights().data(),
                                       state_.capacities().data());
@@ -547,6 +700,13 @@ class ScoreCore {
   /// All-at-capacity fallback: least effective load, no caps.
   PartitionId PickLeastLoadedAll() {
     stats_.candidates += state_.k();
+    if (mode_ == ScoreMode::kSimd) {
+      ++stats_.simd_picks;
+      return score::LeastLoadedAllSimd(tier_, state_.k(),
+                                       state_.loads().data(),
+                                       state_.weights().data(),
+                                       scores_.data());
+    }
     return score::LeastLoadedAll(state_.k(), state_.loads().data(),
                                  state_.weights().data());
   }
@@ -557,6 +717,7 @@ class ScoreCore {
 
   PartitionState& state_;
   ScoreMode mode_;
+  score::SimdTier tier_ = score::SimdTier::kPortable;  // kSimd only
   ScoreCoreStats stats_;
   std::vector<double> scores_;        // batched candidate scores, size k
   std::vector<uint64_t> inter_words_; // intersection scratch, ceil(k/64)

@@ -15,8 +15,8 @@ namespace twophase {
 /// partition — the endpoint's cluster home (2PS) — and θ comes from
 /// final pass-1 degrees instead of partial streaming degrees. On top of
 /// the pick it enforces the Equation (1) hard caps: a full winner falls
-/// back to the least effectively-loaded partition with room (both modes,
-/// so scalar and batched stay bit-identical).
+/// back to the least effectively-loaded partition with room (the same
+/// scalar scan in every mode, so all modes stay bit-identical).
 ///
 /// Batched mode ORs the cluster home into the membership word via
 /// MembershipRow's delta slot (a precomputed one-hot row per partition);
@@ -37,6 +37,10 @@ class ClusterScorer {
     for (PartitionId p = 0; p < k; ++p) {
       onehot_[static_cast<uint64_t>(p) * words_ + (p >> 6)] =
           uint64_t{1} << (p & 63);
+    }
+    if (core.mode() == ScoreMode::kSimd) {
+      tier_ = score::ActiveSimdTier();
+      scores_.assign(k, 0.0);
     }
   }
 
@@ -66,6 +70,12 @@ class ClusterScorer {
     if (core_.mode() == ScoreMode::kScalar) {
       best = PickScalar(u, v, home_u, home_v, theta_u, theta_v, max_load,
                         spread, &stats.tie_breaks);
+    } else if (core_.mode() == ScoreMode::kSimd) {
+      ++core_.stats().simd_picks;
+      best = score::HdrfPickSimd(
+          tier_, k, effective, loads, {replicas.RowWords(u), RowFor(home_u)},
+          {replicas.RowWords(v), RowFor(home_v)}, theta_u, theta_v, lambda_,
+          max_load, spread, scores_.data(), &core_.stats().bitset_hits);
     } else {
       best = score::HdrfPickBatched(
           k, effective, loads, {replicas.RowWords(u), RowFor(home_u)},
@@ -122,8 +132,10 @@ class ClusterScorer {
   PartitionState& state_;
   ScoreCore& core_;
   double lambda_;
+  score::SimdTier tier_ = score::SimdTier::kPortable;  // kSimd only
   uint64_t words_ = 0;
   std::vector<uint64_t> onehot_;
+  std::vector<double> scores_;  // kSimd portable-tier scratch
 };
 
 }  // namespace twophase

@@ -93,17 +93,18 @@ TEST_P(PartitionerPropertyTest, ReportsSynopsisAndChunkInvariance) {
   EXPECT_GT(chunked.state_bytes, 0u);
 }
 
-// Scalar and batched scoring must agree byte-for-byte at awkward k —
-// non-power-of-two, exactly one membership word, and the multi-word
-// regime where the bit-packed loops handle partial tail words — for every
-// algorithm, with and without heterogeneous capacities.
+// Scalar, batched and simd scoring must agree byte-for-byte at awkward
+// k — non-power-of-two, one membership word ± one (the simd tail and
+// partial-word regime), and the multi-word regime where the bit-packed
+// loops handle partial tail words — for every algorithm, with and
+// without heterogeneous capacities.
 TEST_P(PartitionerPropertyTest, ScoreModesAgreeAtAwkwardK) {
   const auto& [algo, dataset, base_k] = GetParam();
   // The sweep replaces the suite's k values; run it once per algo/dataset.
   if (base_k != 4u) GTEST_SKIP() << "awkward-k sweep runs on one base param";
   const Graph& g = GetGraph(dataset);
   auto partitioner = CreatePartitioner(algo);
-  for (PartitionId k : {3u, 64u, 128u}) {
+  for (PartitionId k : {3u, 63u, 64u, 65u, 128u}) {
     for (bool hetero : {false, true}) {
       PartitionConfig cfg;
       cfg.k = k;
@@ -116,12 +117,16 @@ TEST_P(PartitionerPropertyTest, ScoreModesAgreeAtAwkwardK) {
       }
       cfg.score_mode = ScoreMode::kScalar;
       Partitioning scalar = partitioner->Run(g, cfg);
-      cfg.score_mode = ScoreMode::kBatched;
-      Partitioning batched = partitioner->Run(g, cfg);
-      EXPECT_EQ(scalar.vertex_to_partition, batched.vertex_to_partition)
-          << algo << " k=" << k << (hetero ? " hetero" : " plain");
-      EXPECT_EQ(scalar.edge_to_partition, batched.edge_to_partition)
-          << algo << " k=" << k << (hetero ? " hetero" : " plain");
+      for (ScoreMode mode : {ScoreMode::kBatched, ScoreMode::kSimd}) {
+        cfg.score_mode = mode;
+        Partitioning fast = partitioner->Run(g, cfg);
+        EXPECT_EQ(scalar.vertex_to_partition, fast.vertex_to_partition)
+            << algo << " k=" << k << (hetero ? " hetero" : " plain")
+            << " mode=" << ScoreModeName(mode);
+        EXPECT_EQ(scalar.edge_to_partition, fast.edge_to_partition)
+            << algo << " k=" << k << (hetero ? " hetero" : " plain")
+            << " mode=" << ScoreModeName(mode);
+      }
     }
   }
 }

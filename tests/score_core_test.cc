@@ -1,10 +1,13 @@
-// ScoreCore suite: the bit-packed membership structures, the batched
-// scoring kernels against their scalar references, and end-to-end
-// scalar-vs-batched equivalence for every partitioner family — sequential,
-// sharded parallel, and the vertex-discovering ingest path. The batched
-// mode is only allowed to be faster, never different (DESIGN.md §Score
-// core).
+// ScoreCore suite: the bit-packed membership structures, the batched and
+// SIMD scoring kernels against their scalar references, and end-to-end
+// scalar-vs-batched-vs-simd equivalence for every partitioner family —
+// sequential, sharded parallel, and the vertex-discovering ingest path.
+// The faster modes are only allowed to be faster, never different
+// (DESIGN.md §Score core). The SIMD sweeps run on every ISA tier the
+// host supports (the portable omp-simd twin always, AVX2 when present),
+// so one test binary pins tier-vs-tier agreement too.
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
@@ -20,6 +23,17 @@
 
 namespace sgp {
 namespace {
+
+// Every ISA tier the host can execute: kPortable always, kAvx2 when the
+// CPU has it. Forcing an unavailable tier is also legal (the kernels
+// degrade to portable), so the sweeps exercise both enumerated tiers.
+std::vector<score::SimdTier> AvailableTiers() {
+  std::vector<score::SimdTier> tiers = {score::SimdTier::kPortable};
+  if (score::SimdTierAvailable(score::SimdTier::kAvx2)) {
+    tiers.push_back(score::SimdTier::kAvx2);
+  }
+  return tiers;
+}
 
 TEST(DenseBitsetTest, SetTestResetPopcount) {
   DenseBitset b(130);
@@ -71,6 +85,32 @@ TEST(BitMatrixTest, EnsureRowsGrowsZeroed) {
   EXPECT_TRUE(m.Test(0, 3));
   for (uint64_t r = 1; r < 5; ++r) {
     for (uint32_t c = 0; c < 10; ++c) EXPECT_FALSE(m.Test(r, c));
+  }
+}
+
+TEST(BitMatrixTest, CacheBlockedLayout) {
+  // Stride policy: power of two up to a full 8-word cache line, whole
+  // lines beyond; words_per_row() stays the logical ceil(cols/64).
+  const struct {
+    uint32_t cols;
+    uint64_t wpr;
+    uint64_t stride;
+  } cases[] = {{1, 1, 1},    {64, 1, 1},   {65, 2, 2},   {128, 2, 2},
+               {129, 3, 4},  {256, 4, 4},  {257, 5, 8},  {512, 8, 8},
+               {513, 9, 16}, {700, 11, 16}};
+  for (const auto& c : cases) {
+    BitMatrix m(5, c.cols);
+    EXPECT_EQ(m.words_per_row(), c.wpr) << "cols=" << c.cols;
+    EXPECT_EQ(m.row_stride(), c.stride) << "cols=" << c.cols;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(0)) % 64, 0u)
+        << "base must be cache-line aligned, cols=" << c.cols;
+    // Bits survive growth and the realigned base stays aligned.
+    m.Set(3, c.cols - 1);
+    m.EnsureRows(100);
+    EXPECT_TRUE(m.Test(3, c.cols - 1)) << "cols=" << c.cols;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.Row(0)) % 64, 0u)
+        << "cols=" << c.cols;
+    EXPECT_FALSE(m.Test(99, 0));
   }
 }
 
@@ -240,6 +280,209 @@ TEST(ScoreKernelTest, HdrfBatchedMatchesContainsProbes) {
   }
 }
 
+// ---------------------------------------------------------------------
+// SIMD tier: randomized scalar-vs-batched-vs-simd sweeps at awkward k —
+// below one lane group, one word ± one, and the multi-word regime —
+// with and without heterogeneous capacities, on every available tier.
+// ---------------------------------------------------------------------
+
+TEST(ScoreKernelTest, GreedySimdMatchesScalarAtAwkwardK) {
+  std::mt19937_64 rng(17);
+  for (PartitionId k : {3u, 63u, 64u, 65u, 128u}) {
+    std::vector<uint32_t> counts(k);
+    std::vector<uint64_t> loads(k);
+    std::vector<double> weights(k), capacity(k), scores(k);
+    for (int trial = 0; trial < 200; ++trial) {
+      const bool hetero = trial % 2 == 1;
+      for (PartitionId i = 0; i < k; ++i) {
+        counts[i] = rng() % 4;  // small range forces score ties
+        loads[i] = rng() % 6;
+        weights[i] = hetero ? 1.0 + 0.5 * (rng() % 3) : 1.0;
+        // Tight capacities force masked candidates (and sometimes
+        // all-full, where every mode must return kInvalidPartition).
+        capacity[i] = 1.0 + static_cast<double>(rng() % 7);
+      }
+      for (bool ldg : {true, false}) {
+        score::GreedyObjective obj;
+        obj.ldg = ldg;
+        obj.alpha = 1.25;
+        obj.gamma = 1.5;
+        obj.sqrt_form = true;
+        uint64_t ties = 0;
+        const PartitionId want =
+            score::GreedyPickScalar(k, counts.data(), loads.data(),
+                                    weights.data(), capacity.data(), obj,
+                                    &ties);
+        for (score::SimdTier tier : AvailableTiers()) {
+          const PartitionId got = score::GreedyPickSimd(
+              tier, k, counts.data(), loads.data(), weights.data(),
+              capacity.data(), obj, scores.data());
+          ASSERT_EQ(got, want)
+              << "k=" << k << " trial=" << trial << " ldg=" << ldg
+              << " tier=" << score::SimdTierName(tier);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScoreKernelTest, GingerSimdMatchesScalarAtAwkwardK) {
+  std::mt19937_64 rng(19);
+  for (PartitionId k : {3u, 63u, 64u, 65u, 128u}) {
+    std::vector<uint32_t> counts(k);
+    std::vector<double> combined(k), scores(k);
+    for (int trial = 0; trial < 200; ++trial) {
+      for (PartitionId i = 0; i < k; ++i) {
+        counts[i] = rng() % 4;
+        combined[i] = static_cast<double>(rng() % 10);
+      }
+      const double cap = 1.0 + static_cast<double>(rng() % 11);
+      uint64_t ties = 0;
+      const PartitionId want = score::GingerPickScalar(
+          k, counts.data(), combined.data(), cap, 1.5, 1.5, &ties);
+      for (score::SimdTier tier : AvailableTiers()) {
+        const PartitionId got = score::GingerPickSimd(
+            tier, k, counts.data(), combined.data(), cap, 1.5, 1.5,
+            scores.data());
+        ASSERT_EQ(got, want) << "k=" << k << " trial=" << trial
+                             << " tier=" << score::SimdTierName(tier);
+      }
+    }
+  }
+}
+
+TEST(ScoreKernelTest, HdrfSimdMatchesBatchedAtAwkwardK) {
+  std::mt19937_64 rng(23);
+  for (PartitionId k : {3u, 63u, 64u, 65u, 128u}) {
+    const uint64_t words = (static_cast<uint64_t>(k) + 63) / 64;
+    std::vector<double> effective(k), scores(k);
+    std::vector<uint64_t> loads(k);
+    std::vector<uint64_t> row_u(words), row_v(words);
+    for (int trial = 0; trial < 200; ++trial) {
+      for (PartitionId i = 0; i < k; ++i) {
+        loads[i] = rng() % 5;
+        effective[i] = static_cast<double>(loads[i]);
+      }
+      for (uint64_t w = 0; w < words; ++w) {
+        row_u[w] = rng();
+        row_v[w] = rng();
+      }
+      if (k % 64 != 0) {
+        const uint64_t mask = (uint64_t{1} << (k % 64)) - 1;
+        row_u[words - 1] &= mask;
+        row_v[words - 1] &= mask;
+      }
+      const double theta_u = 0.25, theta_v = 0.75, lambda = 1.1;
+      double max_load, spread;
+      score::EffectiveSpread(effective.data(), k, &max_load, &spread);
+      uint64_t ties = 0, want_hits = 0;
+      const PartitionId want = score::HdrfPickBatched(
+          k, effective.data(), loads.data(), {row_u.data(), nullptr},
+          {row_v.data(), nullptr}, theta_u, theta_v, lambda, max_load,
+          spread, &ties, &want_hits);
+      for (score::SimdTier tier : AvailableTiers()) {
+        uint64_t got_hits = 0;
+        const PartitionId got = score::HdrfPickSimd(
+            tier, k, effective.data(), loads.data(), {row_u.data(), nullptr},
+            {row_v.data(), nullptr}, theta_u, theta_v, lambda, max_load,
+            spread, scores.data(), &got_hits);
+        ASSERT_EQ(got, want) << "k=" << k << " trial=" << trial
+                             << " tier=" << score::SimdTierName(tier);
+        // The popcount accounting must be ISA-independent too.
+        ASSERT_EQ(got_hits, want_hits)
+            << "k=" << k << " trial=" << trial
+            << " tier=" << score::SimdTierName(tier);
+      }
+    }
+  }
+}
+
+TEST(ScoreKernelTest, LeastLoadedSimdMatchesScalarAtAwkwardK) {
+  std::mt19937_64 rng(29);
+  for (PartitionId k : {3u, 63u, 64u, 65u, 128u}) {
+    std::vector<uint64_t> loads(k);
+    std::vector<double> weights(k), capacity(k), scores(k);
+    for (int trial = 0; trial < 200; ++trial) {
+      const bool hetero = trial % 2 == 1;
+      for (PartitionId i = 0; i < k; ++i) {
+        loads[i] = rng() % 6;  // collisions force effective-load ties
+        weights[i] = hetero ? 1.0 + 0.5 * (rng() % 3) : 1.0;
+        capacity[i] = 1.0 + static_cast<double>(rng() % 7);
+      }
+      const PartitionId want_room = score::LeastLoadedWithRoom(
+          k, loads.data(), weights.data(), capacity.data());
+      const PartitionId want_all =
+          score::LeastLoadedAll(k, loads.data(), weights.data());
+      for (score::SimdTier tier : AvailableTiers()) {
+        ASSERT_EQ(score::LeastLoadedWithRoomSimd(tier, k, loads.data(),
+                                                 weights.data(),
+                                                 capacity.data(),
+                                                 scores.data()),
+                  want_room)
+            << "k=" << k << " trial=" << trial
+            << " tier=" << score::SimdTierName(tier);
+        ASSERT_EQ(score::LeastLoadedAllSimd(tier, k, loads.data(),
+                                            weights.data(), scores.data()),
+                  want_all)
+            << "k=" << k << " trial=" << trial
+            << " tier=" << score::SimdTierName(tier);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Runtime dispatch: the env override forces the portable tier, forcing
+// an unavailable tier degrades gracefully, and the end-to-end result is
+// tier-independent.
+// ---------------------------------------------------------------------
+
+TEST(SimdDispatchTest, EnvOverrideForcesPortableTier) {
+  ASSERT_TRUE(score::SimdTierAvailable(score::SimdTier::kPortable));
+  setenv("SGP_FORCE_SCALAR_DISPATCH", "1", 1);
+  EXPECT_EQ(score::ActiveSimdTier(), score::SimdTier::kPortable);
+  // "0" and empty mean "not forced".
+  setenv("SGP_FORCE_SCALAR_DISPATCH", "0", 1);
+  const score::SimdTier unforced = score::ActiveSimdTier();
+  unsetenv("SGP_FORCE_SCALAR_DISPATCH");
+  EXPECT_EQ(score::ActiveSimdTier(), unforced);
+  // Unforced dispatch picks the widest available tier.
+  if (score::SimdTierAvailable(score::SimdTier::kAvx2)) {
+    EXPECT_EQ(unforced, score::SimdTier::kAvx2);
+  } else {
+    EXPECT_EQ(unforced, score::SimdTier::kPortable);
+  }
+}
+
+TEST(SimdDispatchTest, ForcedTiersAgreeEndToEnd) {
+  // Force each enumerated tier through a full partitioner run — including
+  // kAvx2 on hosts without AVX2, where the kernels must fall back to the
+  // portable twin rather than fault — and require identical assignments.
+  const Graph g = MakeDataset("twitter", 9);
+  for (const char* algo : {"HDRF", "FNL", "HG"}) {
+    PartitionConfig cfg;
+    cfg.k = 65;
+    cfg.seed = 7;
+    cfg.score_mode = ScoreMode::kBatched;
+    const Partitioning want = CreatePartitioner(algo)->Run(g, cfg);
+    cfg.score_mode = ScoreMode::kSimd;
+    const char* forced_values[] = {"1", nullptr};
+    for (const char* forced : forced_values) {
+      if (forced != nullptr) {
+        setenv("SGP_FORCE_SCALAR_DISPATCH", forced, 1);
+      } else {
+        unsetenv("SGP_FORCE_SCALAR_DISPATCH");
+      }
+      Partitioning got = CreatePartitioner(algo)->Run(g, cfg);
+      EXPECT_EQ(got.vertex_to_partition, want.vertex_to_partition)
+          << algo << " forced=" << (forced ? forced : "<unset>");
+      EXPECT_EQ(got.edge_to_partition, want.edge_to_partition)
+          << algo << " forced=" << (forced ? forced : "<unset>");
+    }
+    unsetenv("SGP_FORCE_SCALAR_DISPATCH");
+  }
+}
+
 TEST(ScoreKernelTest, LeastLoadedOverBitsTiesTowardLowerId) {
   const PartitionId k = 130;
   std::vector<uint64_t> loads(k, 5);
@@ -259,7 +502,7 @@ TEST(ScoreKernelTest, LeastLoadedOverBitsTiesTowardLowerId) {
 }
 
 // ---------------------------------------------------------------------
-// End-to-end: kScalar and kBatched must produce byte-identical
+// End-to-end: kScalar, kBatched and kSimd must produce byte-identical
 // partitionings for every registered partitioner.
 // ---------------------------------------------------------------------
 
@@ -272,12 +515,14 @@ TEST(ScoreModeEquivalenceTest, SequentialPartitioners) {
       cfg.seed = 42;
       cfg.score_mode = ScoreMode::kScalar;
       Partitioning scalar = CreatePartitioner(algo)->Run(g, cfg);
-      cfg.score_mode = ScoreMode::kBatched;
-      Partitioning batched = CreatePartitioner(algo)->Run(g, cfg);
-      EXPECT_EQ(scalar.vertex_to_partition, batched.vertex_to_partition)
-          << algo << " k=" << k;
-      EXPECT_EQ(scalar.edge_to_partition, batched.edge_to_partition)
-          << algo << " k=" << k;
+      for (ScoreMode mode : {ScoreMode::kBatched, ScoreMode::kSimd}) {
+        cfg.score_mode = mode;
+        Partitioning fast = CreatePartitioner(algo)->Run(g, cfg);
+        EXPECT_EQ(scalar.vertex_to_partition, fast.vertex_to_partition)
+            << algo << " k=" << k << " mode=" << ScoreModeName(mode);
+        EXPECT_EQ(scalar.edge_to_partition, fast.edge_to_partition)
+            << algo << " k=" << k << " mode=" << ScoreModeName(mode);
+      }
     }
   }
 }
@@ -297,15 +542,19 @@ TEST(ScoreModeEquivalenceTest, ShardedParallelDrivers) {
         cfg.score_mode = ScoreMode::kScalar;
         ParallelStreamResult scalar =
             RunParallelStreaming(g, cfg, options, algo);
-        cfg.score_mode = ScoreMode::kBatched;
-        ParallelStreamResult batched =
-            RunParallelStreaming(g, cfg, options, algo);
-        EXPECT_EQ(scalar.partitioning.vertex_to_partition,
-                  batched.partitioning.vertex_to_partition)
-            << ParallelAlgoName(algo) << " w=" << workers << " k=" << k;
-        EXPECT_EQ(scalar.partitioning.edge_to_partition,
-                  batched.partitioning.edge_to_partition)
-            << ParallelAlgoName(algo) << " w=" << workers << " k=" << k;
+        for (ScoreMode mode : {ScoreMode::kBatched, ScoreMode::kSimd}) {
+          cfg.score_mode = mode;
+          ParallelStreamResult fast =
+              RunParallelStreaming(g, cfg, options, algo);
+          EXPECT_EQ(scalar.partitioning.vertex_to_partition,
+                    fast.partitioning.vertex_to_partition)
+              << ParallelAlgoName(algo) << " w=" << workers << " k=" << k
+              << " mode=" << ScoreModeName(mode);
+          EXPECT_EQ(scalar.partitioning.edge_to_partition,
+                    fast.partitioning.edge_to_partition)
+              << ParallelAlgoName(algo) << " w=" << workers << " k=" << k
+              << " mode=" << ScoreModeName(mode);
+        }
       }
     }
   }
@@ -325,19 +574,21 @@ TEST(ScoreModeEquivalenceTest, VertexDiscoveringIngest) {
                                 cfg.ingest_chunk_size);
     StreamIngestResult scalar =
         PartitionEdgeStream(source_a, StreamIngestAlgo::kHdrf, cfg);
-    cfg.score_mode = ScoreMode::kBatched;
-    InMemoryEdgeSource source_b(g, StreamOrder::kRandom, cfg.seed,
-                                cfg.ingest_chunk_size);
-    StreamIngestResult batched =
-        PartitionEdgeStream(source_b, StreamIngestAlgo::kHdrf, cfg);
     ASSERT_TRUE(scalar.ok);
-    ASSERT_TRUE(batched.ok);
-    EXPECT_EQ(scalar.partitioning.edge_to_partition,
-              batched.partitioning.edge_to_partition)
-        << "k=" << k;
-    EXPECT_EQ(scalar.partitioning.vertex_to_partition,
-              batched.partitioning.vertex_to_partition)
-        << "k=" << k;
+    for (ScoreMode mode : {ScoreMode::kBatched, ScoreMode::kSimd}) {
+      cfg.score_mode = mode;
+      InMemoryEdgeSource source_b(g, StreamOrder::kRandom, cfg.seed,
+                                  cfg.ingest_chunk_size);
+      StreamIngestResult fast =
+          PartitionEdgeStream(source_b, StreamIngestAlgo::kHdrf, cfg);
+      ASSERT_TRUE(fast.ok);
+      EXPECT_EQ(scalar.partitioning.edge_to_partition,
+                fast.partitioning.edge_to_partition)
+          << "k=" << k << " mode=" << ScoreModeName(mode);
+      EXPECT_EQ(scalar.partitioning.vertex_to_partition,
+                fast.partitioning.vertex_to_partition)
+          << "k=" << k << " mode=" << ScoreModeName(mode);
+    }
   }
 }
 
